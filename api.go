@@ -1,0 +1,195 @@
+package edgehd
+
+import (
+	"edgehd/internal/core"
+	"edgehd/internal/dataset"
+	"edgehd/internal/encoding"
+	"edgehd/internal/hdc"
+	"edgehd/internal/hierarchy"
+	"edgehd/internal/netsim"
+	"edgehd/internal/rng"
+)
+
+// Re-exported core types. Aliases keep the implementation in internal
+// packages while giving downstream users nameable types.
+type (
+	// Classifier is the centralized encode-train-infer pipeline (§III).
+	Classifier = core.Classifier
+	// Model holds k class hypervectors and answers associative
+	// searches.
+	Model = core.Model
+	// Residual accumulates negative feedback for online learning
+	// (§IV-D).
+	Residual = core.Residual
+	// Sample is one encoded, labelled training example.
+	Sample = core.Sample
+	// Hypervector is a packed ±1 hypervector, the wire format of every
+	// query and transferred model.
+	Hypervector = hdc.Bipolar
+	// Accumulator is an integer hypervector: a bundle of Hypervectors.
+	Accumulator = hdc.Acc
+	// Encoder maps original feature vectors into hyperspace.
+	Encoder = encoding.Encoder
+	// System is a fully built EdgeHD hierarchy (§IV).
+	System = hierarchy.System
+	// HierarchyConfig carries the §VI-A tunables (dimension D, batch
+	// size B, compression rate m, confidence threshold, sparsity).
+	HierarchyConfig = hierarchy.Config
+	// InferResult reports where a confidence-routed inference resolved.
+	InferResult = hierarchy.InferResult
+	// Topology is a built IoT tree with node roles.
+	Topology = netsim.Topology
+	// Network is the discrete-event tree network simulator.
+	Network = netsim.Network
+	// Medium describes a link technology (bandwidth, latency, energy).
+	Medium = netsim.Medium
+	// Dataset is a generated benchmark dataset with its end-node
+	// feature partition.
+	Dataset = dataset.Dataset
+	// DatasetSpec describes one of the nine Table I benchmarks.
+	DatasetSpec = dataset.Spec
+	// NodeID identifies a device within one Network.
+	NodeID = netsim.NodeID
+)
+
+// InvalidNode is returned by failed node lookups (e.g. the parent of a
+// root node).
+const InvalidNode = netsim.InvalidNode
+
+// classifierConfig collects the options of NewClassifier.
+type classifierConfig struct {
+	dim         int
+	sparsity    float64
+	lengthScale float64
+	seed        uint64
+	dense       bool
+}
+
+// Option configures NewClassifier.
+type Option func(*classifierConfig)
+
+// WithDimension sets the hypervector dimensionality D (default 4000).
+func WithDimension(d int) Option {
+	return func(c *classifierConfig) { c.dim = d }
+}
+
+// WithSparsity sets the encoder sparsity s (default 0.8; ignored with
+// WithDenseEncoder).
+func WithSparsity(s float64) Option {
+	return func(c *classifierConfig) { c.sparsity = s }
+}
+
+// WithLengthScale sets the RBF kernel length scale (default √n).
+func WithLengthScale(ls float64) Option {
+	return func(c *classifierConfig) { c.lengthScale = ls }
+}
+
+// WithSeed sets the seed for the encoder's random bases.
+func WithSeed(seed uint64) Option {
+	return func(c *classifierConfig) { c.seed = seed }
+}
+
+// WithDenseEncoder selects the dense non-linear encoder instead of the
+// sparse FPGA-style default.
+func WithDenseEncoder() Option {
+	return func(c *classifierConfig) { c.dense = true }
+}
+
+// NewClassifier builds a centralized EdgeHD classifier for feature
+// vectors of length n and k classes, using the paper's defaults
+// (D = 4000, 80% sparsity) unless overridden by options.
+func NewClassifier(n, k int, opts ...Option) *Classifier {
+	cfg := classifierConfig{dim: 4000, sparsity: 0.8}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var enc Encoder
+	if cfg.dense {
+		enc = encoding.NewNonlinear(n, cfg.dim, cfg.seed, encoding.NonlinearConfig{LengthScale: cfg.lengthScale})
+	} else {
+		enc = encoding.NewSparse(n, cfg.dim, cfg.seed, encoding.SparseConfig{Sparsity: cfg.sparsity, LengthScale: cfg.lengthScale})
+	}
+	return core.NewClassifier(enc, k)
+}
+
+// NewNonlinearEncoder exposes the dense §III-A encoder directly.
+func NewNonlinearEncoder(n, dim int, seed uint64) Encoder {
+	return encoding.NewNonlinear(n, dim, seed, encoding.NonlinearConfig{})
+}
+
+// NewSparseEncoder exposes the sparse §V-A encoder directly.
+func NewSparseEncoder(n, dim int, seed uint64, sparsity float64) Encoder {
+	return encoding.NewSparse(n, dim, seed, encoding.SparseConfig{Sparsity: sparsity})
+}
+
+// NewModel returns an empty model with k classes of dimension d, for
+// callers that manage encoding themselves.
+func NewModel(d, k int) *Model { return core.NewModel(d, k) }
+
+// BuildHierarchy constructs an EdgeHD system over a topology whose end
+// nodes observe the features listed in partition (partition[i] holds
+// the global feature indices of end node i).
+func BuildHierarchy(topo *Topology, partition [][]int, numClasses int, cfg HierarchyConfig) (*System, error) {
+	return hierarchy.Build(topo, partition, numClasses, cfg)
+}
+
+// Holographic is a convenience for HierarchyConfig.Holographic.
+func Holographic(v bool) *bool { return hierarchy.Bool(v) }
+
+// Topology constructors (§VI-A shapes).
+var (
+	// Star connects nEnd end nodes directly to the central node.
+	Star = netsim.Star
+	// Tree builds the three-level TREE: gateways with groupSize end
+	// nodes each; the remainder attaches to the central node.
+	Tree = netsim.Tree
+	// Grouped builds a depth-controlled grouping tree.
+	Grouped = netsim.Grouped
+	// GroupedSizes builds a tree from explicit per-level group sizes
+	// (e.g. PECAN's 312 appliances → houses of 12 → streets of 7 →
+	// city).
+	GroupedSizes = netsim.GroupedSizes
+)
+
+// Link mediums of the §VI-E evaluation.
+var (
+	Wired1G    = netsim.Wired1G
+	Wired500M  = netsim.Wired500M
+	WiFiAC     = netsim.WiFiAC
+	WiFiN      = netsim.WiFiN
+	Bluetooth4 = netsim.Bluetooth4
+	Mediums    = netsim.Mediums
+)
+
+// Benchmark dataset access (synthetic analogs of Table I).
+var (
+	// Datasets lists all nine benchmark specifications.
+	Datasets = dataset.Specs
+	// HierarchyDatasets lists the four hierarchy benchmarks.
+	HierarchyDatasets = dataset.HierarchySpecs
+	// DatasetByName looks a benchmark up by name.
+	DatasetByName = dataset.ByName
+)
+
+// DatasetOptions caps generated dataset sizes.
+type DatasetOptions = dataset.Options
+
+// RandomSource is the deterministic random source used for failure
+// injection and hypervector generation.
+type RandomSource = rng.Source
+
+// NewRandom returns a seeded random source.
+func NewRandom(seed uint64) *RandomSource { return rng.New(seed) }
+
+// RandomHypervector draws a random ±1 hypervector of dimension d, e.g.
+// a position hypervector for compression.
+func RandomHypervector(d int, r *RandomSource) Hypervector {
+	return hdc.RandomBipolar(d, r)
+}
+
+// Compress bundles query hypervectors with fresh position hypervectors
+// (eq. 3); Decompress recovers the i-th query (eq. 4).
+var (
+	Compress   = hierarchy.Compress
+	Decompress = hierarchy.Decompress
+)

@@ -1,0 +1,154 @@
+package edgehd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"edgehd"
+)
+
+func TestFacadeClassifier(t *testing.T) {
+	clf := edgehd.NewClassifier(8, 2, edgehd.WithDimension(512), edgehd.WithSeed(1))
+	xs := [][]float64{
+		{1, 1, 1, 1, 0, 0, 0, 0}, {0.9, 1.1, 1, 0.8, 0.1, 0, 0.2, 0},
+		{0, 0, 0, 0, 1, 1, 1, 1}, {0.1, 0, 0.2, 0, 1.1, 0.9, 1, 0.8},
+	}
+	ys := []int{0, 0, 1, 1}
+	if _, err := clf.Fit(xs, ys, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := clf.Predict([]float64{1, 1, 0.9, 1.1, 0, 0.1, 0, 0}); got != 0 {
+		t.Fatalf("predicted %d, want 0", got)
+	}
+	if got := clf.Predict([]float64{0, 0.1, 0, 0, 1, 1, 0.9, 1.1}); got != 1 {
+		t.Fatalf("predicted %d, want 1", got)
+	}
+}
+
+func TestFacadeClassifierOptions(t *testing.T) {
+	dense := edgehd.NewClassifier(4, 2, edgehd.WithDenseEncoder(), edgehd.WithDimension(128),
+		edgehd.WithLengthScale(2), edgehd.WithSeed(3))
+	if dense.Encoder().Dim() != 128 {
+		t.Fatalf("dense encoder dim = %d", dense.Encoder().Dim())
+	}
+	sparse := edgehd.NewClassifier(4, 2, edgehd.WithSparsity(0.5), edgehd.WithDimension(64))
+	if sparse.Encoder().NumFeatures() != 4 {
+		t.Fatalf("sparse encoder features = %d", sparse.Encoder().NumFeatures())
+	}
+}
+
+func TestFacadeHierarchyEndToEnd(t *testing.T) {
+	spec, err := edgehd.DatasetByName("PDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spec.Generate(1, edgehd.DatasetOptions{MaxTrain: 150, MaxTest: 60})
+	topo, err := edgehd.Tree(spec.EndNodes, 2, edgehd.WiFiAC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := edgehd.BuildHierarchy(topo, d.Partition, spec.Classes, edgehd.HierarchyConfig{
+		TotalDim:      1000,
+		RetrainEpochs: 3,
+		Seed:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Train(d.TrainX, d.TrainY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes <= 0 {
+		t.Fatal("no communication accounted")
+	}
+	res, err := sys.Infer(d.TestX[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class < 0 || res.Class >= spec.Classes {
+		t.Fatalf("class out of range: %+v", res)
+	}
+	if acc := sys.LevelAccuracy(0, d.TestX, d.TestY); acc < 0.5 {
+		t.Fatalf("central accuracy %v too low", acc)
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	if got := len(edgehd.Datasets()); got != 9 {
+		t.Fatalf("Datasets() = %d entries, want 9", got)
+	}
+	if got := len(edgehd.HierarchyDatasets()); got != 4 {
+		t.Fatalf("HierarchyDatasets() = %d entries, want 4", got)
+	}
+	if _, err := edgehd.DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestFacadeCompression(t *testing.T) {
+	r := edgehd.NewRandom(5)
+	queries := make([]edgehd.Hypervector, 8)
+	for i := range queries {
+		queries[i] = edgehd.RandomHypervector(2048, r)
+	}
+	sum, pos := edgehd.Compress(queries, r)
+	rec := edgehd.Decompress(sum, pos, 3)
+	if cos := queries[3].Cosine(rec); cos < 0.2 {
+		t.Fatalf("recovered cosine %v too low", cos)
+	}
+}
+
+func TestFacadeMediums(t *testing.T) {
+	if got := len(edgehd.Mediums()); got != 5 {
+		t.Fatalf("Mediums() = %d, want 5", got)
+	}
+	if edgehd.Bluetooth4().BandwidthBps >= edgehd.Wired1G().BandwidthBps {
+		t.Fatal("medium ordering broken")
+	}
+}
+
+func TestFacadeModel(t *testing.T) {
+	m := edgehd.NewModel(256, 3)
+	r := edgehd.NewRandom(9)
+	h := edgehd.RandomHypervector(256, r)
+	m.Add(2, h)
+	if got := m.Predict(h); got != 2 {
+		t.Fatalf("predicted %d, want 2", got)
+	}
+}
+
+// ExampleNewClassifier demonstrates centralized training and prediction
+// with the public API.
+func ExampleNewClassifier() {
+	clf := edgehd.NewClassifier(4, 2, edgehd.WithDimension(256), edgehd.WithSeed(7))
+	trainX := [][]float64{
+		{1, 1, 0, 0}, {0.9, 1.1, 0.1, 0}, {1.1, 0.9, 0, 0.1},
+		{0, 0, 1, 1}, {0.1, 0, 0.9, 1.1}, {0, 0.1, 1.1, 0.9},
+	}
+	trainY := []int{0, 0, 0, 1, 1, 1}
+	if _, err := clf.Fit(trainX, trainY, 2); err != nil {
+		panic(err)
+	}
+	fmt.Println(clf.Predict([]float64{1, 1, 0.1, 0}))
+	fmt.Println(clf.Predict([]float64{0, 0.1, 1, 1}))
+	// Output:
+	// 0
+	// 1
+}
+
+// ExampleTree shows the three-level topology builder used throughout
+// the evaluation.
+func ExampleTree() {
+	topo, err := edgehd.Tree(5, 2, edgehd.Wired1G())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("levels:", topo.NumLevels())
+	fmt.Println("end nodes:", len(topo.EndNodes))
+	fmt.Println("central children:", len(topo.Net.Children(topo.Central)))
+	// Output:
+	// levels: 3
+	// end nodes: 5
+	// central children: 3
+}

@@ -1,0 +1,291 @@
+package edgehd
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (run the full set with `go test -bench=. -benchmem`, or a
+// single experiment with e.g. `-bench=Fig10`), plus microbenchmarks of
+// the kernels the FPGA design accelerates (§V). The experiment
+// benchmarks execute a reduced-scale but complete run of the
+// corresponding harness each iteration and report the headline metric
+// through b.ReportMetric; cmd/paper prints the full tables.
+
+import (
+	"testing"
+
+	"edgehd/internal/dataset"
+	"edgehd/internal/encoding"
+	"edgehd/internal/experiments"
+	"edgehd/internal/hdc"
+	"edgehd/internal/hierarchy"
+	"edgehd/internal/netsim"
+	"edgehd/internal/rng"
+)
+
+// benchOpts is the reduced experiment scale used per benchmark
+// iteration; shapes reproduce at this scale, absolute numbers grow with
+// cmd/paper -full.
+func benchOpts() experiments.Options {
+	return experiments.Options{MaxTrain: 250, MaxTest: 120, Dim: 1500, RetrainEpochs: 5, Seed: 42}
+}
+
+func BenchmarkFig7AccuracyComparison(b *testing.B) {
+	opts := benchOpts()
+	opts.MaxTrain, opts.MaxTest, opts.Dim = 120, 60, 1000
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Gap(), "edgehd-vs-baselinehd-%")
+	}
+}
+
+func BenchmarkTable2HierarchyAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := 0.0
+		for _, a := range r.Central {
+			mean += a / float64(len(r.Central))
+		}
+		b.ReportMetric(100*mean, "central-accuracy-%")
+	}
+}
+
+func BenchmarkFig8PecanOnline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Checkpoints[len(r.Checkpoints)-1]
+		b.ReportMetric(100*last.City, "city-accuracy-%")
+	}
+}
+
+func BenchmarkFig9OnlineSteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9b(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain := 0.0
+		for _, series := range r.Accuracy {
+			gain += (series[len(series)-1] - series[0]) / float64(len(r.Accuracy))
+		}
+		b.ReportMetric(100*gain, "online-gain-%")
+	}
+}
+
+func BenchmarkFig10Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, energy, _, _ := r.Speedups("HD-GPU")
+		b.ReportMetric(energy, "train-energy-x")
+		ctrain, _ := r.CommReduction()
+		b.ReportMetric(100*ctrain, "comm-reduction-%")
+	}
+}
+
+func BenchmarkFig11Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: mean level-1 speedup on the slowest medium.
+		b.ReportMetric(r.Speedup[len(r.Speedup)-1][0], "bt4-level1-speedup-x")
+	}
+}
+
+func BenchmarkFig12Robustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.MaxDrop("EdgeHD-holographic"), "holo-maxdrop-%")
+	}
+}
+
+func BenchmarkFig13Depth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := r.Entries[0], r.Entries[len(r.Entries)-1]
+		b.ReportMetric(last.SpeedupWiFi/first.SpeedupWiFi, "wifi-speedup-growth-x")
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBatchSize(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCompression(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDimension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDimension(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationThreshold(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSparsity(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFanIn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFanIn(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Kernel microbenchmarks (§V): the operations the FPGA pipeline
+// accelerates, measured on the host CPU.
+
+func BenchmarkEncodeSparse(b *testing.B) {
+	enc := encoding.NewSparse(128, 4000, 1, encoding.SparseConfig{Sparsity: 0.8})
+	x := rng.New(2).NormVec(128, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(x)
+	}
+}
+
+func BenchmarkEncodeDense(b *testing.B) {
+	enc := encoding.NewNonlinear(128, 4000, 1, encoding.NonlinearConfig{})
+	x := rng.New(2).NormVec(128, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(x)
+	}
+}
+
+func BenchmarkBipolarDot(b *testing.B) {
+	r := rng.New(3)
+	x := hdc.RandomBipolar(4000, r)
+	y := hdc.RandomBipolar(4000, r)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += x.Dot(y)
+	}
+	_ = sink
+}
+
+func BenchmarkAssociativeSearch(b *testing.B) {
+	r := rng.New(4)
+	m := NewModel(4000, 10)
+	for c := 0; c < 10; c++ {
+		for s := 0; s < 20; s++ {
+			m.Add(c, hdc.RandomBipolar(4000, r))
+		}
+	}
+	q := hdc.RandomBipolar(4000, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(q)
+	}
+}
+
+func BenchmarkHierarchicalProjection(b *testing.B) {
+	p := hierarchy.NewProjection(4000, 4000, 64, 5)
+	in := hdc.RandomBipolar(4000, rng.New(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Bipolar(in)
+	}
+}
+
+func BenchmarkCompressDecompress(b *testing.B) {
+	r := rng.New(7)
+	queries := make([]hdc.Bipolar, 25)
+	for i := range queries {
+		queries[i] = hdc.RandomBipolar(4000, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, pos := hierarchy.Compress(queries, r)
+		hierarchy.Decompress(sum, pos, i%25)
+	}
+}
+
+func BenchmarkHierarchyTrainPDP(b *testing.B) {
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := spec.Generate(42, dataset.Options{MaxTrain: 200, MaxTest: 50})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo, err := netsim.Tree(spec.EndNodes, 2, netsim.Wired1G())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{TotalDim: 2000, RetrainEpochs: 3, Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHierarchyInferPDP(b *testing.B) {
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := spec.Generate(42, dataset.Options{MaxTrain: 200, MaxTest: 50})
+	topo, err := netsim.Tree(spec.EndNodes, 2, netsim.Wired1G())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{TotalDim: 2000, RetrainEpochs: 3, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Infer(d.TestX[i%len(d.TestX)], i%spec.EndNodes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

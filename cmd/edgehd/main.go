@@ -1,0 +1,185 @@
+// Command edgehd trains and evaluates an EdgeHD hierarchy on one of the
+// built-in benchmark datasets, printing per-level accuracy, the routed
+// inference distribution, and communication costs.
+//
+// Usage:
+//
+//	edgehd -dataset PDP [-topology tree|star] [-dim 4000] [-train 600]
+//	       [-test 250] [-epochs 10] [-medium WiFi-802.11ac] [-seed 42]
+//	       [-online]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edgehd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edgehd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("edgehd", flag.ContinueOnError)
+	name := fs.String("dataset", "PDP", "dataset: PECAN, PAMAP2, APRI or PDP (hierarchical); any Table I name for centralized")
+	topoName := fs.String("topology", "tree", "topology: tree or star")
+	dim := fs.Int("dim", 4000, "hypervector dimensionality D")
+	train := fs.Int("train", 600, "max training samples")
+	test := fs.Int("test", 250, "max test samples")
+	epochs := fs.Int("epochs", 10, "retraining epochs")
+	mediumName := fs.String("medium", "Wired-1Gbps", "link medium (see -listmediums)")
+	listMediums := fs.Bool("listmediums", false, "list available mediums and exit")
+	seed := fs.Uint64("seed", 42, "random seed")
+	online := fs.Bool("online", false, "stream half the data as online negative feedback")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listMediums {
+		for _, m := range edgehd.Mediums() {
+			fmt.Printf("%-16s %10.1f Mbps  %8v latency\n", m.Name, m.BandwidthBps/1e6, m.Latency)
+		}
+		return nil
+	}
+
+	spec, err := edgehd.DatasetByName(strings.ToUpper(*name))
+	if err != nil {
+		return err
+	}
+	d := spec.Generate(*seed, edgehd.DatasetOptions{MaxTrain: *train, MaxTest: *test})
+	fmt.Printf("dataset %s: %d features, %d classes, %d end nodes, %d train / %d test samples\n",
+		spec.Name, spec.Features, spec.Classes, spec.EndNodes, len(d.TrainX), len(d.TestX))
+
+	if !spec.Hierarchical() {
+		clf := edgehd.NewClassifier(spec.Features, spec.Classes, edgehd.WithDimension(*dim), edgehd.WithSeed(*seed))
+		if _, err := clf.Fit(d.TrainX, d.TrainY, *epochs); err != nil {
+			return err
+		}
+		acc, err := clf.Evaluate(d.TestX, d.TestY)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("centralized accuracy: %.1f%% (D=%d)\n", 100*acc, *dim)
+		return nil
+	}
+
+	medium, err := mediumByName(*mediumName)
+	if err != nil {
+		return err
+	}
+	var topo *edgehd.Topology
+	switch strings.ToLower(*topoName) {
+	case "star":
+		topo, err = edgehd.Star(spec.EndNodes, medium)
+	case "tree":
+		if spec.Name == "PECAN" {
+			topo, err = edgehd.GroupedSizes(spec.EndNodes, []int{12, 7}, medium)
+		} else {
+			topo, err = edgehd.Tree(spec.EndNodes, 2, medium)
+		}
+	default:
+		return fmt.Errorf("unknown topology %q", *topoName)
+	}
+	if err != nil {
+		return err
+	}
+
+	sys, err := edgehd.BuildHierarchy(topo, d.Partition, spec.Classes, edgehd.HierarchyConfig{
+		TotalDim:      *dim,
+		RetrainEpochs: *epochs,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	trainX, trainY := d.TrainX, d.TrainY
+	var onlineX [][]float64
+	var onlineY []int
+	if *online {
+		half := len(trainX) / 2
+		onlineX, onlineY = trainX[half:], trainY[half:]
+		trainX, trainY = trainX[:half], trainY[:half]
+	}
+
+	rep, err := sys.Train(trainX, trainY)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distributed training: %d bytes moved, comm finished at %.3gs, %d batch hypervectors\n",
+		rep.Bytes, rep.CommFinish, rep.BatchCount)
+
+	printLevels := func() {
+		for depth := topo.NumLevels() - 1; depth >= 0; depth-- {
+			label := fmt.Sprintf("depth %d", depth)
+			switch depth {
+			case 0:
+				label = "central"
+			case topo.NumLevels() - 1:
+				label = "end    "
+			}
+			fmt.Printf("  %s accuracy: %.1f%%\n", label, 100*sys.LevelAccuracy(depth, d.TestX, d.TestY))
+		}
+	}
+	fmt.Println("per-level accuracy:")
+	printLevels()
+
+	if *online {
+		fmt.Printf("streaming %d online samples with negative feedback...\n", len(onlineX))
+		for i, x := range onlineX {
+			res, err := sys.Infer(x, i%len(topo.EndNodes))
+			if err != nil {
+				return err
+			}
+			if res.Class != onlineY[i] {
+				if _, err := sys.NegativeFeedbackBroadcast(i%len(topo.EndNodes), x, res.Class); err != nil {
+					return err
+				}
+			}
+			if (i+1)%200 == 0 || i == len(onlineX)-1 {
+				orep, err := sys.PropagateResiduals()
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  propagated residuals after %d samples (%d bytes, %d feedback events)\n",
+					i+1, orep.Bytes, orep.FeedbackApplied)
+			}
+		}
+		fmt.Println("per-level accuracy after online learning:")
+		printLevels()
+	}
+
+	levels := map[int]int{}
+	correct := 0
+	for i, x := range d.TestX {
+		res, err := sys.Infer(x, i%len(topo.EndNodes))
+		if err != nil {
+			return err
+		}
+		levels[res.Level]++
+		if res.Class == d.TestY[i] {
+			correct++
+		}
+	}
+	fmt.Printf("confidence-routed inference: %.1f%% accuracy\n", 100*float64(correct)/float64(len(d.TestX)))
+	for level := 1; level <= topo.NumLevels(); level++ {
+		if n := levels[level]; n > 0 {
+			fmt.Printf("  level %d answered %.1f%% of queries\n", level, 100*float64(n)/float64(len(d.TestX)))
+		}
+	}
+	return nil
+}
+
+func mediumByName(name string) (edgehd.Medium, error) {
+	for _, m := range edgehd.Mediums() {
+		if strings.EqualFold(m.Name, name) {
+			return m, nil
+		}
+	}
+	return edgehd.Medium{}, fmt.Errorf("unknown medium %q (use -listmediums)", name)
+}

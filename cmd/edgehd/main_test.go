@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"edgehd"
+)
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "NOPE"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunUnknownTopology(t *testing.T) {
+	err := run([]string{"-dataset", "PDP", "-topology", "ring", "-train", "20", "-test", "10", "-dim", "200", "-epochs", "1"})
+	if err == nil || !strings.Contains(err.Error(), "unknown topology") {
+		t.Fatalf("expected unknown-topology error, got %v", err)
+	}
+}
+
+func TestRunUnknownMedium(t *testing.T) {
+	err := run([]string{"-dataset", "PDP", "-medium", "smoke-signals", "-train", "20", "-test", "10", "-dim", "200", "-epochs", "1"})
+	if err == nil || !strings.Contains(err.Error(), "unknown medium") {
+		t.Fatalf("expected unknown-medium error, got %v", err)
+	}
+}
+
+func TestRunListMediums(t *testing.T) {
+	if err := run([]string{"-listmediums"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHierarchical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a real hierarchy")
+	}
+	if err := run([]string{"-dataset", "PDP", "-train", "120", "-test", "60", "-dim", "800", "-epochs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCentralized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a real classifier")
+	}
+	if err := run([]string{"-dataset", "APRI", "-train", "100", "-test", "50", "-dim", "500", "-epochs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMediumByName(t *testing.T) {
+	m, err := mediumByName("wifi-802.11AC") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != edgehd.WiFiAC().Name {
+		t.Fatalf("got %q", m.Name)
+	}
+}

@@ -1,0 +1,165 @@
+// Command fedlearn runs a live federated EdgeHD round over TCP on
+// localhost: N worker goroutines train HD models on disjoint shards of
+// a benchmark dataset and push them — as wire-encoded hypervector
+// frames — to an aggregator listening on a real socket, which merges
+// them by bundling and broadcasts the global model back.
+//
+// Usage:
+//
+//	fedlearn [-dataset APRI] [-workers 4] [-dim 4000] [-train 600]
+//	         [-test 250] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"edgehd/internal/cluster"
+	"edgehd/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedlearn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fedlearn", flag.ContinueOnError)
+	name := fs.String("dataset", "APRI", "benchmark dataset")
+	workers := fs.Int("workers", 4, "number of federated workers")
+	dim := fs.Int("dim", 4000, "hypervector dimensionality")
+	train := fs.Int("train", 600, "total training samples (split across workers)")
+	test := fs.Int("test", 250, "test samples")
+	seed := fs.Uint64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("need at least one worker")
+	}
+
+	spec, err := dataset.ByName(strings.ToUpper(*name))
+	if err != nil {
+		return err
+	}
+	d := spec.Generate(*seed, dataset.Options{MaxTrain: *train, MaxTest: *test})
+	cfg := cluster.Config{
+		Features:    spec.Features,
+		Classes:     spec.Classes,
+		Dim:         *dim,
+		EncoderSeed: *seed + 1,
+	}
+
+	// Shard the training data round-robin.
+	shards := make([]cluster.Shard, *workers)
+	for i, row := range d.TrainX {
+		s := i % *workers
+		shards[s].X = append(shards[s].X, row)
+		shards[s].Y = append(shards[s].Y, d.TrainY[i])
+	}
+
+	evaluate := func(w *cluster.Worker) float64 {
+		correct := 0
+		for i, x := range d.TestX {
+			if w.Classifier().Predict(x) == d.TestY[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(d.TestX))
+	}
+
+	// Aggregator on a real TCP socket.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close() //nolint:errcheck // process exit closes it anyway
+	fmt.Printf("aggregator listening on %s\n", ln.Addr())
+	agg := cluster.NewAggregator(*dim, spec.Classes)
+	release := make(chan struct{})
+	merged := make(chan error, *workers)
+	var serveWG sync.WaitGroup
+	serveErrs := make(chan error, *workers)
+	serveWG.Add(1)
+	go func() {
+		defer serveWG.Done()
+		for i := 0; i < *workers; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				serveErrs <- err
+				return
+			}
+			serveWG.Add(1)
+			go func(c net.Conn) {
+				defer serveWG.Done()
+				defer c.Close() //nolint:errcheck // per-connection cleanup
+				if err := agg.ServeOne(c, merged, release); err != nil {
+					serveErrs <- err
+				}
+			}(conn)
+		}
+	}()
+	go func() {
+		for i := 0; i < *workers; i++ {
+			<-merged
+		}
+		close(release)
+	}()
+
+	// Workers: train locally, report local accuracy, push, pull.
+	var workerWG sync.WaitGroup
+	workerErrs := make(chan error, *workers)
+	var mu sync.Mutex
+	for i := range shards {
+		workerWG.Add(1)
+		go func(id int, shard cluster.Shard) {
+			defer workerWG.Done()
+			w, err := cluster.NewWorker(cfg)
+			if err != nil {
+				workerErrs <- err
+				return
+			}
+			if err := w.Train(shard.X, shard.Y); err != nil {
+				workerErrs <- err
+				return
+			}
+			local := evaluate(w)
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				workerErrs <- err
+				return
+			}
+			defer conn.Close() //nolint:errcheck // per-connection cleanup
+			if err := w.Push(conn); err != nil {
+				workerErrs <- err
+				return
+			}
+			if err := w.Pull(conn); err != nil {
+				workerErrs <- err
+				return
+			}
+			global := evaluate(w)
+			mu.Lock()
+			fmt.Printf("worker %d: %3d samples, local accuracy %.1f%% → global %.1f%%\n",
+				id, len(shard.X), 100*local, 100*global)
+			mu.Unlock()
+		}(i, shards[i])
+	}
+	workerWG.Wait()
+	serveWG.Wait()
+	select {
+	case err := <-workerErrs:
+		return err
+	case err := <-serveErrs:
+		return err
+	default:
+	}
+	fmt.Printf("aggregator merged %d models\n", agg.Received())
+	return nil
+}

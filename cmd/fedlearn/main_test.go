@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-dataset", "NOPE"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-workers", "0"}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunFederatedRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens TCP sockets and trains models")
+	}
+	if err := run([]string{"-dataset", "APRI", "-workers", "3", "-dim", "500", "-train", "120", "-test", "60"}); err != nil {
+		t.Fatal(err)
+	}
+}

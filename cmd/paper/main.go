@@ -1,0 +1,167 @@
+// Command paper regenerates every table and figure of the EdgeHD
+// evaluation (§VI): Fig 7, Table II, Fig 8–13, and the parameter
+// ablations. Results print as plain-text tables with the paper's
+// reference values attached as notes.
+//
+// Usage:
+//
+//	paper [-exp all|fig7|table2|fig8|fig9|fig10|fig11|fig12|fig13|ablations]
+//	      [-train N] [-test N] [-dim D] [-epochs E] [-seed S] [-full]
+//
+// -full selects paper-scale parameters (more samples, D = 4000, 20
+// retraining epochs); the default is a fast profile that reproduces
+// every qualitative shape in a couple of minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edgehd/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paper", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: all, fig7, table2, fig8, fig9, fig10, fig11, fig12, fig13, ablations")
+	train := fs.Int("train", 0, "max training samples per dataset (0 = profile default)")
+	test := fs.Int("test", 0, "max test samples per dataset (0 = profile default)")
+	dim := fs.Int("dim", 0, "hypervector dimensionality D (0 = profile default)")
+	epochs := fs.Int("epochs", 0, "retraining epochs (0 = profile default)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	full := fs.Bool("full", false, "paper-scale profile (slower)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{MaxTrain: 600, MaxTest: 250, Dim: 4000, RetrainEpochs: 10, Seed: *seed}
+	if *full {
+		opts = experiments.Options{MaxTrain: 2000, MaxTest: 600, Dim: 4000, RetrainEpochs: 20, Seed: *seed}
+	}
+	if *train > 0 {
+		opts.MaxTrain = *train
+	}
+	if *test > 0 {
+		opts.MaxTest = *test
+	}
+	if *dim > 0 {
+		opts.Dim = *dim
+	}
+	if *epochs > 0 {
+		opts.RetrainEpochs = *epochs
+	}
+
+	type job struct {
+		name string
+		run  func(experiments.Options) ([]*experiments.Table, error)
+	}
+	jobs := []job{
+		{"fig7", func(o experiments.Options) ([]*experiments.Table, error) {
+			r, err := experiments.Fig7(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"table2", func(o experiments.Options) ([]*experiments.Table, error) {
+			r, err := experiments.Table2(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"fig8", func(o experiments.Options) ([]*experiments.Table, error) {
+			r, err := experiments.Fig8(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		}},
+		{"fig9", func(o experiments.Options) ([]*experiments.Table, error) {
+			a, err := experiments.Fig9a(o)
+			if err != nil {
+				return nil, err
+			}
+			b, err := experiments.Fig9b(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{a.Table(), b.Table()}, nil
+		}},
+		{"fig10", func(o experiments.Options) ([]*experiments.Table, error) {
+			r, err := experiments.Fig10(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		}},
+		{"fig11", func(o experiments.Options) ([]*experiments.Table, error) {
+			r, err := experiments.Fig11(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"fig12", func(o experiments.Options) ([]*experiments.Table, error) {
+			r, err := experiments.Fig12(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"fig13", func(o experiments.Options) ([]*experiments.Table, error) {
+			r, err := experiments.Fig13(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"ablations", func(o experiments.Options) ([]*experiments.Table, error) {
+			var out []*experiments.Table
+			for _, fn := range []func(experiments.Options) (*experiments.Table, error){
+				experiments.AblationBatchSize,
+				experiments.AblationCompression,
+				experiments.AblationDimension,
+				experiments.AblationThreshold,
+				experiments.AblationSparsity,
+				experiments.AblationFanIn,
+			} {
+				t, err := fn(o)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+			}
+			return out, nil
+		}},
+	}
+
+	matched := false
+	for _, j := range jobs {
+		if *exp != "all" && *exp != j.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		tables, err := j.run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("[%s completed in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"-exp", "fig99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("expected unknown-experiment error, got %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	// table2 is the cheapest full experiment; tiny sizes keep it fast.
+	if err := run([]string{"-exp", "table2", "-train", "120", "-test", "60", "-dim", "800", "-epochs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Onlinefeedback: a close-up of the §IV-D residual machinery on a
+// server cluster (PDP power-demand prediction). Shows how negative
+// feedback accumulates in residual hypervectors, what one propagation
+// costs on a slow link, and how repeated rejections move a prediction.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"edgehd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "onlinefeedback:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec, err := edgehd.DatasetByName("PDP")
+	if err != nil {
+		return err
+	}
+	d := spec.Generate(21, edgehd.DatasetOptions{MaxTrain: 500, MaxTest: 200})
+
+	// Five servers report to two rack gateways over Bluetooth (a
+	// deliberately slow medium to make transfer costs visible).
+	topo, err := edgehd.Tree(spec.EndNodes, 2, edgehd.Bluetooth4())
+	if err != nil {
+		return err
+	}
+	sys, err := edgehd.BuildHierarchy(topo, d.Partition, spec.Classes, edgehd.HierarchyConfig{
+		TotalDim:      2000,
+		RetrainEpochs: 8,
+		Seed:          4,
+	})
+	if err != nil {
+		return err
+	}
+	half := len(d.TrainX) / 2
+	if _, err := sys.Train(d.TrainX[:half], d.TrainY[:half]); err != nil {
+		return err
+	}
+	before := sys.LevelAccuracy(0, d.TestX, d.TestY)
+	fmt.Printf("offline central accuracy: %.1f%%\n", 100*before)
+
+	// Stream the online half. Users only tell us when we're wrong.
+	online, onlineY := d.TrainX[half:], d.TrainY[half:]
+	rejected, applied := 0, 0
+	for i, x := range online {
+		res, err := sys.Infer(x, i%spec.EndNodes)
+		if err != nil {
+			return err
+		}
+		if res.Class != onlineY[i] {
+			n, err := sys.NegativeFeedbackBroadcast(i%spec.EndNodes, x, res.Class)
+			if err != nil {
+				return err
+			}
+			rejected++
+			applied += n
+		}
+	}
+	fmt.Printf("online stream: %d/%d predictions rejected; feedback recorded at %d device-residuals\n",
+		rejected, len(online), applied)
+
+	// One propagation sweep: every device subtracts its residuals and
+	// ships them to its parent. On Bluetooth this is the entire
+	// communication cost of the whole online phase.
+	rep, err := sys.PropagateResiduals()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("propagation: %d bytes, finished in %.3gs over Bluetooth, %.3g J radio energy\n",
+		rep.Bytes, rep.CommFinish, rep.CommEnergyJ)
+	after := sys.LevelAccuracy(0, d.TestX, d.TestY)
+	fmt.Printf("central accuracy after update: %.1f%% (%+.1f%%)\n", 100*after, 100*(after-before))
+
+	// Residual semantics in miniature: repeated rejection of one
+	// prediction eventually flips it.
+	x := d.TestX[0]
+	pred := sys.PredictAt(topo.Central, x)
+	fmt.Printf("\nsample 0 predicted as class %d; user rejects it 40 times...\n", pred)
+	for i := 0; i < 40; i++ {
+		if err := sys.NegativeFeedback(topo.Central, x, pred); err != nil {
+			return err
+		}
+	}
+	if _, err := sys.PropagateResiduals(); err != nil {
+		return err
+	}
+	fmt.Printf("prediction after feedback: class %d\n", sys.PredictAt(topo.Central, x))
+	return nil
+}

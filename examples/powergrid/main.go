@@ -1,0 +1,92 @@
+// Powergrid: the PECAN city-scale scenario of §VI-C — 312 instrumented
+// appliances, grouped into houses (12 appliances), streets (6–7
+// houses) and one city node, predicting urban power-consumption levels.
+// Demonstrates dimension allocation across a deep hierarchy and online
+// model updates propagated "every midnight".
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"edgehd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "powergrid:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec, err := edgehd.DatasetByName("PECAN")
+	if err != nil {
+		return err
+	}
+	d := spec.Generate(5, edgehd.DatasetOptions{MaxTrain: 700, MaxTest: 250})
+
+	// The city tree: appliances → houses → streets → city.
+	topo, err := edgehd.GroupedSizes(spec.EndNodes, []int{12, 7}, edgehd.WiFiN())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("city hierarchy: %d appliances, %d levels, central node %q\n",
+		len(topo.EndNodes), topo.NumLevels(), topo.Net.Name(topo.Central))
+	for depth, nodes := range topo.Levels {
+		fmt.Printf("  depth %d: %d nodes\n", depth, len(nodes))
+	}
+
+	sys, err := edgehd.BuildHierarchy(topo, d.Partition, spec.Classes, edgehd.HierarchyConfig{
+		TotalDim:      4000,
+		RetrainEpochs: 8,
+		Seed:          9,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Train offline on half the data (historic smart-meter records).
+	half := len(d.TrainX) / 2
+	if _, err := sys.Train(d.TrainX[:half], d.TrainY[:half]); err != nil {
+		return err
+	}
+	maxDepth := topo.NumLevels() - 1
+	show := func(tag string) {
+		fmt.Printf("%s  house %.1f%% | street %.1f%% | city %.1f%%\n", tag,
+			100*sys.LevelAccuracy(maxDepth-1, d.TestX, d.TestY),
+			100*sys.LevelAccuracy(1, d.TestX, d.TestY),
+			100*sys.LevelAccuracy(0, d.TestX, d.TestY))
+	}
+	show("offline model:        ")
+
+	// The second half arrives live; residents reject wrong predictions
+	// (negative feedback only), and every "midnight" the residual
+	// hypervectors propagate up the tree.
+	online := d.TrainX[half:]
+	onlineY := d.TrainY[half:]
+	const nights = 4
+	for night := 0; night < nights; night++ {
+		lo, hi := night*len(online)/nights, (night+1)*len(online)/nights
+		feedback := 0
+		for i := lo; i < hi; i++ {
+			res, err := sys.Infer(online[i], i%len(topo.EndNodes))
+			if err != nil {
+				return err
+			}
+			if res.Class != onlineY[i] {
+				if _, err := sys.NegativeFeedbackBroadcast(i%len(topo.EndNodes), online[i], res.Class); err != nil {
+					return err
+				}
+				feedback++
+			}
+		}
+		rep, err := sys.PropagateResiduals()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("night %d: %d rejections, residuals propagated in %d bytes\n", night+1, feedback, rep.Bytes)
+	}
+	show("after online updates: ")
+	return nil
+}

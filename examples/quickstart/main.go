@@ -1,0 +1,86 @@
+// Quickstart: centralized EdgeHD classification on a synthetic sensor
+// problem using the public API — encode, train, retrain, predict, and
+// inspect prediction confidence.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"edgehd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		numFeatures = 16
+		numClasses  = 3
+		perClass    = 80
+	)
+	// Three synthetic "activities", each a Gaussian cluster in sensor
+	// space (accelerometer-style features).
+	rng := rand.New(rand.NewSource(7))
+	centers := make([][]float64, numClasses)
+	for c := range centers {
+		centers[c] = make([]float64, numFeatures)
+		for i := range centers[c] {
+			centers[c][i] = rng.NormFloat64() * 2
+		}
+	}
+	sample := func(c int) []float64 {
+		x := make([]float64, numFeatures)
+		for i := range x {
+			x[i] = centers[c][i] + 0.5*rng.NormFloat64()
+		}
+		return x
+	}
+	var trainX [][]float64
+	var trainY []int
+	for c := 0; c < numClasses; c++ {
+		for s := 0; s < perClass; s++ {
+			trainX = append(trainX, sample(c))
+			trainY = append(trainY, c)
+		}
+	}
+
+	// A classifier with hypervector dimension 2000. The encoder maps
+	// each 16-feature reading into a ±1 hypervector; training bundles
+	// hypervectors per class and then retrains iteratively.
+	clf := edgehd.NewClassifier(numFeatures, numClasses,
+		edgehd.WithDimension(2000), edgehd.WithSeed(1))
+	stats, err := clf.Fit(trainX, trainY, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %d retraining epochs (errors per epoch: %v)\n", stats.Epochs, stats.Errors)
+
+	// Evaluate on fresh samples.
+	correct := 0
+	const tests = 150
+	for i := 0; i < tests; i++ {
+		c := i % numClasses
+		if clf.Predict(sample(c)) == c {
+			correct++
+		}
+	}
+	fmt.Printf("accuracy on %d fresh samples: %.1f%%\n", tests, 100*float64(correct)/tests)
+
+	// Confidence tells you whether to trust a prediction — the signal
+	// the hierarchical router uses to decide where inference runs.
+	class, conf := clf.PredictConfidence(sample(1))
+	fmt.Printf("clean sample      → class %d, confidence %.2f\n", class, conf)
+	noise := make([]float64, numFeatures)
+	for i := range noise {
+		noise[i] = rng.NormFloat64() * 5
+	}
+	class, conf = clf.PredictConfidence(noise)
+	fmt.Printf("random nonsense   → class %d, confidence %.2f (low: escalate or reject)\n", class, conf)
+	return nil
+}

@@ -1,0 +1,97 @@
+// Robustness: the §VI-F failure-injection scenario — the PECAN city
+// hierarchy with lossy links. Compares the holographic hierarchical
+// encoding against plain concatenation as per-link burst loss rises:
+// in a deep tree every hypervector crosses several links, and the
+// re-projection at each level is what keeps repeated packet loss from
+// compounding.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"edgehd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robustness:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec, err := edgehd.DatasetByName("PECAN")
+	if err != nil {
+		return err
+	}
+	d := spec.Generate(31, edgehd.DatasetOptions{MaxTrain: 400, MaxTest: 120})
+
+	build := func(holographic bool) (*edgehd.System, *edgehd.Topology, error) {
+		topo, err := edgehd.GroupedSizes(spec.EndNodes, []int{12, 7}, edgehd.WiFiN())
+		if err != nil {
+			return nil, nil, err
+		}
+		sys, err := edgehd.BuildHierarchy(topo, d.Partition, spec.Classes, edgehd.HierarchyConfig{
+			TotalDim:      4000,
+			RetrainEpochs: 6,
+			Seed:          6,
+			Holographic:   edgehd.Holographic(holographic),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+			return nil, nil, err
+		}
+		return sys, topo, nil
+	}
+
+	holo, holoTopo, err := build(true)
+	if err != nil {
+		return err
+	}
+	concat, concatTopo, err := build(false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("central dimensionality: holographic %d, concatenation %d\n",
+		holo.NodeDim(holoTopo.Central), concat.NodeDim(concatTopo.Central))
+
+	measure := func(sys *edgehd.System, topo *edgehd.Topology, rate float64, seed uint64) (float64, error) {
+		for id := 0; id < topo.Net.NumNodes(); id++ {
+			if topo.Net.Parent(edgehd.NodeID(id)) != edgehd.InvalidNode {
+				if err := topo.Net.SetLossRate(edgehd.NodeID(id), rate); err != nil {
+					return 0, err
+				}
+			}
+		}
+		r := edgehd.NewRandom(seed)
+		correct := 0
+		for i, x := range d.TestX {
+			if sys.PredictAtCorrupted(topo.Central, x, r) == d.TestY[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(d.TestX)), nil
+	}
+
+	fmt.Println("loss/link   holographic   concatenation")
+	for _, rate := range []float64{0, 0.1, 0.3, 0.5, 0.7} {
+		accH, err := measure(holo, holoTopo, rate, 100+uint64(rate*10))
+		if err != nil {
+			return err
+		}
+		accC, err := measure(concat, concatTopo, rate, 200+uint64(rate*10))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   %4.1f%%       %5.1f%%         %5.1f%%\n", 100*rate, 100*accH, 100*accC)
+	}
+	fmt.Println("\nthe holographic projection spreads every sensor over all dimensions, so")
+	fmt.Println("losses shave a little off everything; concatenation keeps exact coordinates")
+	fmt.Println("(note its larger central dimensionality) and can tolerate low loss rates,")
+	fmt.Println("but pays full price in memory, bandwidth and compute at every upper node —")
+	fmt.Println("see cmd/paper -exp fig12 for the robustness comparison across all datasets")
+	return nil
+}

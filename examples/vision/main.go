@@ -1,0 +1,115 @@
+// Vision: the §III-A 2D image encoder on a synthetic glyph-recognition
+// task. Fractional-power position hypervectors (B_x^X ⊙ B_y^Y) give
+// nearby pixels correlated IDs, so the encoding preserves spatial
+// structure: translated glyphs stay similar in hyperspace, which plain
+// per-pixel random IDs cannot do.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"edgehd/internal/core"
+	"edgehd/internal/encoding"
+)
+
+const (
+	side    = 16 // image side length
+	classes = 4
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vision:", err)
+		os.Exit(1)
+	}
+}
+
+// glyph renders one of four shapes (bar, box, cross, diagonal) at an
+// offset, with pixel noise.
+func glyph(class int, dx, dy int, noise float64, rng *rand.Rand) []float64 {
+	img := make([]float64, side*side)
+	set := func(x, y int) {
+		x += dx
+		y += dy
+		if x >= 0 && x < side && y >= 0 && y < side {
+			img[y*side+x] = 1
+		}
+	}
+	switch class {
+	case 0: // horizontal bar
+		for x := 3; x < 13; x++ {
+			set(x, 7)
+			set(x, 8)
+		}
+	case 1: // box outline
+		for i := 4; i < 12; i++ {
+			set(i, 4)
+			set(i, 11)
+			set(4, i)
+			set(11, i)
+		}
+	case 2: // cross
+		for i := 3; i < 13; i++ {
+			set(i, 8)
+			set(8, i)
+		}
+	case 3: // diagonal
+		for i := 2; i < 14; i++ {
+			set(i, i)
+			set(i, i-1)
+		}
+	}
+	for i := range img {
+		if rng.Float64() < noise {
+			img[i] = 1 - img[i]
+		}
+	}
+	return img
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(3))
+	enc := encoding.NewImage2D(side, side, 4000, 11, 2)
+	model := core.NewModel(enc.Dim(), classes)
+
+	// Train on glyphs jittered by up to ±2 pixels; generalization to
+	// larger unseen shifts decays with the position kernel, by design.
+	var samples []core.Sample
+	for c := 0; c < classes; c++ {
+		for s := 0; s < 60; s++ {
+			img := glyph(c, rng.Intn(5)-2, rng.Intn(5)-2, 0.02, rng)
+			hv := enc.Encode(img)
+			model.Add(c, hv)
+			samples = append(samples, core.Sample{HV: hv, Label: c})
+		}
+	}
+	stats := model.Retrain(samples, 10)
+	fmt.Printf("trained on %d jittered glyphs (%d retraining epochs)\n", len(samples), stats.Epochs)
+
+	// Evaluate on fresh jitters, including shifts never seen in training.
+	names := []string{"bar", "box", "cross", "diagonal"}
+	for _, shift := range []int{0, 1, 3} {
+		correct, total := 0, 0
+		for c := 0; c < classes; c++ {
+			for s := 0; s < 25; s++ {
+				img := glyph(c, shift, shift, 0.02, rng)
+				if model.Predict(enc.Encode(img)) == c {
+					correct++
+				}
+				total++
+			}
+		}
+		fmt.Printf("shift (%d,%d): accuracy %.1f%%\n", shift, shift, 100*float64(correct)/float64(total))
+	}
+
+	// Show the spatial kernel: position IDs decorrelate smoothly with
+	// distance (the Gaussian kernel of §III-A).
+	fmt.Println("\nposition-ID similarity vs pixel distance (length scale 2):")
+	for _, d := range []int{0, 1, 2, 4, 8} {
+		fmt.Printf("  Δ=%d px → %.3f\n", d, enc.PositionSimilarity(4, 8, 4+d, 8))
+	}
+	_ = names
+	return nil
+}

@@ -1,0 +1,3 @@
+module edgehd
+
+go 1.22

@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"edgehd/internal/core"
+	"edgehd/internal/encoding"
+)
+
+// HDLinear is the prior HD classifier the paper compares against in
+// Fig 7 ("a state-of-the-art HD-based classifier published in [36],
+// which uses a linear encoding method"): the same bundling/retraining
+// machinery as EdgeHD but with the ID-level linear encoder, which maps
+// feature values through quantized level hypervectors and therefore
+// cannot capture non-linear feature interactions.
+type HDLinear struct {
+	clf    *core.Classifier
+	epochs int
+}
+
+var _ Learner = (*HDLinear)(nil)
+
+// HDLinearConfig holds the hyperparameters; zero values select defaults
+// matching the paper's baseline setup.
+type HDLinearConfig struct {
+	// Dim is the hypervector dimensionality. Default 4000.
+	Dim int
+	// Levels of value quantization. Default 16.
+	Levels int
+	// Epochs of retraining. Default 20 (the paper's count).
+	Epochs int
+	// Seed for the encoder bases.
+	Seed uint64
+}
+
+// NewHDLinear constructs the baseline HD classifier for in features and
+// out classes.
+func NewHDLinear(in, out int, cfg HDLinearConfig) *HDLinear {
+	if cfg.Dim == 0 {
+		cfg.Dim = 4000
+	}
+	enc := encoding.NewLinear(in, cfg.Dim, cfg.Seed, encoding.LinearConfig{Levels: cfg.Levels})
+	epochs := cfg.Epochs
+	if epochs == 0 {
+		epochs = core.DefaultRetrainEpochs
+	}
+	return &HDLinear{clf: core.NewClassifier(enc, out), epochs: epochs}
+}
+
+// Name implements Learner.
+func (h *HDLinear) Name() string { return "BaselineHD" }
+
+// Fit implements Learner.
+func (h *HDLinear) Fit(x [][]float64, y []int) error {
+	_, err := h.clf.Fit(x, y, h.epochs)
+	return err
+}
+
+// Predict implements Learner.
+func (h *HDLinear) Predict(x []float64) int { return h.clf.Predict(x) }

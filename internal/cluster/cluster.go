@@ -1,0 +1,274 @@
+// Package cluster is a live, message-passing execution of EdgeHD's
+// federated aggregation: worker devices train HD models on local data
+// shards and push them — as wire-encoded hypervector messages over real
+// connections (in-process pipes or TCP) — to an aggregator that merges
+// them by bundling and broadcasts the global model back (§II's
+// "models, not data" aggregation in its homogeneous-feature form).
+//
+// Where internal/hierarchy simulates the full heterogeneous tree with
+// modelled communication, this package actually moves bytes between
+// concurrent goroutines, demonstrating that the aggregation algebra
+// (Model.Merge) is exactly a sum of wire-transferable accumulators: the
+// federated result is bit-identical to training one model on the union
+// of the shards.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"edgehd/internal/core"
+	"edgehd/internal/encoding"
+	"edgehd/internal/hdc"
+	"edgehd/internal/wire"
+)
+
+// Config shapes a federated run. All workers share the encoder seed —
+// hypervector spaces must coincide for bundled models to be mergeable.
+type Config struct {
+	// Features n of the (homogeneous) feature space.
+	Features int
+	// Classes k.
+	Classes int
+	// Dim D of the hypervectors. Default 4000.
+	Dim int
+	// EncoderSeed shared by every worker.
+	EncoderSeed uint64
+	// Sparsity of the worker encoders. Default 0.8.
+	Sparsity float64
+	// LocalEpochs of retraining each worker performs before pushing.
+	// Default 0 (initial bundling only — retraining before merging
+	// breaks the merge-equals-joint-training identity).
+	LocalEpochs int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Features <= 0 || c.Classes < 2 {
+		return c, fmt.Errorf("cluster: invalid shape features=%d classes=%d", c.Features, c.Classes)
+	}
+	if c.Dim == 0 {
+		c.Dim = 4000
+	}
+	if c.Sparsity == 0 {
+		c.Sparsity = 0.8
+	}
+	return c, nil
+}
+
+// Worker is one federated device: an encoder plus a local model.
+type Worker struct {
+	cfg Config
+	clf *core.Classifier
+}
+
+// NewWorker constructs a worker for the shared configuration.
+func NewWorker(cfg Config) (*Worker, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	enc := encoding.NewSparse(cfg.Features, cfg.Dim, cfg.EncoderSeed, encoding.SparseConfig{Sparsity: cfg.Sparsity})
+	return &Worker{cfg: cfg, clf: core.NewClassifier(enc, cfg.Classes)}, nil
+}
+
+// Train fits the worker's local model on its shard. With LocalEpochs
+// zero only the initial bundling runs, keeping the merge exactly linear
+// (merged model ≡ jointly trained model); with retraining the merge is
+// the paper's approximate aggregation.
+func (w *Worker) Train(x [][]float64, y []int) error {
+	if w.cfg.LocalEpochs == 0 {
+		samples, err := w.clf.EncodeAll(x, y)
+		if err != nil {
+			return err
+		}
+		for _, s := range samples {
+			w.clf.Model().Add(s.Label, s.HV)
+		}
+		return nil
+	}
+	_, err := w.clf.Fit(x, y, w.cfg.LocalEpochs)
+	return err
+}
+
+// Model exposes the worker's current model.
+func (w *Worker) Model() *core.Model { return w.clf.Model() }
+
+// Classifier exposes the worker's classifier (for evaluation).
+func (w *Worker) Classifier() *core.Classifier { return w.clf }
+
+// Push writes the worker's model to the connection as a MsgModel frame.
+func (w *Worker) Push(conn io.Writer) error {
+	m := w.clf.Model()
+	accs := make([]hdc.Acc, m.Classes())
+	for c := range accs {
+		accs[c] = m.Class(c)
+	}
+	return wire.Write(conn, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Model: accs})
+}
+
+// Pull reads a global model frame and installs it locally.
+func (w *Worker) Pull(conn io.Reader) error {
+	msg, err := wire.Read(conn)
+	if err != nil {
+		return err
+	}
+	if msg.Header.Type != wire.MsgModel {
+		return fmt.Errorf("cluster: expected model frame, got type %d", msg.Header.Type)
+	}
+	return installModel(w.clf.Model(), msg.Model)
+}
+
+func installModel(m *core.Model, accs []hdc.Acc) error {
+	if len(accs) != m.Classes() {
+		return fmt.Errorf("cluster: model has %d classes, frame carries %d", m.Classes(), len(accs))
+	}
+	for c, a := range accs {
+		if err := m.SetClass(c, a); err != nil {
+			return fmt.Errorf("cluster: installing class %d: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// Aggregator merges worker models.
+type Aggregator struct {
+	dim, classes int
+	mu           sync.Mutex
+	global       *core.Model
+	received     int
+}
+
+// NewAggregator returns an empty aggregator for the given model shape.
+func NewAggregator(dim, classes int) *Aggregator {
+	return &Aggregator{dim: dim, classes: classes, global: core.NewModel(dim, classes)}
+}
+
+// Global returns the merged model (shared; callers must not mutate
+// concurrently with Serve).
+func (a *Aggregator) Global() *core.Model { return a.global }
+
+// Received reports how many worker models have been merged.
+func (a *Aggregator) Received() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.received
+}
+
+// ServeOne handles one worker connection: read its model frame, merge
+// it, report the merge outcome on merged, and — after release is closed
+// (all workers have reported) — send the global model back.
+func (a *Aggregator) ServeOne(conn io.ReadWriter, merged chan<- error, release <-chan struct{}) error {
+	err := a.readAndMerge(conn)
+	merged <- err
+	if err != nil {
+		return err
+	}
+	<-release
+	accs := make([]hdc.Acc, a.classes)
+	for c := range accs {
+		accs[c] = a.global.Class(c)
+	}
+	return wire.Write(conn, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Model: accs})
+}
+
+func (a *Aggregator) readAndMerge(conn io.Reader) error {
+	msg, err := wire.Read(conn)
+	if err != nil {
+		return fmt.Errorf("cluster: aggregator read: %w", err)
+	}
+	if msg.Header.Type != wire.MsgModel {
+		return fmt.Errorf("cluster: aggregator expected model frame, got type %d", msg.Header.Type)
+	}
+	partial := core.NewModel(a.dim, a.classes)
+	if err := installModel(partial, msg.Model); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.global.Merge(partial); err != nil {
+		return fmt.Errorf("cluster: merge: %w", err)
+	}
+	a.received++
+	return nil
+}
+
+// Shard is one worker's local training data.
+type Shard struct {
+	X [][]float64
+	Y []int
+}
+
+// Federated runs a complete round over in-process pipe connections: one
+// goroutine per worker trains on its shard and pushes its model; the
+// aggregator merges all models and broadcasts the global one back.
+// It returns the workers (each now holding the global model) and the
+// aggregator's merged model.
+func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(shards) == 0 {
+		return nil, nil, fmt.Errorf("cluster: no shards")
+	}
+	workers := make([]*Worker, len(shards))
+	for i := range workers {
+		w, err := NewWorker(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		workers[i] = w
+	}
+	agg := NewAggregator(cfg.Dim, cfg.Classes)
+	release := make(chan struct{})
+	merged := make(chan error, len(shards))
+	errs := make(chan error, 2*len(shards))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		workerEnd, aggEnd := net.Pipe()
+		wg.Add(2)
+		go func(w *Worker, shard Shard, conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close() //nolint:errcheck // in-process pipe
+			if err := w.Train(shard.X, shard.Y); err != nil {
+				errs <- err
+				return
+			}
+			if err := w.Push(conn); err != nil {
+				errs <- err
+				return
+			}
+			if err := w.Pull(conn); err != nil {
+				errs <- err
+			}
+		}(w, shards[i], workerEnd)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close() //nolint:errcheck // in-process pipe
+			if err := agg.ServeOne(conn, merged, release); err != nil {
+				errs <- err
+			}
+		}(aggEnd)
+	}
+	// Release the broadcast once every connection has reported a merge
+	// outcome (success or failure), so nobody blocks forever.
+	var mergeErr error
+	for i := 0; i < len(shards); i++ {
+		if err := <-merged; err != nil && mergeErr == nil {
+			mergeErr = err
+		}
+	}
+	close(release)
+	wg.Wait()
+	if mergeErr != nil {
+		return nil, nil, mergeErr
+	}
+	select {
+	case err := <-errs:
+		return nil, nil, err
+	default:
+	}
+	return workers, agg.Global(), nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"edgehd/internal/encoding"
+	"edgehd/internal/hdc"
+)
+
+// Classifier couples an encoder with a Model: the end-node and
+// centralized learning pipeline of Fig 2 (encode → train → retrain →
+// associative search).
+type Classifier struct {
+	enc   encoding.Encoder
+	model *Model
+}
+
+// NewClassifier builds an untrained classifier over enc with k classes.
+func NewClassifier(enc encoding.Encoder, k int) *Classifier {
+	return &Classifier{enc: enc, model: NewModel(enc.Dim(), k)}
+}
+
+// Model exposes the underlying model (shared, not a copy) so the
+// hierarchy can transfer and aggregate it.
+func (c *Classifier) Model() *Model { return c.model }
+
+// Encoder returns the classifier's encoder.
+func (c *Classifier) Encoder() encoding.Encoder { return c.enc }
+
+// EncodeAll encodes a feature matrix into training samples. It returns
+// an error when labels and rows disagree or a label is out of range.
+func (c *Classifier) EncodeAll(features [][]float64, labels []int) ([]Sample, error) {
+	if len(features) != len(labels) {
+		return nil, fmt.Errorf("core: %d feature rows but %d labels", len(features), len(labels))
+	}
+	samples := make([]Sample, len(features))
+	for i, f := range features {
+		if labels[i] < 0 || labels[i] >= c.model.classes {
+			return nil, fmt.Errorf("core: label %d out of range [0,%d)", labels[i], c.model.classes)
+		}
+		samples[i] = Sample{HV: c.enc.Encode(f), Label: labels[i]}
+	}
+	return samples, nil
+}
+
+// Fit runs the full §III-B training pipeline: encode every row, bundle
+// the initial class hypervectors, then retrain for epochs iterations
+// (0 = the paper's default of 20). It returns the retraining statistics.
+func (c *Classifier) Fit(features [][]float64, labels []int, epochs int) (RetrainStats, error) {
+	samples, err := c.EncodeAll(features, labels)
+	if err != nil {
+		return RetrainStats{}, err
+	}
+	for _, s := range samples {
+		c.model.Add(s.Label, s.HV)
+	}
+	return c.model.Retrain(samples, epochs), nil
+}
+
+// Predict classifies one feature vector.
+func (c *Classifier) Predict(features []float64) int {
+	return c.model.Predict(c.enc.Encode(features))
+}
+
+// PredictConfidence classifies one feature vector and reports the
+// confidence level used by the §IV-C inference router.
+func (c *Classifier) PredictConfidence(features []float64) (class int, conf float64) {
+	return c.model.Confidence(c.enc.Encode(features))
+}
+
+// Encode exposes the encoder so callers can ship query hypervectors up
+// the hierarchy.
+func (c *Classifier) Encode(features []float64) hdc.Bipolar {
+	return c.enc.Encode(features)
+}
+
+// Evaluate returns classification accuracy over a labelled test set.
+func (c *Classifier) Evaluate(features [][]float64, labels []int) (float64, error) {
+	if len(features) != len(labels) {
+		return 0, fmt.Errorf("core: %d feature rows but %d labels", len(features), len(labels))
+	}
+	if len(features) == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for i, f := range features {
+		if c.Predict(f) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(features)), nil
+}

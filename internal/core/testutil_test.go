@@ -1,0 +1,9 @@
+package core
+
+import "edgehd/internal/encoding"
+
+// newTestEncoder builds the default non-linear encoder with a wider
+// length scale so that moderately noisy test blobs stay separable.
+func newTestEncoder(n, d int, seed uint64) encoding.Encoder {
+	return encoding.NewNonlinear(n, d, seed, encoding.NonlinearConfig{LengthScale: 2})
+}

@@ -1,0 +1,38 @@
+// Package encoding implements the hyperdimensional encoders of the paper:
+// the universal non-linear RBF-kernel encoder of §III-A (the paper's
+// accuracy contribution over prior linear HD classifiers), its sparse
+// variant matching the FPGA BRAM layout of §V-A, the raw random-Fourier-
+// feature map of eq. (2) used to validate the kernel approximation, the
+// baseline linear ID-level encoder of [36] that Fig 7 compares against,
+// and the 2D fractional-power image encoder.
+package encoding
+
+import (
+	"fmt"
+
+	"edgehd/internal/hdc"
+)
+
+// Encoder maps an original-space feature vector to a bipolar hypervector.
+// Encoders are deterministic after construction: the random bases are
+// drawn once from the construction seed and then fixed, exactly as the
+// paper prescribes ("once they are randomly generated, we keep them fixed
+// during the later learning and inference").
+type Encoder interface {
+	// Encode maps a feature vector of length NumFeatures to a bipolar
+	// hypervector of dimension Dim.
+	Encode(features []float64) hdc.Bipolar
+	// Dim returns the hypervector dimensionality D.
+	Dim() int
+	// NumFeatures returns the expected input feature count n.
+	NumFeatures() int
+}
+
+// checkFeatures panics when the input length does not match the encoder;
+// encoders are wired to fixed-width sensors, so a mismatch is a
+// programming error, not a runtime condition.
+func checkFeatures(got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("encoding: got %d features, encoder expects %d", got, want))
+	}
+}

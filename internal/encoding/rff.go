@@ -1,0 +1,87 @@
+package encoding
+
+import (
+	"math"
+
+	"edgehd/internal/rng"
+)
+
+// RFF is the raw random-Fourier-feature map of eq. (2),
+//
+//	H_D(F) = sqrt(2/D) · cos(B·F + b),
+//
+// which approximates the shift-invariant RBF kernel through inner
+// products (eq. 1): H_D(x)ᵀH_D(y) → exp(−‖x−y‖²/(2ℓ²)) as D → ∞.
+// EdgeHD binarizes a variant of this map for classification; the raw map
+// is kept for the kernel-approximation property tests and as the feature
+// map of the RBF-SVM baseline.
+type RFF struct {
+	n, d        int
+	lengthScale float64
+	bases       [][]float64
+	biases      []float64
+}
+
+// NewRFF constructs the feature map for n inputs and d output features.
+// lengthScale ℓ sets the kernel bandwidth; pass 0 for the default of √n
+// (see NonlinearConfig.LengthScale).
+func NewRFF(n, d int, seed uint64, lengthScale float64) *RFF {
+	if n <= 0 || d <= 0 {
+		panic("encoding: non-positive encoder size")
+	}
+	if lengthScale == 0 {
+		lengthScale = math.Sqrt(float64(n))
+	}
+	r := rng.New(seed)
+	e := &RFF{
+		n:           n,
+		d:           d,
+		lengthScale: lengthScale,
+		bases:       make([][]float64, d),
+		biases:      make([]float64, d),
+	}
+	inv := 1 / lengthScale
+	for i := 0; i < d; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = r.Norm() * inv
+		}
+		e.bases[i] = row
+		e.biases[i] = r.Uniform(0, 2*math.Pi)
+	}
+	return e
+}
+
+// Dim returns the output feature count D.
+func (e *RFF) Dim() int { return e.d }
+
+// NumFeatures returns the input feature count n.
+func (e *RFF) NumFeatures() int { return e.n }
+
+// Map computes H_D(F).
+func (e *RFF) Map(features []float64) []float64 {
+	checkFeatures(len(features), e.n)
+	out := make([]float64, e.d)
+	scale := math.Sqrt(2 / float64(e.d))
+	for i := 0; i < e.d; i++ {
+		var dot float64
+		for j, w := range e.bases[i] {
+			dot += w * features[j]
+		}
+		out[i] = scale * math.Cos(dot+e.biases[i])
+	}
+	return out
+}
+
+// Kernel returns the exact RBF kernel value exp(−‖x−y‖²/(2ℓ²)) that the
+// map approximates, for validation.
+func (e *RFF) Kernel(x, y []float64) float64 {
+	checkFeatures(len(x), e.n)
+	checkFeatures(len(y), e.n)
+	var d2 float64
+	for i := range x {
+		diff := x[i] - y[i]
+		d2 += diff * diff
+	}
+	return math.Exp(-d2 / (2 * e.lengthScale * e.lengthScale))
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgehd/internal/core"
+	"edgehd/internal/dataset"
+	"edgehd/internal/encoding"
+	"edgehd/internal/hdc"
+	"edgehd/internal/hierarchy"
+	"edgehd/internal/rng"
+)
+
+// AblationBatchSize sweeps the §IV-B batch size B on one dataset,
+// reporting central accuracy and training communication — the
+// batch-size/accuracy trade-off the paper calls out.
+func AblationBatchSize(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		return nil, err
+	}
+	d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
+	t := &Table{
+		Title:  "Ablation — batch size B (PDP): accuracy vs training communication (§IV-B trade-off)",
+		Header: []string{"B", "CentralAccuracy", "TrainBytes", "Batches"},
+	}
+	for _, b := range []int{1, 10, 25, 75, 150} {
+		topo, err := hierarchyTopology(spec, netsimWired())
+		if err != nil {
+			return nil, err
+		}
+		sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{
+			TotalDim: opts.Dim, RetrainEpochs: opts.RetrainEpochs, Seed: opts.Seed + 7, BatchSize: b,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.Train(d.TrainX, d.TrainY)
+		if err != nil {
+			return nil, err
+		}
+		acc := sys.LevelAccuracy(0, d.TestX, d.TestY)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", b), pct(acc), fmt.Sprintf("%d", rep.Bytes), fmt.Sprintf("%d", rep.BatchCount),
+		})
+	}
+	t.Notes = append(t.Notes, "smaller B → more batch hypervectors → more communication, potentially higher accuracy")
+	return t, nil
+}
+
+// AblationCompression sweeps the §IV-C compression rate m, reporting
+// the recovered-query similarity and the per-query wire cost.
+func AblationCompression(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		Title:  "Ablation — compression rate m: recovered similarity vs per-query transfer (eq. 3-4)",
+		Header: []string{"m", "MeanRecoveredCosine", "BytesPerQuery", "RawBytesPerQuery"},
+	}
+	r := rng.New(opts.Seed)
+	const dim = 4000
+	for _, m := range []int{1, 5, 10, 25, 50, 100} {
+		queries := make([]hdc.Bipolar, m)
+		for i := range queries {
+			queries[i] = hdc.RandomBipolar(dim, r)
+		}
+		sum, pos := hierarchy.Compress(queries, r)
+		total := 0.0
+		for i, q := range queries {
+			total += q.Cosine(hierarchy.Decompress(sum, pos, i))
+		}
+		perQuery := hierarchy.CompressedWireBytes(dim, m) / m
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", m), fmt.Sprintf("%.3f", total/float64(m)),
+			fmt.Sprintf("%d", perQuery), fmt.Sprintf("%d", hdc.NewBipolar(dim).WireBytes()),
+		})
+	}
+	t.Notes = append(t.Notes, "compressing more hypervectors increases the noise term of eq. 4")
+	return t, nil
+}
+
+// AblationDimension sweeps the hypervector dimensionality D on the
+// centralized classifier.
+func AblationDimension(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	spec, err := dataset.ByName("APRI")
+	if err != nil {
+		return nil, err
+	}
+	d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
+	t := &Table{
+		Title:  "Ablation — dimensionality D (APRI, centralized)",
+		Header: []string{"D", "Accuracy"},
+	}
+	for _, dim := range []int{250, 500, 1000, 2000, 4000, 8000} {
+		enc := encoding.NewSparse(spec.Features, dim, opts.Seed+5, encoding.SparseConfig{Sparsity: 0.8})
+		clf := core.NewClassifier(enc, spec.Classes)
+		if _, err := clf.Fit(d.TrainX, d.TrainY, opts.RetrainEpochs); err != nil {
+			return nil, err
+		}
+		acc, err := clf.Evaluate(d.TestX, d.TestY)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", dim), pct(acc)})
+	}
+	return t, nil
+}
+
+// AblationThreshold sweeps the confidence threshold, reporting routed
+// accuracy and the share answered at the central node.
+func AblationThreshold(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		return nil, err
+	}
+	d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
+	t := &Table{
+		Title:  "Ablation — confidence threshold (PDP): routed accuracy vs central-node load (§IV-C)",
+		Header: []string{"Threshold", "RoutedAccuracy", "CentralShare", "Level1Share"},
+	}
+	for _, thr := range []float64{0.5, 0.65, 0.75, 0.85, 0.95} {
+		topo, err := hierarchyTopology(spec, netsimWired())
+		if err != nil {
+			return nil, err
+		}
+		sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{
+			TotalDim: opts.Dim, RetrainEpochs: opts.RetrainEpochs, Seed: opts.Seed + 7,
+			ConfidenceThreshold: thr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+			return nil, err
+		}
+		correct, central, level1 := 0, 0, 0
+		for i, x := range d.TestX {
+			res, err := sys.Infer(x, i%len(topo.EndNodes))
+			if err != nil {
+				return nil, err
+			}
+			if res.Class == d.TestY[i] {
+				correct++
+			}
+			if res.Node == topo.Central {
+				central++
+			}
+			if res.Level == 1 {
+				level1++
+			}
+		}
+		n := float64(len(d.TestX))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", thr), pct(float64(correct) / n), pct(float64(central) / n), pct(float64(level1) / n),
+		})
+	}
+	t.Notes = append(t.Notes, "higher thresholds push more queries up the hierarchy: better accuracy, more communication")
+	return t, nil
+}
+
+// AblationFanIn sweeps the hierarchical projection's fan-in (how many
+// concatenated-input components feed each output dimension) — the key
+// free parameter of the Fig 4b holographic encoder.
+func AblationFanIn(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		return nil, err
+	}
+	d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
+	t := &Table{
+		Title:  "Ablation — hierarchical projection fan-in (PDP): central accuracy vs aggregation ops",
+		Header: []string{"FanIn", "CentralAccuracy", "ProjOpsPerQuery"},
+	}
+	for _, fanIn := range []int{8, 16, 32, 64, 128, 256} {
+		topo, err := hierarchyTopology(spec, netsimWired())
+		if err != nil {
+			return nil, err
+		}
+		sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{
+			TotalDim: opts.Dim, RetrainEpochs: opts.RetrainEpochs, Seed: opts.Seed + 7,
+			ProjectionFanIn: fanIn,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+			return nil, err
+		}
+		_, ops := sys.QueryWork(topo.Central)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", fanIn),
+			pct(sys.LevelAccuracy(0, d.TestX, d.TestY)),
+			fmt.Sprintf("%d", ops),
+		})
+	}
+	t.Notes = append(t.Notes, "larger fan-in mixes more inputs per output dimension at linearly higher aggregation cost")
+	return t, nil
+}
+
+// AblationSparsity sweeps the encoder sparsity s of §V-A.
+func AblationSparsity(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	spec, err := dataset.ByName("PAMAP2")
+	if err != nil {
+		return nil, err
+	}
+	d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
+	t := &Table{
+		Title:  "Ablation — encoder sparsity s (PAMAP2, centralized): accuracy vs encoding MACs (§V-A)",
+		Header: []string{"Sparsity", "Accuracy", "MACsPerEncode"},
+	}
+	for _, s := range []float64{0.001, 0.5, 0.8, 0.9, 0.95} {
+		enc := encoding.NewSparse(spec.Features, opts.Dim, opts.Seed+5, encoding.SparseConfig{Sparsity: s})
+		clf := core.NewClassifier(enc, spec.Classes)
+		if _, err := clf.Fit(d.TrainX, d.TrainY, opts.RetrainEpochs); err != nil {
+			return nil, err
+		}
+		acc, err := clf.Evaluate(d.TestX, d.TestY)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.3f", s), pct(acc), fmt.Sprintf("%d", enc.MACsPerEncode()),
+		})
+	}
+	return t, nil
+}

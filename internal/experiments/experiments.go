@@ -1,0 +1,118 @@
+// Package experiments contains one orchestrator per table and figure of
+// the paper's evaluation (§VI): Fig 7 (accuracy comparison), Table II
+// (hierarchy-level accuracy), Fig 8 (PECAN online learning), Fig 9
+// (online training steps), Fig 10 (training/inference efficiency),
+// Fig 11 (network-bandwidth impact), Fig 12 (failure robustness),
+// Fig 13 (hierarchy depth), plus the parameter ablations the design
+// calls out (batch size, compression rate, dimensionality, confidence
+// threshold, encoder sparsity).
+//
+// Every experiment is deterministic in Options.Seed and scales with
+// Options.MaxTrain/MaxTest so the same code serves fast CI checks and
+// paper-scale runs (cmd/paper -full).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options scales and seeds every experiment.
+type Options struct {
+	// MaxTrain and MaxTest cap the per-dataset sample counts.
+	// Defaults: 600 train, 250 test.
+	MaxTrain, MaxTest int
+	// Dim is the central hypervector dimensionality D. Default 4000.
+	Dim int
+	// RetrainEpochs per node. Default 10 (the paper's 20 roughly halves
+	// throughput for <0.5% accuracy on the synthetic analogs).
+	RetrainEpochs int
+	// Seed drives dataset generation and all random structure.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTrain == 0 {
+		o.MaxTrain = 600
+	}
+	if o.MaxTest == 0 {
+		o.MaxTest = 250
+	}
+	if o.Dim == 0 {
+		o.Dim = 4000
+	}
+	if o.RetrainEpochs == 0 {
+		o.RetrainEpochs = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry per-table commentary (e.g. the paper's reference
+	// values) rendered under the table.
+	Notes []string
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// ratio formats a speedup/efficiency factor.
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// sci formats a quantity in engineering notation.
+func sci(v float64, unit string) string { return fmt.Sprintf("%.3g %s", v, unit) }

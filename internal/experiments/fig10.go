@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgehd/internal/dataset"
+	"edgehd/internal/device"
+	"edgehd/internal/hierarchy"
+	"edgehd/internal/netsim"
+)
+
+// Fig10Config identifies one evaluated configuration of Fig 10.
+type Fig10Config struct {
+	Name     string // DNN-GPU, HD-GPU, HD-FPGA, EdgeHD
+	Topology string // STAR or TREE
+}
+
+// Fig10Entry is the measured cost of one configuration on one dataset.
+type Fig10Entry struct {
+	Config  Fig10Config
+	Dataset string
+	Train   Cost
+	Infer   Cost
+}
+
+// Fig10Result holds the execution-time/energy comparison of Fig 10
+// across the four hierarchy datasets, the four configurations, and the
+// STAR and TREE topologies, at 1 Gbps (the paper's "ideal network").
+type Fig10Result struct {
+	Entries []Fig10Entry
+}
+
+// Fig10 runs the efficiency comparison.
+func Fig10(opts Options) (*Fig10Result, error) {
+	opts = opts.withDefaults()
+	res := &Fig10Result{}
+	for _, spec := range dataset.HierarchySpecs() {
+		d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
+		for _, topoName := range []string{"STAR", "TREE"} {
+			topo, err := fig10Topology(spec, topoName)
+			if err != nil {
+				return nil, err
+			}
+			// Centralized configurations.
+			dnnTrain, dnnInfer, err := centralizedDNNCost(topo, d, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Entries = append(res.Entries, Fig10Entry{Fig10Config{"DNN-GPU", topoName}, spec.Name, dnnTrain, dnnInfer})
+			gpuTrain, gpuInfer, err := centralizedHDCost(topo, d, opts, device.GPU())
+			if err != nil {
+				return nil, err
+			}
+			res.Entries = append(res.Entries, Fig10Entry{Fig10Config{"HD-GPU", topoName}, spec.Name, gpuTrain, gpuInfer})
+			fpgaTrain, fpgaInfer, err := centralizedHDCost(topo, d, opts, device.FPGA())
+			if err != nil {
+				return nil, err
+			}
+			res.Entries = append(res.Entries, Fig10Entry{Fig10Config{"HD-FPGA", topoName}, spec.Name, fpgaTrain, fpgaInfer})
+			// EdgeHD hierarchical.
+			topo2, err := fig10Topology(spec, topoName)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := hierarchy.BuildForDataset(topo2, d, hierarchy.Config{
+				TotalDim:      opts.Dim,
+				RetrainEpochs: opts.RetrainEpochs,
+				Seed:          opts.Seed + 7,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sys.ResetWork()
+			rep, err := sys.Train(d.TrainX, d.TrainY)
+			if err != nil {
+				return nil, err
+			}
+			train := edgeHDTrainCost(sys, rep)
+			probe := d.TestX
+			if len(probe) > 100 {
+				probe = probe[:100]
+			}
+			infer, err := edgeHDInferCost(sys, probe, -1)
+			if err != nil {
+				return nil, err
+			}
+			res.Entries = append(res.Entries, Fig10Entry{Fig10Config{"EdgeHD", topoName}, spec.Name, train, infer})
+		}
+	}
+	return res, nil
+}
+
+// fig10Topology builds the STAR or TREE network for a dataset at 1 Gbps.
+func fig10Topology(spec dataset.Spec, name string) (*netsim.Topology, error) {
+	if name == "STAR" {
+		return netsim.Star(spec.EndNodes, netsim.Wired1G())
+	}
+	return hierarchyTopology(spec, netsim.Wired1G())
+}
+
+// mean aggregates the entries of one configuration across datasets.
+func (r *Fig10Result) mean(cfg Fig10Config) (train, infer Cost) {
+	count := 0.0
+	for _, e := range r.Entries {
+		if e.Config == cfg {
+			train.add(e.Train)
+			infer.add(e.Infer)
+			count++
+		}
+	}
+	if count > 0 {
+		train = train.scale(1 / count)
+		infer = infer.scale(1 / count)
+	}
+	return train, infer
+}
+
+// Speedups reports EdgeHD's improvement factors over a reference
+// configuration on the TREE topology, averaged over datasets — the
+// headline numbers of §VI-D.
+func (r *Fig10Result) Speedups(reference string) (trainSpeed, trainEnergy, inferSpeed, inferEnergy float64) {
+	refTrain, refInfer := r.mean(Fig10Config{reference, "TREE"})
+	edgeTrain, edgeInfer := r.mean(Fig10Config{"EdgeHD", "TREE"})
+	return refTrain.TotalSecs() / edgeTrain.TotalSecs(),
+		refTrain.TotalJ() / edgeTrain.TotalJ(),
+		refInfer.TotalSecs() / edgeInfer.TotalSecs(),
+		refInfer.TotalJ() / edgeInfer.TotalJ()
+}
+
+// CommReduction reports EdgeHD's byte reduction vs the centralized
+// configurations (identical for all of them) on TREE: the paper's 85%
+// (training) and 78% (inference).
+func (r *Fig10Result) CommReduction() (train, infer float64) {
+	refTrain, refInfer := r.mean(Fig10Config{"HD-FPGA", "TREE"})
+	edgeTrain, edgeInfer := r.mean(Fig10Config{"EdgeHD", "TREE"})
+	return 1 - float64(edgeTrain.Bytes)/float64(refTrain.Bytes),
+		1 - float64(edgeInfer.Bytes)/float64(refInfer.Bytes)
+}
+
+// Tables renders the Fig 10 layout: one table per phase with costs
+// normalized to DNN-GPU on TREE, plus the headline ratios.
+func (r *Fig10Result) Tables() []*Table {
+	configs := []string{"DNN-GPU", "HD-GPU", "HD-FPGA", "EdgeHD"}
+	topos := []string{"STAR", "TREE"}
+	normTrain, normInfer := r.mean(Fig10Config{"DNN-GPU", "TREE"})
+
+	train := &Table{
+		Title:  "Fig 10a — Training execution time and energy (normalized to DNN-GPU/TREE; mean of hierarchy datasets)",
+		Header: []string{"Config", "Topology", "Time", "Energy", "TimeNorm", "EnergyNorm", "CommBytes"},
+	}
+	infer := &Table{
+		Title:  "Fig 10b — Inference execution time and energy per query (normalized to DNN-GPU/TREE)",
+		Header: []string{"Config", "Topology", "Time", "Energy", "TimeNorm", "EnergyNorm", "CommBytes"},
+	}
+	for _, cfg := range configs {
+		for _, topoName := range topos {
+			tc, ic := r.mean(Fig10Config{cfg, topoName})
+			train.Rows = append(train.Rows, []string{
+				cfg, topoName, sci(tc.TotalSecs(), "s"), sci(tc.TotalJ(), "J"),
+				ratio(tc.TotalSecs() / normTrain.TotalSecs()), ratio(tc.TotalJ() / normTrain.TotalJ()),
+				fmt.Sprintf("%d", tc.Bytes),
+			})
+			infer.Rows = append(infer.Rows, []string{
+				cfg, topoName, sci(ic.TotalSecs(), "s"), sci(ic.TotalJ(), "J"),
+				ratio(ic.TotalSecs() / normInfer.TotalSecs()), ratio(ic.TotalJ() / normInfer.TotalJ()),
+				fmt.Sprintf("%d", ic.Bytes),
+			})
+		}
+	}
+	ts, te, is, ie := r.Speedups("HD-GPU")
+	train.Notes = append(train.Notes, fmt.Sprintf(
+		"EdgeHD vs HD-GPU: %.1fx speedup, %.1fx energy (paper: 3.4x / 11.7x train)", ts, te))
+	infer.Notes = append(infer.Notes, fmt.Sprintf(
+		"EdgeHD vs HD-GPU: %.1fx speedup, %.1fx energy (paper: 1.9x / 7.8x inference)", is, ie))
+	ctrain, cinfer := r.CommReduction()
+	train.Notes = append(train.Notes, fmt.Sprintf(
+		"communication reduction vs centralized: %.0f%% train (paper: 85%%)", 100*ctrain))
+	infer.Notes = append(infer.Notes, fmt.Sprintf(
+		"communication reduction vs centralized: %.0f%% inference (paper: 78%%)", 100*cinfer))
+	return []*Table{train, infer}
+}

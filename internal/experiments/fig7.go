@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgehd/internal/baseline"
+	"edgehd/internal/core"
+	"edgehd/internal/dataset"
+	"edgehd/internal/encoding"
+)
+
+// Fig7Result holds the classification-accuracy comparison of Fig 7:
+// DNN, (RBF-)SVM, AdaBoost, the prior linear-encoding HD classifier
+// [36], and EdgeHD's non-linear sparse encoder, all centralized.
+type Fig7Result struct {
+	Datasets []string
+	// Accuracy[learner][datasetIndex].
+	Accuracy map[string][]float64
+	// Learners in display order.
+	Learners []string
+}
+
+// Fig7 runs the accuracy comparison over all nine Table I datasets.
+func Fig7(opts Options) (*Fig7Result, error) {
+	opts = opts.withDefaults()
+	res := &Fig7Result{
+		Learners: []string{"DNN", "SVM", "AdaBoost", "BaselineHD", "EdgeHD"},
+		Accuracy: map[string][]float64{},
+	}
+	for _, spec := range dataset.Specs() {
+		d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
+		res.Datasets = append(res.Datasets, spec.Name)
+		learners := []baseline.Learner{
+			baseline.NewMLP(spec.Features, spec.Classes, baseline.MLPConfig{Hidden: []int{128}, Epochs: 25, Seed: opts.Seed + 1}),
+			baseline.NewRBFSVM(spec.Features, spec.Classes, 2000, 0, baseline.SVMConfig{Seed: opts.Seed + 2, Epochs: 20}),
+			baseline.NewAdaBoost(spec.Features, spec.Classes, baseline.AdaBoostConfig{Rounds: 40}),
+			baseline.NewHDLinear(spec.Features, spec.Classes, baseline.HDLinearConfig{Dim: opts.Dim, Epochs: opts.RetrainEpochs, Seed: opts.Seed + 3}),
+		}
+		for _, l := range learners {
+			if err := l.Fit(d.TrainX, d.TrainY); err != nil {
+				return nil, fmt.Errorf("fig7 %s/%s: %w", spec.Name, l.Name(), err)
+			}
+			acc, err := baseline.Evaluate(l, d.TestX, d.TestY)
+			if err != nil {
+				return nil, err
+			}
+			res.Accuracy[l.Name()] = append(res.Accuracy[l.Name()], acc)
+		}
+		// EdgeHD: sparse non-linear encoder at 80% sparsity (§VI-B).
+		enc := encoding.NewSparse(spec.Features, opts.Dim, opts.Seed+4, encoding.SparseConfig{Sparsity: 0.8})
+		clf := core.NewClassifier(enc, spec.Classes)
+		if _, err := clf.Fit(d.TrainX, d.TrainY, opts.RetrainEpochs); err != nil {
+			return nil, fmt.Errorf("fig7 %s/EdgeHD: %w", spec.Name, err)
+		}
+		acc, err := clf.Evaluate(d.TestX, d.TestY)
+		if err != nil {
+			return nil, err
+		}
+		res.Accuracy["EdgeHD"] = append(res.Accuracy["EdgeHD"], acc)
+	}
+	return res, nil
+}
+
+// Gap returns EdgeHD's mean accuracy advantage over the linear HD
+// baseline — the paper reports +4.7% on the real datasets.
+func (r *Fig7Result) Gap() float64 {
+	edge, base := r.Accuracy["EdgeHD"], r.Accuracy["BaselineHD"]
+	if len(edge) == 0 || len(edge) != len(base) {
+		return 0
+	}
+	sum := 0.0
+	for i := range edge {
+		sum += edge[i] - base[i]
+	}
+	return sum / float64(len(edge))
+}
+
+// Table renders the result in the layout of Fig 7.
+func (r *Fig7Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig 7 — Classification accuracy comparison (centralized)",
+		Header: append([]string{"Dataset"}, r.Learners...),
+	}
+	for i, name := range r.Datasets {
+		row := []string{name}
+		for _, l := range r.Learners {
+			row = append(row, pct(r.Accuracy[l][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("EdgeHD mean advantage over linear-encoding baseline HD: %+.1f%% (paper: +4.7%%)", 100*r.Gap()))
+	return t
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgehd/internal/dataset"
+	"edgehd/internal/hierarchy"
+)
+
+// Fig9aResult sweeps the propagation frequency on PAMAP2: the more
+// often residuals propagate during the online stream, the higher the
+// final accuracy, at extra communication cost (§VI-C).
+type Fig9aResult struct {
+	// Steps holds the evaluated propagation counts (paper: 1, 2, 4).
+	Steps []int
+	// FinalAccuracy[i][j]: accuracy at the central node after consuming
+	// Fractions[j] of the online stream with Steps[i] propagations.
+	FinalAccuracy [][]float64
+	// Fractions of online data consumed (0.5 and 1.0 in the paper).
+	Fractions []float64
+	// Offline is the central accuracy before any online learning.
+	Offline float64
+	// Bytes[i] is the residual-propagation communication of Steps[i]
+	// (zero when every feedback event lands at the central node, which
+	// applies its residuals locally).
+	Bytes []int64
+	// Events[i] counts the negative-feedback events of Steps[i].
+	Events []int
+}
+
+// Fig9a runs the PAMAP2 propagation-frequency sweep.
+func Fig9a(opts Options) (*Fig9aResult, error) {
+	opts = opts.withDefaults()
+	spec, err := dataset.ByName("PAMAP2")
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9aResult{Steps: []int{1, 2, 4}, Fractions: []float64{0.5, 1.0}}
+	for _, steps := range res.Steps {
+		run, err := onlineRun(spec, opts, steps, res.Fractions)
+		if err != nil {
+			return nil, err
+		}
+		res.FinalAccuracy = append(res.FinalAccuracy, run.accs)
+		res.Offline = run.offline
+		res.Bytes = append(res.Bytes, run.bytes)
+		res.Events = append(res.Events, run.events)
+	}
+	return res, nil
+}
+
+// Fig9bResult tracks central-node accuracy per online step for all four
+// hierarchy datasets with ten propagation steps.
+type Fig9bResult struct {
+	Datasets []string
+	// Accuracy[d][s] is the central accuracy of dataset d after step s
+	// (step 0 = offline model).
+	Accuracy [][]float64
+}
+
+// Fig9b runs the ten-step online-learning progression.
+func Fig9b(opts Options) (*Fig9bResult, error) {
+	opts = opts.withDefaults()
+	res := &Fig9bResult{}
+	const steps = 10
+	for _, spec := range dataset.HierarchySpecs() {
+		fractions := make([]float64, steps)
+		for i := range fractions {
+			fractions[i] = float64(i+1) / steps
+		}
+		run, err := onlineRun(spec, opts, steps, fractions)
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.Accuracy = append(res.Accuracy, append([]float64{run.offline}, run.accs...))
+	}
+	return res, nil
+}
+
+// onlineRunResult carries one online-learning run's outcomes.
+type onlineRunResult struct {
+	// accs is the central accuracy after each requested fraction.
+	accs []float64
+	// offline is the pre-feedback central accuracy.
+	offline float64
+	// bytes is the total residual-propagation communication.
+	bytes int64
+	// events counts negative-feedback events.
+	events int
+}
+
+// onlineRun trains offline on half the data, then streams the online
+// half with negative feedback, propagating residuals `steps` times.
+func onlineRun(spec dataset.Spec, opts Options, steps int, fractions []float64) (onlineRunResult, error) {
+	d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
+	topo, err := hierarchyTopology(spec, netsimWired())
+	if err != nil {
+		return onlineRunResult{}, err
+	}
+	sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{
+		TotalDim:      opts.Dim,
+		RetrainEpochs: opts.RetrainEpochs,
+		Seed:          opts.Seed + 7,
+	})
+	if err != nil {
+		return onlineRunResult{}, err
+	}
+	half := len(d.TrainX) / 2
+	if _, err := sys.Train(d.TrainX[:half], d.TrainY[:half]); err != nil {
+		return onlineRunResult{}, err
+	}
+	result := onlineRunResult{offline: sys.LevelAccuracy(0, d.TestX, d.TestY)}
+	online := d.TrainX[half:]
+	onlineY := d.TrainY[half:]
+	accs := make([]float64, len(fractions))
+	fi := 0
+	consumed := 0
+	for step := 0; step < steps; step++ {
+		lo := step * len(online) / steps
+		hi := (step + 1) * len(online) / steps
+		for i := lo; i < hi; i++ {
+			r, err := sys.Infer(online[i], i%len(topo.EndNodes))
+			if err != nil {
+				return onlineRunResult{}, err
+			}
+			if r.Class != onlineY[i] {
+				// Feedback lands at the node that answered (§IV-D); the
+				// broadcast variant spreads corrections faster at low
+				// levels but over-corrects well-trained upper models.
+				if err := sys.NegativeFeedback(r.Node, online[i], r.Class); err != nil {
+					return onlineRunResult{}, err
+				}
+				result.events++
+			}
+		}
+		consumed = hi
+		rep, err := sys.PropagateResiduals()
+		if err != nil {
+			return onlineRunResult{}, err
+		}
+		result.bytes += rep.Bytes
+		frac := float64(consumed) / float64(len(online))
+		for fi < len(fractions) && frac >= fractions[fi]-1e-9 {
+			accs[fi] = sys.LevelAccuracy(0, d.TestX, d.TestY)
+			fi++
+		}
+	}
+	for fi < len(fractions) {
+		accs[fi] = sys.LevelAccuracy(0, d.TestX, d.TestY)
+		fi++
+	}
+	result.accs = accs
+	return result, nil
+}
+
+// Table renders Fig 9a.
+func (r *Fig9aResult) Table() *Table {
+	t := &Table{
+		Title:  "Fig 9a — PAMAP2 online accuracy vs propagation frequency (central node)",
+		Header: []string{"Propagations", "Offline", "50% online", "100% online", "Feedback", "PropagationBytes"},
+	}
+	for i, steps := range r.Steps {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", steps), pct(r.Offline), pct(r.FinalAccuracy[i][0]), pct(r.FinalAccuracy[i][1]),
+			fmt.Sprintf("%d", r.Events[i]), fmt.Sprintf("%d", r.Bytes[i]),
+		})
+	}
+	t.Notes = append(t.Notes, "PropagationBytes is zero when all feedback lands at the central node (its residuals apply locally)")
+	t.Notes = append(t.Notes, "paper: with 4 steps, 50%/100% online improves accuracy by 4.3%/9.8% over offline; more frequent propagation → higher accuracy")
+	return t
+}
+
+// Table renders Fig 9b.
+func (r *Fig9bResult) Table() *Table {
+	t := &Table{
+		Title:  "Fig 9b — Central-node accuracy per online step (10 steps)",
+		Header: []string{"Dataset", "Offline", "Step2", "Step4", "Step6", "Step8", "Step10", "Gain"},
+	}
+	for i, name := range r.Datasets {
+		a := r.Accuracy[i]
+		t.Rows = append(t.Rows, []string{
+			name, pct(a[0]), pct(a[2]), pct(a[4]), pct(a[6]), pct(a[8]), pct(a[10]),
+			fmt.Sprintf("%+.1f%%", 100*(a[10]-a[0])),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: online training increases accuracy by 5.5% on average")
+	return t
+}

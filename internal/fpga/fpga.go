@@ -1,0 +1,258 @@
+// Package fpga is a cycle-level model of the EdgeHD hardware design of
+// §V (Fig 6): the pipelined FPGA implementation of encoding, training
+// and inference on a Kintex-7 KC705. It models the six blocks of the
+// figure — (A) BRAM weight storage with distributed-memory prefetch,
+// (B) DSP multiply array with a tree adder and cosine lookup, (C)
+// residual accumulators, (D) the retraining add/subtract path, (E) the
+// model-update write-back, and (F) the associative search's negation
+// block, tree adder and comparator — and derives per-operation cycle
+// counts, resource usage and power from a synthesis-style allocation.
+//
+// The model exists to ground internal/device's analytic FPGA profile:
+// its tests cross-check that the pipeline's derived throughput and
+// power land on the figures the paper reports (0.28 W per hierarchical
+// node, ≈9.8 W centralized at D = 4000).
+package fpga
+
+import (
+	"fmt"
+	"math"
+)
+
+// Board describes the FPGA part's resource capacity. KC705 carries a
+// Kintex-7 XC7K325T.
+type Board struct {
+	Name string
+	// DSPSlices available for the encoding multiply array.
+	DSPSlices int
+	// BRAMKb of on-chip block RAM in kilobits.
+	BRAMKb int
+	// LUTs available (cosine lookup, adders, comparator, control).
+	LUTs int
+	// ClockHz of the synthesized design.
+	ClockHz float64
+}
+
+// KC705 returns the evaluation board of §VI-A.
+func KC705() Board {
+	return Board{
+		Name:      "Kintex-7 KC705 (XC7K325T)",
+		DSPSlices: 840,
+		BRAMKb:    16_020, // 445 × 36 Kb
+		LUTs:      203_800,
+		ClockHz:   200e6,
+	}
+}
+
+// Config sizes one synthesized EdgeHD instance.
+type Config struct {
+	// Dim is the hypervector dimensionality processed by this node.
+	Dim int
+	// Features n of the raw input.
+	Features int
+	// Classes k of the model.
+	Classes int
+	// Sparsity s of the encoder (§V-A): each weight row stores
+	// (1−s)·n consecutive non-zero values plus a log2(n)-bit offset.
+	Sparsity float64
+	// Lanes is the number of hypervector dimensions processed in
+	// parallel (DSP groups). 0 derives the largest allocation that
+	// fits the board.
+	Lanes int
+}
+
+// Design is a synthesized instance with its resource allocation.
+type Design struct {
+	Board  Board
+	Config Config
+	// Lanes actually allocated.
+	Lanes int
+	// Window is the per-row non-zero weight count (1−s)·n.
+	Window int
+	// Resource usage.
+	UsedDSP, UsedLUTs int
+	UsedBRAMKb        int
+}
+
+// weightBits is the storage width of one encoder weight (fixed-point).
+const weightBits = 16
+
+// dspPerLane is the DSP cost of one encoding lane: one multiplier plus
+// a share of the tree adder.
+const dspPerLane = 2
+
+// lutPerLane covers the per-lane adder-tree slice, the cosine lookup
+// share and control.
+const lutPerLane = 180
+
+// lutFixed covers the comparator, negation block and global control.
+const lutFixed = 6_000
+
+// Synthesize allocates the design on a board, deriving the lane count
+// when unset, and fails when the configuration exceeds the part.
+func Synthesize(b Board, cfg Config) (*Design, error) {
+	if cfg.Dim <= 0 || cfg.Features <= 0 || cfg.Classes <= 0 {
+		return nil, fmt.Errorf("fpga: non-positive design size %+v", cfg)
+	}
+	if cfg.Sparsity < 0 || cfg.Sparsity >= 1 {
+		return nil, fmt.Errorf("fpga: sparsity %v out of [0,1)", cfg.Sparsity)
+	}
+	window := int(math.Round((1 - cfg.Sparsity) * float64(cfg.Features)))
+	if window < 1 {
+		window = 1
+	}
+	// Weight memory: Dim rows × window weights × 16 bits plus the
+	// per-row start offset, stored in BRAM (Fig 6A).
+	offsetBits := bitsFor(cfg.Features)
+	weightKb := (cfg.Dim*(window*weightBits+offsetBits) + 1023) / 1024
+	// Model storage: k class hypervectors plus k residual hypervectors
+	// at 32 bits per dimension (Fig 6C/E).
+	modelKb := (2*cfg.Classes*cfg.Dim*32 + 1023) / 1024
+
+	lanes := cfg.Lanes
+	if lanes == 0 {
+		lanes = b.DSPSlices / dspPerLane
+		if maxByLUT := (b.LUTs - lutFixed) / lutPerLane; lanes > maxByLUT {
+			lanes = maxByLUT
+		}
+		if lanes > cfg.Dim {
+			lanes = cfg.Dim
+		}
+		if lanes < 1 {
+			lanes = 1
+		}
+	}
+	d := &Design{
+		Board:      b,
+		Config:     cfg,
+		Lanes:      lanes,
+		Window:     window,
+		UsedDSP:    lanes * dspPerLane,
+		UsedLUTs:   lutFixed + lanes*lutPerLane,
+		UsedBRAMKb: weightKb + modelKb,
+	}
+	if d.UsedDSP > b.DSPSlices {
+		return nil, fmt.Errorf("fpga: %d DSP slices needed, %d available", d.UsedDSP, b.DSPSlices)
+	}
+	if d.UsedLUTs > b.LUTs {
+		return nil, fmt.Errorf("fpga: %d LUTs needed, %d available", d.UsedLUTs, b.LUTs)
+	}
+	if d.UsedBRAMKb > b.BRAMKb {
+		return nil, fmt.Errorf("fpga: %d Kb BRAM needed, %d available", d.UsedBRAMKb, b.BRAMKb)
+	}
+	return d, nil
+}
+
+func bitsFor(n int) int {
+	b := 1
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// EncodeCycles returns the cycle count of encoding one sample: each of
+// the Dim rows needs Window multiply-accumulates spread over the lanes
+// (Fig 6B), plus the tree-adder and cosine-LUT pipeline latency, which
+// is amortized in steady state.
+func (d *Design) EncodeCycles() int64 {
+	rowsPerPass := d.Lanes
+	passes := (d.Config.Dim + rowsPerPass - 1) / rowsPerPass
+	pipelineFill := int64(treeDepth(d.Window)) + 4 // adder tree + cos LUT + sign
+	return int64(passes)*int64(d.Window) + pipelineFill
+}
+
+// SearchCycles returns the cycle count of one associative search: the
+// negation block streams each class hypervector against the query at
+// Lanes dimensions per cycle, the tree adder folds them, and the
+// comparator keeps the running best (Fig 6F).
+func (d *Design) SearchCycles() int64 {
+	perClass := (d.Config.Dim + d.Lanes - 1) / d.Lanes
+	return int64(d.Config.Classes)*int64(perClass) + int64(treeDepth(d.Lanes)) + 2
+}
+
+// UpdateCycles returns the cycle count of folding one hypervector into
+// a residual accumulator (Fig 6C/D) — Lanes dimensions per cycle.
+func (d *Design) UpdateCycles() int64 {
+	return int64((d.Config.Dim + d.Lanes - 1) / d.Lanes)
+}
+
+// TrainSampleCycles is one retraining step: a search plus, on a miss,
+// two accumulator updates (add to the correct class, subtract from the
+// wrong one).
+func (d *Design) TrainSampleCycles(miss bool) int64 {
+	c := d.SearchCycles()
+	if miss {
+		c += 2 * d.UpdateCycles()
+	}
+	return c
+}
+
+func treeDepth(n int) int {
+	d := 0
+	for n > 1 {
+		n = (n + 1) / 2
+		d++
+	}
+	return d
+}
+
+// Seconds converts cycles to wall time at the design clock.
+func (d *Design) Seconds(cycles int64) float64 {
+	return float64(cycles) / d.Board.ClockHz
+}
+
+// Throughput metrics.
+
+// EncodesPerSecond is the steady-state encoding throughput.
+func (d *Design) EncodesPerSecond() float64 {
+	return 1 / d.Seconds(d.EncodeCycles())
+}
+
+// MACsPerSecond is the effective multiply-accumulate rate of the
+// encoding array.
+func (d *Design) MACsPerSecond() float64 {
+	macs := float64(d.Config.Dim) * float64(d.Window)
+	return macs / d.Seconds(d.EncodeCycles())
+}
+
+// Power model: static draw plus per-resource dynamic power at full
+// activity. Constants are fitted so the §VI-D anchor points hold: a
+// centralized D=4000 design draws ≈9.8 W, a 75-dimension hierarchical
+// node ≈0.28 W. The dynamic power is dominated by BRAM activity — the
+// design streams wide weight and model words every cycle, while each
+// DSP lane toggles a single 16-bit multiplier.
+const (
+	staticWatts  = 0.10
+	wattsPerDSP  = 1.0e-5
+	wattsPerLane = 3.0e-5
+	wattsPerKb   = 2.05e-3
+)
+
+// ActiveLanes returns how many lanes a workload of the given
+// dimensionality actually toggles (small nodes light up few lanes).
+func (d *Design) ActiveLanes(dims int) int {
+	if dims > d.Lanes {
+		return d.Lanes
+	}
+	if dims < 1 {
+		return 1
+	}
+	return dims
+}
+
+// Power returns the draw in watts while processing hypervectors of the
+// given dimensionality.
+func (d *Design) Power(dims int) float64 {
+	active := d.ActiveLanes(dims)
+	memKb := float64(d.UsedBRAMKb) * float64(dims) / float64(d.Config.Dim)
+	return staticWatts +
+		float64(active)*(wattsPerDSP*dspPerLane+wattsPerLane) +
+		memKb*wattsPerKb
+}
+
+// EnergyPerEncode returns the joules of one encoding at full design
+// dimensionality.
+func (d *Design) EnergyPerEncode() float64 {
+	return d.Power(d.Config.Dim) * d.Seconds(d.EncodeCycles())
+}

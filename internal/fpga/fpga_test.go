@@ -1,0 +1,173 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgehd/internal/device"
+)
+
+// pecanCentral is the centralized reference design: all 312 PECAN
+// features at D = 4000, 80% sparsity, 3 classes.
+func pecanCentral(t *testing.T) *Design {
+	t.Helper()
+	d, err := Synthesize(KC705(), Config{Dim: 4000, Features: 312, Classes: 3, Sparsity: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSynthesizeFitsKC705(t *testing.T) {
+	d := pecanCentral(t)
+	if d.UsedDSP > d.Board.DSPSlices || d.UsedLUTs > d.Board.LUTs || d.UsedBRAMKb > d.Board.BRAMKb {
+		t.Fatalf("design does not fit: %+v", d)
+	}
+	if d.Lanes <= 0 {
+		t.Fatal("no lanes allocated")
+	}
+	if d.Window != 62 { // (1−0.8)·312 ≈ 62
+		t.Fatalf("window = %d, want 62", d.Window)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(KC705(), Config{Dim: 0, Features: 1, Classes: 1}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := Synthesize(KC705(), Config{Dim: 10, Features: 10, Classes: 2, Sparsity: 1.5}); err == nil {
+		t.Fatal("invalid sparsity accepted")
+	}
+	// A model too large for BRAM must be rejected.
+	if _, err := Synthesize(KC705(), Config{Dim: 2_000_000, Features: 64, Classes: 10, Sparsity: 0.8}); err == nil {
+		t.Fatal("oversized design accepted")
+	}
+}
+
+func TestPowerAnchorsMatchPaper(t *testing.T) {
+	d := pecanCentral(t)
+	// §VI-D: centralized FPGA ≈ 9.8 W at full dimensionality.
+	if p := d.Power(4000); math.Abs(p-9.8) > 0.8 {
+		t.Fatalf("centralized power = %v W, want ≈ 9.8", p)
+	}
+	// A hierarchical node processing ~75 dimensions ≈ 0.28 W.
+	if p := d.Power(75); math.Abs(p-0.28) > 0.05 {
+		t.Fatalf("node power = %v W, want ≈ 0.28", p)
+	}
+}
+
+func TestPowerMonotoneInDims(t *testing.T) {
+	d := pecanCentral(t)
+	prev := 0.0
+	for _, dims := range []int{1, 32, 75, 400, 1000, 4000} {
+		p := d.Power(dims)
+		if p <= prev {
+			t.Fatalf("power not monotone at %d dims: %v ≤ %v", dims, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestCycleCountsScale(t *testing.T) {
+	small, err := Synthesize(KC705(), Config{Dim: 500, Features: 64, Classes: 2, Sparsity: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Synthesize(KC705(), Config{Dim: 4000, Features: 64, Classes: 2, Sparsity: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.EncodeCycles() <= small.EncodeCycles() {
+		t.Fatal("encode cycles not increasing with dimensionality")
+	}
+	if big.SearchCycles() <= small.SearchCycles() {
+		t.Fatal("search cycles not increasing with dimensionality")
+	}
+}
+
+func TestSparsitySpeedsEncoding(t *testing.T) {
+	dense, err := Synthesize(KC705(), Config{Dim: 2000, Features: 312, Classes: 3, Sparsity: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := Synthesize(KC705(), Config{Dim: 2000, Features: 312, Classes: 3, Sparsity: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dense.EncodeCycles()) / float64(sparse.EncodeCycles())
+	if ratio < 3 {
+		t.Fatalf("80%% sparsity should cut encode cycles ≈5x, got %.1fx", ratio)
+	}
+}
+
+func TestTrainSampleCycles(t *testing.T) {
+	d := pecanCentral(t)
+	hit := d.TrainSampleCycles(false)
+	miss := d.TrainSampleCycles(true)
+	if hit != d.SearchCycles() {
+		t.Fatalf("hit cycles %d != search cycles %d", hit, d.SearchCycles())
+	}
+	if miss != hit+2*d.UpdateCycles() {
+		t.Fatalf("miss cycles %d, want search + 2 updates", miss)
+	}
+}
+
+func TestThroughputConsistentWithDeviceProfile(t *testing.T) {
+	// The analytic device.FPGA() profile and the cycle-level pipeline
+	// must agree on MAC throughput within an order of magnitude —
+	// otherwise the Fig 10/11/13 cost model contradicts the §V design.
+	d := pecanCentral(t)
+	pipeline := d.MACsPerSecond()
+	analytic := device.FPGA().MACRate
+	ratio := pipeline / analytic
+	if ratio < 0.1 || ratio > 10 {
+		t.Fatalf("pipeline %.3g MAC/s vs analytic %.3g MAC/s: ratio %.2f out of band", pipeline, analytic, ratio)
+	}
+}
+
+func TestExplicitLaneAllocation(t *testing.T) {
+	d, err := Synthesize(KC705(), Config{Dim: 1000, Features: 64, Classes: 2, Sparsity: 0.8, Lanes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lanes != 8 {
+		t.Fatalf("lanes = %d, want 8", d.Lanes)
+	}
+	wide, err := Synthesize(KC705(), Config{Dim: 1000, Features: 64, Classes: 2, Sparsity: 0.8, Lanes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.EncodeCycles() >= d.EncodeCycles() {
+		t.Fatal("more lanes should reduce encode cycles")
+	}
+}
+
+func TestEnergyPerEncodePositive(t *testing.T) {
+	d := pecanCentral(t)
+	if e := d.EnergyPerEncode(); e <= 0 || e > 1 {
+		t.Fatalf("energy per encode = %v J out of plausible range", e)
+	}
+}
+
+// Property: any synthesizable design respects board limits and yields
+// positive cycle counts.
+func TestQuickSynthesisInvariants(t *testing.T) {
+	f := func(dimRaw, featRaw uint16, classRaw uint8) bool {
+		dim := int(dimRaw)%8000 + 1
+		feat := int(featRaw)%1000 + 1
+		classes := int(classRaw)%20 + 2
+		d, err := Synthesize(KC705(), Config{Dim: dim, Features: feat, Classes: classes, Sparsity: 0.8})
+		if err != nil {
+			return true // rejection is a valid outcome
+		}
+		return d.UsedDSP <= d.Board.DSPSlices &&
+			d.UsedLUTs <= d.Board.LUTs &&
+			d.UsedBRAMKb <= d.Board.BRAMKb &&
+			d.EncodeCycles() > 0 && d.SearchCycles() > 0 && d.UpdateCycles() > 0 &&
+			d.Power(dim) > d.Power(1)*0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,22 @@
+// Package hdc implements the hyperdimensional-computing algebra that
+// EdgeHD is built on (paper §III): hypervector representations, bundling
+// (element-wise addition), binding (element-wise multiplication), sign
+// binarization, and the similarity metrics used by the associative search.
+//
+// Three concrete representations are provided, matching how the paper's
+// FPGA pipeline stages the data:
+//
+//   - Float: dense float64 vector, the output of the non-linear encoder
+//     before binarization.
+//   - Bipolar: a ±1 vector packed one bit per dimension into 64-bit
+//     words. This is the wire format: queries, position hypervectors and
+//     transferred models are bipolar. Binding is XOR; the dot product is
+//     D − 2·popcount(xor), the hardware "negation trick" of §V-B.
+//   - Acc: an int32 accumulator vector holding class hypervectors,
+//     batch hypervectors and residual hypervectors, i.e. anything formed
+//     by bundling many bipolar vectors.
+//
+// All operations are dimension-independent and allocation-conscious; the
+// hot paths (Dot, AddBipolar) are the kernels the paper parallelizes on
+// FPGA and that bench_test.go measures.
+package hdc

@@ -1,0 +1,75 @@
+package hierarchy
+
+// Config holds the user-tunable parameters of §VI-A. Zero values select
+// the paper's defaults.
+type Config struct {
+	// TotalDim D is the central node's hypervector dimensionality.
+	// Default 4000 (§VI-A).
+	TotalDim int
+	// MinDim floors the per-node dimensionality so that nodes observing
+	// very few features (a single PECAN appliance) still get a usable
+	// hyperspace. Default 32.
+	MinDim int
+	// BatchSize B groups training hypervectors before transfer (§IV-B).
+	// Default 75 (§VI-A).
+	BatchSize int
+	// CompressionRate m is the number of query hypervectors compressed
+	// into one transfer during inference (§IV-C). Default 25 (§VI-A).
+	CompressionRate int
+	// ConfidenceThreshold gates local inference: predictions whose
+	// softmax confidence falls below it escalate to the parent (§IV-C).
+	// Default 0.75 (§VI-A).
+	ConfidenceThreshold float64
+	// RetrainEpochs of per-node retraining. Default 20 (§III-B).
+	RetrainEpochs int
+	// Sparsity of the end-node encoders (§V-A). Default 0.8 (§VI-B).
+	Sparsity float64
+	// ProjectionFanIn is the number of concatenated-input components
+	// mixed into each output dimension by the hierarchical encoder.
+	// Default 64.
+	ProjectionFanIn int
+	// Holographic selects the Fig 4b random projection; when false the
+	// hierarchical encoder degrades to plain concatenation (Fig 4a),
+	// the non-holographic ablation of §VI-F.
+	Holographic *bool
+	// Seed drives every random structure in the system.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TotalDim == 0 {
+		c.TotalDim = 4000
+	}
+	if c.MinDim == 0 {
+		c.MinDim = 32
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 75
+	}
+	if c.CompressionRate == 0 {
+		c.CompressionRate = 25
+	}
+	if c.ConfidenceThreshold == 0 {
+		c.ConfidenceThreshold = 0.75
+	}
+	if c.RetrainEpochs == 0 {
+		c.RetrainEpochs = 20
+	}
+	if c.Sparsity == 0 {
+		c.Sparsity = 0.8
+	}
+	if c.ProjectionFanIn == 0 {
+		c.ProjectionFanIn = 64
+	}
+	if c.Holographic == nil {
+		t := true
+		c.Holographic = &t
+	}
+	return c
+}
+
+// holographic reports the resolved Fig 4 mode.
+func (c Config) holographic() bool { return c.Holographic != nil && *c.Holographic }
+
+// Bool is a convenience for setting Config.Holographic.
+func Bool(v bool) *bool { return &v }

@@ -1,0 +1,254 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+
+	"edgehd/internal/hdc"
+	"edgehd/internal/netsim"
+	"edgehd/internal/rng"
+)
+
+// InferResult describes where and how a hierarchical inference resolved.
+type InferResult struct {
+	// Class is the predicted label.
+	Class int
+	// Node is the device whose model answered.
+	Node netsim.NodeID
+	// Level is the paper's level numbering: 1 at the entry end node,
+	// increasing toward the root.
+	Level int
+	// Confidence is the softmax confidence of the answering model.
+	Confidence float64
+	// Escalations counts how many hops upward the query traveled.
+	Escalations int
+}
+
+// Infer runs the §IV-C confidence-routed inference for sample x,
+// entering at end node `entry` (partition index): the end node predicts
+// with its local model; if the confidence clears the threshold the
+// prediction is served locally, otherwise the query escalates to the
+// parent, which combines the query hypervectors of all its children and
+// tries again, up to the central node (which always answers).
+func (s *System) Infer(x []float64, entry int) (InferResult, error) {
+	if entry < 0 || entry >= len(s.leafIndex) {
+		return InferResult{}, fmt.Errorf("hierarchy: entry end node %d out of range", entry)
+	}
+	cur := s.leafIndex[entry]
+	level := 1
+	escal := 0
+	for {
+		q := s.Query(cur.id, x)
+		class, conf := cur.model.Confidence(q)
+		cur.hvOps += int64(s.classes+1) * int64(cur.dim)
+		if conf >= s.cfg.ConfidenceThreshold || s.topo.Net.Parent(cur.id) == netsim.InvalidNode {
+			return InferResult{Class: class, Node: cur.id, Level: level, Confidence: conf, Escalations: escal}, nil
+		}
+		cur = s.nodes[s.topo.Net.Parent(cur.id)]
+		level++
+		escal++
+	}
+}
+
+// PredictAt classifies x with the model of a specific node, bypassing
+// the confidence routing — Table II's per-level accuracy columns use
+// this.
+func (s *System) PredictAt(id netsim.NodeID, x []float64) int {
+	n := s.nodes[id]
+	class, _ := n.model.Classify(s.Query(id, x))
+	return class
+}
+
+// ConfidenceAt returns the prediction and confidence of a specific
+// node's model for x.
+func (s *System) ConfidenceAt(id netsim.NodeID, x []float64) (int, float64) {
+	n := s.nodes[id]
+	return n.model.Confidence(s.Query(id, x))
+}
+
+// PredictAtCorrupted classifies x at a node with bit-loss injection on
+// every link crossed (Fig 12).
+func (s *System) PredictAtCorrupted(id netsim.NodeID, x []float64, r *rng.Source) int {
+	n := s.nodes[id]
+	class, _ := n.model.Classify(s.QueryCorrupted(id, x, r))
+	return class
+}
+
+// AccuracyAt evaluates a node's model over a labelled set.
+func (s *System) AccuracyAt(id netsim.NodeID, x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range x {
+		if s.PredictAt(id, row) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+// LevelAccuracy averages AccuracyAt over every node at tree depth
+// `depth` (0 = central). For end-node levels each device only sees its
+// own features, which is exactly the Table II "End Nodes" column.
+func (s *System) LevelAccuracy(depth int, x [][]float64, y []int) float64 {
+	nodes := s.nodesAtDepth(depth)
+	if len(nodes) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, n := range nodes {
+		total += s.AccuracyAt(n.id, x, y)
+	}
+	return total / float64(len(nodes))
+}
+
+func (s *System) nodesAtDepth(depth int) []*node {
+	var out []*node
+	for _, n := range s.nodes {
+		if n.depth == depth {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// InferCommBytes returns the total bytes that must move to assemble the
+// query hypervector at the given node: every link strictly inside the
+// node's subtree carries its child's query once. With the §IV-C
+// compression enabled (m > 1), m outstanding queries share one
+// compressed integer transfer, amortizing to CompressedWireBytes/m per
+// query per link.
+func (s *System) InferCommBytes(id netsim.NodeID) int64 {
+	n := s.nodes[id]
+	if n.isLeaf() {
+		return 0
+	}
+	var total int64
+	for _, c := range n.children {
+		child := s.nodes[c]
+		total += s.queryWireBytes(child) + s.InferCommBytes(c)
+	}
+	return total
+}
+
+// queryWireBytes is the amortized per-query transfer size of one child's
+// query hypervector under the configured compression rate.
+func (s *System) queryWireBytes(child *node) int64 {
+	m := s.cfg.CompressionRate
+	if m <= 1 {
+		return int64(hdc.NewBipolar(child.dim).WireBytes())
+	}
+	return int64(CompressedWireBytes(child.dim, m)) / int64(m)
+}
+
+// bundleWireBytes is the transfer size of one full compressed bundle of
+// a child's query hypervectors (m queries when compression is enabled,
+// a single binary hypervector otherwise).
+func (s *System) bundleWireBytes(child *node) int64 {
+	m := s.cfg.CompressionRate
+	if m <= 1 {
+		return int64(hdc.NewBipolar(child.dim).WireBytes())
+	}
+	return int64(CompressedWireBytes(child.dim, m))
+}
+
+// InferCommTime simulates the transfers needed to assemble one bundle
+// of queries at `id` (m compressed queries per link, §IV-C) departing
+// at the given time, returning the completion time. Transfers proceed
+// bottom-up; siblings share their uplink serialization.
+func (s *System) InferCommTime(id netsim.NodeID, depart float64) (float64, error) {
+	n := s.nodes[id]
+	if n.isLeaf() {
+		return depart, nil
+	}
+	finish := depart
+	for _, c := range n.children {
+		childReady, err := s.InferCommTime(c, depart)
+		if err != nil {
+			return 0, err
+		}
+		arr, err := s.topo.Net.Send(c, id, int(s.bundleWireBytes(s.nodes[c])), childReady)
+		if err != nil {
+			return 0, err
+		}
+		if arr > finish {
+			finish = arr
+		}
+	}
+	return finish, nil
+}
+
+// QueryWork returns the computation needed to assemble one query
+// hypervector at a node: encoding MACs at the subtree's leaves and
+// projection ops at its internal nodes. The device models convert these
+// into per-query latency and energy.
+func (s *System) QueryWork(id netsim.NodeID) (encodeMACs, hvOps int64) {
+	n := s.nodes[id]
+	if n.isLeaf() {
+		return n.enc.MACsPerEncode(), 0
+	}
+	var macs, ops int64
+	for _, c := range n.children {
+		m, o := s.QueryWork(c)
+		macs += m
+		ops += o
+	}
+	if n.proj != nil {
+		ops += n.proj.Ops()
+	}
+	return macs, ops
+}
+
+// AssocOps returns the op count of one associative search at a node:
+// k class dot products plus the comparator pass (§V-B).
+func (s *System) AssocOps(id netsim.NodeID) int64 {
+	return int64(s.classes+1) * int64(s.nodes[id].dim)
+}
+
+// NodeInfo describes one device for the cost models.
+type NodeInfo struct {
+	ID    netsim.NodeID
+	Depth int
+	Dim   int
+	Leaf  bool
+}
+
+// Nodes lists every device in the hierarchy.
+func (s *System) Nodes() []NodeInfo {
+	out := make([]NodeInfo, len(s.nodes))
+	for i, n := range s.nodes {
+		out[i] = NodeInfo{ID: n.id, Depth: n.depth, Dim: n.dim, Leaf: n.isLeaf()}
+	}
+	return out
+}
+
+// CompressedWireBytes is the transfer size of one compressed bundle of
+// m bipolar hypervectors of the given dimension (eq. 3): the bound sum
+// has components in [−m, m], needing ⌈log2(2m+1)⌉ bits per dimension.
+func CompressedWireBytes(dim, m int) int {
+	bits := int(math.Ceil(math.Log2(float64(2*m + 1))))
+	return (dim*bits + 7) / 8
+}
+
+// Compress bundles the given query hypervectors with freshly drawn
+// position hypervectors (eq. 3), returning the compressed accumulator
+// and the positions needed to decompress.
+func Compress(queries []hdc.Bipolar, r *rng.Source) (hdc.Acc, []hdc.Bipolar) {
+	if len(queries) == 0 {
+		return hdc.Acc{}, nil
+	}
+	dim := queries[0].Dim()
+	sum := hdc.NewAcc(dim)
+	positions := make([]hdc.Bipolar, len(queries))
+	for i, q := range queries {
+		positions[i] = hdc.RandomBipolar(dim, r)
+		sum.AddBound(positions[i], q)
+	}
+	return sum, positions
+}
+
+// Decompress recovers the i-th query from a compressed bundle (eq. 4).
+func Decompress(sum hdc.Acc, positions []hdc.Bipolar, i int) hdc.Bipolar {
+	return sum.UnbindSign(positions[i])
+}

@@ -1,0 +1,164 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"edgehd/internal/netsim"
+	"edgehd/internal/rng"
+)
+
+func trainedPDP(t *testing.T, cfg Config) (*System, *datasetHandle) {
+	t.Helper()
+	sys, d := buildPDP(t, cfg, 400, 200)
+	if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+		t.Fatal(err)
+	}
+	return sys, &datasetHandle{d.TrainX, d.TrainY, d.TestX, d.TestY}
+}
+
+type datasetHandle struct {
+	trainX [][]float64
+	trainY []int
+	testX  [][]float64
+	testY  []int
+}
+
+func TestInferRouting(t *testing.T) {
+	sys, d := trainedPDP(t, Config{TotalDim: 2000, Seed: 21, RetrainEpochs: 5})
+	levelsSeen := map[int]int{}
+	correct := 0
+	for i, x := range d.testX {
+		res, err := sys.Infer(x, i%5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Level < 1 || res.Level > sys.Topology().NumLevels() {
+			t.Fatalf("level out of range: %d", res.Level)
+		}
+		if res.Confidence < 0 || res.Confidence > 1 {
+			t.Fatalf("confidence out of range: %v", res.Confidence)
+		}
+		levelsSeen[res.Level]++
+		if res.Class == d.testY[i] {
+			correct++
+		}
+	}
+	if len(levelsSeen) < 2 {
+		t.Fatalf("confidence routing never escalated or never answered locally: %v", levelsSeen)
+	}
+	if acc := float64(correct) / float64(len(d.testX)); acc < 0.7 {
+		t.Fatalf("routed inference accuracy = %v", acc)
+	}
+}
+
+func TestInferThresholdExtremes(t *testing.T) {
+	// Threshold ~0: everything answers at the entry end node.
+	sysLow, d := trainedPDP(t, Config{TotalDim: 1000, Seed: 22, RetrainEpochs: 2, ConfidenceThreshold: 1e-9})
+	res, err := sysLow.Infer(d.testX[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != 1 || res.Escalations != 0 {
+		t.Fatalf("near-zero threshold escalated: %+v", res)
+	}
+	// Threshold > 1: everything escalates to the central node.
+	sysHigh, d2 := trainedPDP(t, Config{TotalDim: 1000, Seed: 23, RetrainEpochs: 2, ConfidenceThreshold: 1.01})
+	res, err = sysHigh.Infer(d2.testX[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != sysHigh.Topology().Central {
+		t.Fatalf("threshold > 1 did not reach central: %+v", res)
+	}
+}
+
+func TestInferEntryValidation(t *testing.T) {
+	sys, d := trainedPDP(t, Config{TotalDim: 500, Seed: 24, RetrainEpochs: 1})
+	if _, err := sys.Infer(d.testX[0], -1); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+	if _, err := sys.Infer(d.testX[0], 99); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+}
+
+func TestInferCommBytesGrowsWithLevel(t *testing.T) {
+	sys, _ := trainedPDP(t, Config{TotalDim: 2000, Seed: 25, RetrainEpochs: 1})
+	topo := sys.Topology()
+	leaf := topo.EndNodes[0]
+	gw := topo.Net.Parent(leaf)
+	leafBytes := sys.InferCommBytes(leaf)
+	gwBytes := sys.InferCommBytes(gw)
+	centralBytes := sys.InferCommBytes(topo.Central)
+	if leafBytes != 0 {
+		t.Fatalf("leaf inference should need no communication, got %d", leafBytes)
+	}
+	if !(gwBytes > 0 && centralBytes > gwBytes) {
+		t.Fatalf("comm bytes not increasing with level: gw=%d central=%d", gwBytes, centralBytes)
+	}
+}
+
+func TestCompressionReducesInferBytes(t *testing.T) {
+	compressed, _ := trainedPDP(t, Config{TotalDim: 2000, Seed: 26, RetrainEpochs: 1, CompressionRate: 25})
+	raw, _ := trainedPDP(t, Config{TotalDim: 2000, Seed: 26, RetrainEpochs: 1, CompressionRate: 1})
+	topoC := compressed.Topology()
+	topoR := raw.Topology()
+	if cb, rb := compressed.InferCommBytes(topoC.Central), raw.InferCommBytes(topoR.Central); cb >= rb {
+		t.Fatalf("compression did not reduce inference bytes: %d vs %d", cb, rb)
+	}
+}
+
+func TestInferCommTimeRespectsBandwidth(t *testing.T) {
+	// The same hierarchy on Bluetooth must take longer to assemble a
+	// central query than on gigabit wire.
+	spec := Config{TotalDim: 2000, Seed: 27, RetrainEpochs: 1}
+	build := func(m netsim.Medium) *System {
+		topo, err := netsim.Tree(5, 2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, d := buildOn(t, topo, spec)
+		_ = d
+		return sys
+	}
+	fast := build(netsim.Wired1G())
+	slow := build(netsim.Bluetooth4())
+	tFast, err := fast.InferCommTime(fast.Topology().Central, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tSlow, err := slow.InferCommTime(slow.Topology().Central, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tSlow <= tFast {
+		t.Fatalf("Bluetooth (%v s) not slower than wired (%v s)", tSlow, tFast)
+	}
+}
+
+func TestPredictAtCorruptedDegradesGracefully(t *testing.T) {
+	sys, d := trainedPDP(t, Config{TotalDim: 2000, Seed: 28, RetrainEpochs: 5})
+	topo := sys.Topology()
+	r := rng.New(1)
+	// Inject 20% bit loss on every uplink.
+	for id := 0; id < topo.Net.NumNodes(); id++ {
+		if topo.Net.Parent(netsim.NodeID(id)) != netsim.InvalidNode {
+			if err := topo.Net.SetLossRate(netsim.NodeID(id), 0.2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	clean, corrupted := 0, 0
+	for i, x := range d.testX[:100] {
+		if sys.PredictAt(topo.Central, x) == d.testY[i] {
+			clean++
+		}
+		if sys.PredictAtCorrupted(topo.Central, x, r) == d.testY[i] {
+			corrupted++
+		}
+	}
+	// Holographic encoding: moderate loss should cost only a few points.
+	if corrupted < clean-25 {
+		t.Fatalf("20%% loss dropped accuracy too much: %d → %d", clean, corrupted)
+	}
+}

@@ -1,0 +1,151 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+
+	"edgehd/internal/hdc"
+	"edgehd/internal/netsim"
+)
+
+// NegativeFeedback records a user's rejection of a prediction (§IV-D):
+// the query hypervector of x, as seen by the node that answered, is
+// accumulated into that node's residual for the incorrectly predicted
+// class. Nothing propagates until PropagateResiduals is called.
+func (s *System) NegativeFeedback(id netsim.NodeID, x []float64, predicted int) error {
+	if predicted < 0 || predicted >= s.classes {
+		return fmt.Errorf("hierarchy: predicted class %d out of range", predicted)
+	}
+	n := s.nodes[id]
+	n.residual.NegativeFeedback(predicted, s.Query(id, x))
+	return nil
+}
+
+// NegativeFeedbackBroadcast records a rejected prediction at every
+// device on the path from the entry end node to the root whose own
+// model also predicts the rejected class for this input. This is the
+// Fig 5a reading in which "each edge device continuously performs the
+// inference while accumulating to the residual model": one user
+// rejection informs every level that agreed with the wrong answer, so
+// low-level models improve too (the dominant effect in Fig 8a).
+// It returns the number of devices that accumulated the feedback.
+func (s *System) NegativeFeedbackBroadcast(entry int, x []float64, rejected int) (int, error) {
+	if rejected < 0 || rejected >= s.classes {
+		return 0, fmt.Errorf("hierarchy: rejected class %d out of range", rejected)
+	}
+	if entry < 0 || entry >= len(s.leafIndex) {
+		return 0, fmt.Errorf("hierarchy: entry end node %d out of range", entry)
+	}
+	applied := 0
+	for id := s.leafIndex[entry].id; id != netsim.InvalidNode; id = s.topo.Net.Parent(id) {
+		n := s.nodes[id]
+		q := s.Query(id, x)
+		if n.model.Predict(q) == rejected {
+			n.residual.NegativeFeedback(rejected, q)
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// OnlineReport summarizes one residual propagation sweep.
+type OnlineReport struct {
+	// Bytes moved across all links for the propagation.
+	Bytes int64
+	// CommFinish is the completion time of the last residual transfer.
+	CommFinish float64
+	// CommEnergyJ is the transfer energy.
+	CommEnergyJ float64
+	// FeedbackApplied counts the feedback events folded into models.
+	FeedbackApplied int
+}
+
+// PropagateResiduals performs the Fig 5b model-update sweep: bottom-up,
+// every node (1) snapshots its residual hypervectors, (2) subtracts them
+// from its own model, and (3) ships them to its parent, which
+// hierarchically encodes the concatenated child residuals into its own
+// residual before its turn comes. The network accounts each transfer;
+// nodes with all-zero residuals skip the transfer (nothing to report).
+func (s *System) PropagateResiduals() (*OnlineReport, error) {
+	report := &OnlineReport{}
+	before := s.topo.Net.Stats()
+	order := s.depthOrder() // deepest first: children before parents
+	// snapshots holds each node's residual at the moment of its update,
+	// so parents combine exactly what the children applied.
+	snapshots := make(map[netsim.NodeID][]hdc.Acc, len(s.nodes))
+	depart := make(map[netsim.NodeID]float64, len(s.nodes))
+	for _, n := range order {
+		// Fold in children residual snapshots first (they are at
+		// deeper depths, already processed).
+		if !n.isLeaf() {
+			allZero := true
+			parts := make([][]hdc.Acc, len(n.children))
+			for ci, c := range n.children {
+				snap := snapshots[c]
+				parts[ci] = snap
+				for _, a := range snap {
+					if !a.IsZero() {
+						allZero = false
+					}
+				}
+			}
+			if !allZero {
+				for class := 0; class < s.classes; class++ {
+					classParts := make([]hdc.Acc, len(n.children))
+					for ci := range n.children {
+						classParts[ci] = parts[ci][class]
+					}
+					agg := s.combineAcc(n, classParts)
+					if n.proj != nil {
+						// The projection inflates component magnitudes by
+						// ~sqrt(fanIn); scale back so one feedback event keeps
+						// unit weight relative to the parent's model scale.
+						agg = equalizeNormTo(agg, agg.Norm()/math.Sqrt(float64(n.proj.FanIn()))/math.Sqrt(float64(agg.Dim())))
+					}
+					if err := n.residual.AddAcc(class, agg); err != nil {
+						return nil, fmt.Errorf("hierarchy: residual aggregation: %w", err)
+					}
+				}
+			}
+		}
+		report.FeedbackApplied += n.residual.TotalFeedback()
+		snap := n.residual.Snapshot()
+		snapshots[n.id] = snap
+		if err := n.residual.ApplyTo(n.model); err != nil {
+			return nil, fmt.Errorf("hierarchy: residual apply: %w", err)
+		}
+		// Ship the snapshot to the parent unless empty.
+		parent := s.topo.Net.Parent(n.id)
+		if parent == netsim.InvalidNode {
+			continue
+		}
+		empty := true
+		for _, a := range snap {
+			if !a.IsZero() {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		bytes := 0
+		for _, a := range snap {
+			bytes += a.WireBytes()
+		}
+		arr, err := s.topo.Net.Send(n.id, parent, bytes, depart[n.id])
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: residual transfer: %w", err)
+		}
+		if arr > report.CommFinish {
+			report.CommFinish = arr
+		}
+		if arr > depart[parent] {
+			depart[parent] = arr
+		}
+	}
+	stats := s.topo.Net.Stats()
+	report.Bytes = stats.TotalBytes - before.TotalBytes
+	report.CommEnergyJ = stats.EnergyJ - before.EnergyJ
+	return report, nil
+}

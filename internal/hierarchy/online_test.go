@@ -1,0 +1,175 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"edgehd/internal/dataset"
+	"edgehd/internal/netsim"
+)
+
+// buildOn constructs a PDP system over an explicit topology.
+func buildOn(t *testing.T, topo *netsim.Topology, cfg Config) (*System, *dataset.Dataset) {
+	t.Helper()
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spec.Generate(42, dataset.Options{MaxTrain: 400, MaxTest: 200})
+	sys, err := BuildForDataset(topo, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Train(d.TrainX[:200], d.TrainY[:200]); err != nil {
+		t.Fatal(err)
+	}
+	return sys, d
+}
+
+func TestOnlineFeedbackImprovesCentral(t *testing.T) {
+	// §IV-D end to end: train offline on half the data, stream the rest
+	// with negative feedback at the answering node, propagate residuals,
+	// and verify held-out accuracy does not degrade (and typically
+	// improves at the lower levels).
+	topo, err := netsim.Tree(5, 2, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, d := buildOn(t, topo, Config{TotalDim: 2000, Seed: 31, RetrainEpochs: 5})
+	before := sys.AccuracyAt(topo.Central, d.TestX, d.TestY)
+
+	online := d.TrainX[200:]
+	onlineY := d.TrainY[200:]
+	for i, x := range online {
+		res, err := sys.Infer(x, i%5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != onlineY[i] {
+			if err := sys.NegativeFeedback(res.Node, x, res.Class); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if (i+1)%100 == 0 {
+			if _, err := sys.PropagateResiduals(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := sys.PropagateResiduals(); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.AccuracyAt(topo.Central, d.TestX, d.TestY)
+	if after < before-0.05 {
+		t.Fatalf("online feedback degraded central accuracy: %v → %v", before, after)
+	}
+}
+
+func TestPropagateReportsCommunication(t *testing.T) {
+	topo, err := netsim.Tree(5, 2, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, d := buildOn(t, topo, Config{TotalDim: 1000, Seed: 32, RetrainEpochs: 1})
+	// Give feedback at an end node so residuals must travel up.
+	if err := sys.NegativeFeedback(topo.EndNodes[0], d.TestX[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.PropagateResiduals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes <= 0 {
+		t.Fatal("residual propagation reported no bytes")
+	}
+	if rep.FeedbackApplied < 1 {
+		t.Fatalf("FeedbackApplied = %d", rep.FeedbackApplied)
+	}
+	if rep.CommFinish <= 0 {
+		t.Fatal("no communication time reported")
+	}
+}
+
+func TestPropagateEmptyResidualsIsFree(t *testing.T) {
+	topo, err := netsim.Tree(5, 2, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _ := buildOn(t, topo, Config{TotalDim: 1000, Seed: 33, RetrainEpochs: 1})
+	topo.Net.Reset()
+	rep, err := sys.PropagateResiduals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes != 0 {
+		t.Fatalf("empty propagation moved %d bytes", rep.Bytes)
+	}
+	if rep.FeedbackApplied != 0 {
+		t.Fatalf("empty propagation applied %d feedback events", rep.FeedbackApplied)
+	}
+}
+
+func TestNegativeFeedbackValidation(t *testing.T) {
+	topo, err := netsim.Tree(5, 2, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, d := buildOn(t, topo, Config{TotalDim: 500, Seed: 34, RetrainEpochs: 1})
+	if err := sys.NegativeFeedback(topo.Central, d.TestX[0], -1); err == nil {
+		t.Fatal("negative class accepted")
+	}
+	if err := sys.NegativeFeedback(topo.Central, d.TestX[0], 99); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+}
+
+func TestFeedbackAtCentralChangesCentralModel(t *testing.T) {
+	topo, err := netsim.Tree(5, 2, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, d := buildOn(t, topo, Config{TotalDim: 1000, Seed: 35, RetrainEpochs: 1})
+	x := d.TestX[0]
+	pred := sys.PredictAt(topo.Central, x)
+	// Hammer the central residual with rejections of this prediction.
+	for i := 0; i < 50; i++ {
+		if err := sys.NegativeFeedback(topo.Central, x, pred); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.PropagateResiduals(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.PredictAt(topo.Central, x); got == pred {
+		t.Fatal("repeated negative feedback did not change the prediction")
+	}
+}
+
+func TestFeedbackAtLeafPropagatesUpward(t *testing.T) {
+	topo, err := netsim.Tree(5, 2, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, d := buildOn(t, topo, Config{TotalDim: 1000, Seed: 36, RetrainEpochs: 1})
+	leaf := topo.EndNodes[0]
+	x := d.TestX[0]
+	centralBefore := sys.NodeModel(topo.Central).Class(0)
+	for i := 0; i < 10; i++ {
+		if err := sys.NegativeFeedback(leaf, x, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.PropagateResiduals(); err != nil {
+		t.Fatal(err)
+	}
+	centralAfter := sys.NodeModel(topo.Central).Class(0)
+	changed := false
+	for i := 0; i < centralBefore.Dim(); i++ {
+		if centralBefore.Get(i) != centralAfter.Get(i) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("leaf feedback did not reach the central model")
+	}
+}

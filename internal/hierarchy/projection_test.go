@@ -1,0 +1,201 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgehd/internal/hdc"
+	"edgehd/internal/rng"
+)
+
+func TestProjectionDims(t *testing.T) {
+	p := NewProjection(100, 60, 16, 1)
+	if p.InDim() != 100 || p.OutDim() != 60 || p.FanIn() != 16 {
+		t.Fatalf("projection shape %d→%d fanIn %d", p.InDim(), p.OutDim(), p.FanIn())
+	}
+	if p.Ops() != 60*16 {
+		t.Fatalf("Ops = %d", p.Ops())
+	}
+}
+
+func TestProjectionFanInClamped(t *testing.T) {
+	p := NewProjection(8, 16, 64, 1)
+	if p.FanIn() != 8 {
+		t.Fatalf("fanIn not clamped: %d", p.FanIn())
+	}
+}
+
+func TestProjectionDeterministic(t *testing.T) {
+	r := rng.New(1)
+	in := hdc.RandomBipolar(128, r)
+	a := NewProjection(128, 64, 16, 7).Bipolar(in)
+	b := NewProjection(128, 64, 16, 7).Bipolar(in)
+	if !a.Equal(b) {
+		t.Fatal("same-seed projections differ")
+	}
+	c := NewProjection(128, 64, 16, 8).Bipolar(in)
+	if a.Equal(c) {
+		t.Fatal("different-seed projections identical")
+	}
+}
+
+func TestProjectionPreservesSimilarity(t *testing.T) {
+	// Similar inputs must stay similar after projection, dissimilar
+	// inputs dissimilar — the property that lets parents classify
+	// projected queries.
+	r := rng.New(2)
+	p := NewProjection(1024, 512, 64, 3)
+	x := hdc.RandomBipolar(1024, r)
+	near := x.FlipBits(0.05, r)
+	far := hdc.RandomBipolar(1024, r)
+	px := p.Bipolar(x)
+	simNear := px.Cosine(p.Bipolar(near))
+	simFar := px.Cosine(p.Bipolar(far))
+	if simNear < simFar+0.3 {
+		t.Fatalf("projection destroyed similarity structure: near=%v far=%v", simNear, simFar)
+	}
+}
+
+func TestProjectionAccLinearity(t *testing.T) {
+	// Acc path must be linear: proj(a+b) == proj(a)+proj(b), the
+	// property that makes bundled class hypervectors aggregate correctly.
+	r := rng.New(3)
+	p := NewProjection(96, 48, 12, 4)
+	a := hdc.NewAcc(96)
+	b := hdc.NewAcc(96)
+	for i := 0; i < 4; i++ {
+		a.AddBipolar(hdc.RandomBipolar(96, r))
+		b.AddBipolar(hdc.RandomBipolar(96, r))
+	}
+	sum := a.Clone()
+	sum.AddAcc(b)
+	lhs := p.Acc(sum)
+	rhs := p.Acc(a)
+	rhs.AddAcc(p.Acc(b))
+	for i := 0; i < 48; i++ {
+		if lhs.Get(i) != rhs.Get(i) {
+			t.Fatalf("Acc projection not linear at dim %d", i)
+		}
+	}
+}
+
+func TestProjectionAccMatchesBipolarOnSigns(t *testing.T) {
+	// For a ±1 input, sign(Acc-projection) must equal the Bipolar path.
+	r := rng.New(4)
+	p := NewProjection(80, 40, 10, 5)
+	x := hdc.RandomBipolar(80, r)
+	expand := make([]int32, 80)
+	for i := range expand {
+		expand[i] = int32(x.Get(i))
+	}
+	viaAcc := p.Acc(hdc.AccFromInts(expand)).Sign()
+	viaBip := p.Bipolar(x)
+	if !viaAcc.Equal(viaBip) {
+		t.Fatal("Acc and Bipolar projection paths disagree")
+	}
+}
+
+func TestProjectionDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("projection accepted wrong input dimension")
+		}
+	}()
+	NewProjection(10, 5, 4, 1).Bipolar(hdc.NewBipolar(11))
+}
+
+func TestProjectionHolographicSpread(t *testing.T) {
+	// Holographic distribution: every input dimension should influence
+	// at least one output (with high probability at this fan-in), and no
+	// output should depend on a single input only when fanIn > 1.
+	p := NewProjection(64, 256, 32, 9)
+	influenced := make([]bool, 64)
+	for o := 0; o < 256; o++ {
+		for _, ix := range p.idx[o] {
+			influenced[ix] = true
+		}
+	}
+	missing := 0
+	for _, ok := range influenced {
+		if !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d/64 input dimensions influence no output — not holographic", missing)
+	}
+}
+
+func TestCompressedWireBytes(t *testing.T) {
+	// m=25 → values in [−25,25] → 6 bits/dim.
+	if got := CompressedWireBytes(4000, 25); got != (4000*6+7)/8 {
+		t.Fatalf("CompressedWireBytes = %d", got)
+	}
+	// m=1 → 2 bits (values in {−1,0,1}... [−1,1] → ceil(log2 3) = 2).
+	if got := CompressedWireBytes(8, 1); got != 2 {
+		t.Fatalf("CompressedWireBytes(8,1) = %d", got)
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	queries := make([]hdc.Bipolar, 10)
+	for i := range queries {
+		queries[i] = hdc.RandomBipolar(2048, r)
+	}
+	sum, pos := Compress(queries, r)
+	for i, q := range queries {
+		rec := Decompress(sum, pos, i)
+		if cos := q.Cosine(rec); cos < 0.15 {
+			t.Fatalf("query %d recovered with cosine %v", i, cos)
+		}
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	sum, pos := Compress(nil, rng.New(1))
+	if sum.Dim() != 0 || pos != nil {
+		t.Fatal("empty compression should be empty")
+	}
+}
+
+// Property: the compression saving over raw Acc transfer grows with m.
+func TestQuickCompressionSavings(t *testing.T) {
+	f := func(mRaw uint8) bool {
+		m := int(mRaw)%30 + 2
+		compressed := CompressedWireBytes(1000, m)
+		raw := m * hdc.NewBipolar(1000).WireBytes()
+		// Compressed must be smaller than shipping a 32-bit Acc.
+		acc := hdc.NewAcc(1000).WireBytes()
+		_ = raw
+		return compressed < acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionNoiseGrowth(t *testing.T) {
+	// The §IV-C trade-off: larger m means lower recovered similarity.
+	r := rng.New(6)
+	avgRecovery := func(m int) float64 {
+		queries := make([]hdc.Bipolar, m)
+		for i := range queries {
+			queries[i] = hdc.RandomBipolar(1024, r)
+		}
+		sum, pos := Compress(queries, r)
+		total := 0.0
+		for i, q := range queries {
+			total += q.Cosine(Decompress(sum, pos, i))
+		}
+		return total / float64(m)
+	}
+	small, large := avgRecovery(5), avgRecovery(50)
+	if small <= large {
+		t.Fatalf("recovery should degrade with m: m=5→%v, m=50→%v", small, large)
+	}
+	if math.IsNaN(small) || math.IsNaN(large) {
+		t.Fatal("NaN recovery")
+	}
+}

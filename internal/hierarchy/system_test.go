@@ -1,0 +1,237 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"edgehd/internal/dataset"
+	"edgehd/internal/netsim"
+)
+
+// buildPDP constructs the PDP 5-end-node tree system used across these
+// tests (small feature count keeps them fast).
+func buildPDP(t *testing.T, cfg Config, maxTrain, maxTest int) (*System, *dataset.Dataset) {
+	t.Helper()
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spec.Generate(42, dataset.Options{MaxTrain: maxTrain, MaxTest: maxTest})
+	topo, err := netsim.Tree(spec.EndNodes, 2, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildForDataset(topo, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, d
+}
+
+func TestBuildDimensionAllocation(t *testing.T) {
+	sys, _ := buildPDP(t, Config{TotalDim: 4000, Seed: 1}, 10, 10)
+	topo := sys.Topology()
+	// Central node gets exactly D.
+	if got := sys.NodeDim(topo.Central); got != 4000 {
+		t.Fatalf("central dim = %d, want 4000", got)
+	}
+	// PDP: 60 features over 5 end nodes → 12 each → d_i = 4000·12/60 = 800.
+	for i, d := range sys.LeafDims() {
+		if d != 800 {
+			t.Fatalf("leaf %d dim = %d, want 800", i, d)
+		}
+	}
+	// Gateways aggregate 2 end nodes → 24 features → 1600.
+	for _, gw := range topo.Net.Children(topo.Central) {
+		if len(topo.Net.Children(gw)) == 0 {
+			continue // leftover end node
+		}
+		if got := sys.NodeDim(gw); got != 1600 {
+			t.Fatalf("gateway dim = %d, want 1600", got)
+		}
+	}
+}
+
+func TestBuildMinDimFloor(t *testing.T) {
+	// PECAN-style: 1 feature out of 312 would give dim 13 < MinDim.
+	spec, _ := dataset.ByName("PECAN")
+	d := spec.Generate(1, dataset.Options{MaxTrain: 5, MaxTest: 5})
+	topo, err := netsim.GroupedSizes(spec.EndNodes, []int{12, 7}, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildForDataset(topo, d, Config{TotalDim: 4000, MinDim: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ld := range sys.LeafDims() {
+		if ld != 32 {
+			t.Fatalf("leaf %d dim = %d, want MinDim 32", i, ld)
+		}
+	}
+	if got := sys.NodeDim(topo.Central); got != 4000 {
+		t.Fatalf("central dim = %d", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	topo, _ := netsim.Star(3, netsim.Wired1G())
+	if _, err := Build(topo, [][]int{{0}, {1}}, 2, Config{}); err == nil {
+		t.Fatal("partition/end-node mismatch accepted")
+	}
+	if _, err := Build(topo, [][]int{{0}, {1}, {2}}, 1, Config{}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := Build(topo, [][]int{{0}, {}, {2}}, 2, Config{}); err == nil {
+		t.Fatal("empty partition accepted")
+	}
+}
+
+func TestNonHolographicDims(t *testing.T) {
+	sys, _ := buildPDP(t, Config{TotalDim: 4000, Seed: 3, Holographic: Bool(false)}, 10, 10)
+	topo := sys.Topology()
+	// Concatenation-only: central dim = sum of child dims.
+	want := 0
+	for _, c := range topo.Net.Children(topo.Central) {
+		want += sys.NodeDim(c)
+	}
+	if got := sys.NodeDim(topo.Central); got != want {
+		t.Fatalf("non-holographic central dim = %d, want Σ children = %d", got, want)
+	}
+}
+
+func TestQueryDimsMatchNodeDims(t *testing.T) {
+	sys, d := buildPDP(t, Config{TotalDim: 2000, Seed: 4}, 10, 10)
+	topo := sys.Topology()
+	x := d.TrainX[0]
+	for id := 0; id < topo.Net.NumNodes(); id++ {
+		q := sys.Query(netsim.NodeID(id), x)
+		if q.Dim() != sys.NodeDim(netsim.NodeID(id)) {
+			t.Fatalf("query dim %d != node dim %d at node %d", q.Dim(), sys.NodeDim(netsim.NodeID(id)), id)
+		}
+	}
+}
+
+func TestQueryDeterministic(t *testing.T) {
+	sys, d := buildPDP(t, Config{TotalDim: 1000, Seed: 5}, 10, 10)
+	topo := sys.Topology()
+	q1 := sys.Query(topo.Central, d.TrainX[0])
+	q2 := sys.Query(topo.Central, d.TrainX[0])
+	if !q1.Equal(q2) {
+		t.Fatal("central query not deterministic")
+	}
+}
+
+func TestTrainHierarchyAccuracyIncreasesWithLevel(t *testing.T) {
+	// The Table II shape: deeper (higher) levels see more features and
+	// must classify better. End nodes see 12/60 features; the central
+	// node effectively sees all 60.
+	sys, d := buildPDP(t, Config{TotalDim: 4000, Seed: 6, RetrainEpochs: 10}, 600, 250)
+	topo := sys.Topology()
+	if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+		t.Fatal(err)
+	}
+	endAcc := sys.LevelAccuracy(2, d.TestX, d.TestY)
+	centralAcc := sys.AccuracyAt(topo.Central, d.TestX, d.TestY)
+	if centralAcc <= endAcc {
+		t.Fatalf("central accuracy %v not above end-node accuracy %v", centralAcc, endAcc)
+	}
+	if centralAcc < 0.8 {
+		t.Fatalf("central accuracy too low: %v", centralAcc)
+	}
+}
+
+func TestTrainReportsCommunication(t *testing.T) {
+	sys, d := buildPDP(t, Config{TotalDim: 1000, Seed: 7, RetrainEpochs: 2}, 150, 10)
+	rep, err := sys.Train(d.TrainX, d.TrainY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes <= 0 {
+		t.Fatal("training reported no communication")
+	}
+	if rep.CommFinish <= 0 {
+		t.Fatal("training reported no communication time")
+	}
+	if rep.BatchCount <= 0 {
+		t.Fatal("no batches reported")
+	}
+	// Hierarchical training must move far fewer bytes than raw data:
+	// raw = 150 samples × 60 features × 4 bytes per end-node... compare
+	// against total raw feature bytes from end nodes to central.
+	rawBytes := int64(150 * 60 * 4)
+	if rep.Bytes >= rawBytes*4 {
+		t.Fatalf("hierarchical training moved %d bytes, more than 4× raw %d", rep.Bytes, rawBytes)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	sys, d := buildPDP(t, Config{TotalDim: 500, Seed: 8}, 10, 10)
+	if _, err := sys.Train(d.TrainX[:5], d.TrainY[:4]); err == nil {
+		t.Fatal("mismatched rows/labels accepted")
+	}
+	if _, err := sys.Train(nil, nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := sys.Train(d.TrainX[:1], []int{99}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestBatchCountTracksBatchSize(t *testing.T) {
+	sysA, d := buildPDP(t, Config{TotalDim: 500, Seed: 9, BatchSize: 10, RetrainEpochs: 1}, 100, 10)
+	repA, err := sysA.Train(d.TrainX, d.TrainY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, _ := buildPDP(t, Config{TotalDim: 500, Seed: 9, BatchSize: 50, RetrainEpochs: 1}, 100, 10)
+	repB, err := sysB.Train(d.TrainX, d.TrainY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.BatchCount <= repB.BatchCount {
+		t.Fatalf("smaller batch size should produce more batches: B=10→%d, B=50→%d", repA.BatchCount, repB.BatchCount)
+	}
+	if repA.Bytes <= repB.Bytes {
+		t.Fatalf("smaller batch size should cost more communication: B=10→%d, B=50→%d", repA.Bytes, repB.Bytes)
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	sys, d := buildPDP(t, Config{TotalDim: 500, Seed: 10, RetrainEpochs: 1}, 60, 10)
+	if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+		t.Fatal(err)
+	}
+	topo := sys.Topology()
+	leafMACs, _ := sys.WorkAt(topo.EndNodes[0])
+	if leafMACs <= 0 {
+		t.Fatal("leaf reported no encoding MACs")
+	}
+	_, centralOps := sys.WorkAt(topo.Central)
+	if centralOps <= 0 {
+		t.Fatal("central reported no hypervector ops")
+	}
+	sys.ResetWork()
+	leafMACs, _ = sys.WorkAt(topo.EndNodes[0])
+	if leafMACs != 0 {
+		t.Fatal("ResetWork did not clear accounting")
+	}
+}
+
+func TestStarTopologyTrains(t *testing.T) {
+	spec, _ := dataset.ByName("APRI")
+	d := spec.Generate(11, dataset.Options{MaxTrain: 200, MaxTest: 100})
+	topo, err := netsim.Star(spec.EndNodes, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildForDataset(topo, d, Config{TotalDim: 2000, Seed: 12, RetrainEpochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+		t.Fatal(err)
+	}
+	if acc := sys.AccuracyAt(topo.Central, d.TestX, d.TestY); acc < 0.75 {
+		t.Fatalf("STAR central accuracy = %v", acc)
+	}
+}

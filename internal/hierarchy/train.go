@@ -1,0 +1,255 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+
+	"edgehd/internal/core"
+	"edgehd/internal/hdc"
+	"edgehd/internal/netsim"
+)
+
+// TrainReport summarizes one distributed training run: communication
+// accounting from the network simulator plus a per-level finish time.
+// Compute-side op counts accumulate on the nodes (see WorkAt); the
+// experiment harness combines both with a device profile.
+type TrainReport struct {
+	// Bytes moved across all links (per hop).
+	Bytes int64
+	// CommFinish is the simulation time at which the last transfer
+	// arrived, with all transfers of one level departing together —
+	// the serialization-aware lower bound on communication latency.
+	CommFinish float64
+	// CommEnergyJ is the radio/NIC energy of all transfers.
+	CommEnergyJ float64
+	// BatchCount is the total number of batch hypervectors produced at
+	// the end nodes per class set (diagnostic for the §IV-B trade-off).
+	BatchCount int
+}
+
+// trainState carries the per-node artifacts that flow upward during
+// distributed training: the node's class hypervectors (as integer
+// accumulators) and its batch hypervectors, indexed [class][batch].
+type trainState struct {
+	classHVs []hdc.Acc
+	batches  [][]hdc.Bipolar
+}
+
+// Train runs the full §IV-B pipeline over a training set: every end
+// node encodes its own feature view and trains a local model; class
+// hypervectors and batch hypervectors then propagate upward, with every
+// internal node hierarchically encoding its children's artifacts,
+// installing the aggregated class hypervectors, and retraining on the
+// aggregated batch hypervectors. Communication is accounted on the
+// topology's network (call Network.Reset first if reusing it).
+func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("hierarchy: %d rows but %d labels", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("hierarchy: empty training set")
+	}
+	for _, label := range y {
+		if label < 0 || label >= s.classes {
+			return nil, fmt.Errorf("hierarchy: label %d out of range", label)
+		}
+	}
+	report := &TrainReport{}
+	before := s.topo.Net.Stats()
+
+	// Per-class sample index lists define batch membership identically
+	// on every node (batches must align across feature views).
+	perClass := make([][]int, s.classes)
+	for i, label := range y {
+		perClass[label] = append(perClass[label], i)
+	}
+	b := s.cfg.BatchSize
+	for _, idxs := range perClass {
+		report.BatchCount += (len(idxs) + b - 1) / b
+	}
+
+	// Phase 1: end nodes encode, train and batch locally.
+	states := make(map[netsim.NodeID]*trainState, len(s.leafIndex))
+	for li, leaf := range s.leafIndex {
+		st := &trainState{classHVs: make([]hdc.Acc, s.classes), batches: make([][]hdc.Bipolar, s.classes)}
+		encoded := make([]hdc.Bipolar, len(x))
+		samples := make([]core.Sample, len(x))
+		for i, row := range x {
+			encoded[i] = s.encodeLeaf(li, row)
+			samples[i] = core.Sample{HV: encoded[i], Label: y[i]}
+			leaf.model.Add(y[i], encoded[i])
+		}
+		leaf.hvOps += int64(len(x)) * int64(leaf.dim) // bundling
+		stats := leaf.model.Retrain(samples, s.cfg.RetrainEpochs)
+		leaf.hvOps += int64(stats.Epochs) * int64(len(x)) * int64(s.classes+1) * int64(leaf.dim)
+		for c := 0; c < s.classes; c++ {
+			st.classHVs[c] = leaf.model.Class(c)
+			idxs := perClass[c]
+			for start := 0; start < len(idxs); start += b {
+				end := start + b
+				if end > len(idxs) {
+					end = len(idxs)
+				}
+				batch := hdc.NewAcc(leaf.dim)
+				for _, si := range idxs[start:end] {
+					batch.AddBipolar(encoded[si])
+				}
+				leaf.hvOps += int64(end-start) * int64(leaf.dim)
+				st.batches[c] = append(st.batches[c], batch.Sign())
+			}
+		}
+		states[leaf.id] = st
+	}
+
+	// Phase 2: propagate level by level toward the root. Transfers of
+	// one level all depart at the previous level's finish time.
+	depart := 0.0
+	order := s.depthOrder()
+	maxDepth := order[0].depth
+	for d := maxDepth; d > 0; d-- {
+		levelFinish := depart
+		// Ship every node at depth d to its parent.
+		for _, n := range order {
+			if n.depth != d {
+				continue
+			}
+			st, ok := states[n.id]
+			if !ok {
+				continue
+			}
+			bytes := s.stateWireBytes(n, st)
+			arr, err := s.topo.Net.Send(n.id, s.topo.Net.Parent(n.id), bytes, depart)
+			if err != nil {
+				return nil, fmt.Errorf("hierarchy: training transfer: %w", err)
+			}
+			if arr > levelFinish {
+				levelFinish = arr
+			}
+		}
+		// Aggregate at the parents (depth d−1 internal nodes whose
+		// children all live at depth d or below and have reported).
+		for _, n := range order {
+			if n.depth != d-1 || n.isLeaf() {
+				continue
+			}
+			if _, done := states[n.id]; done {
+				continue
+			}
+			ready := true
+			for _, c := range n.children {
+				if _, ok := states[c]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			states[n.id] = s.aggregate(n, states)
+		}
+		depart = levelFinish
+	}
+	stats := s.topo.Net.Stats()
+	report.Bytes = stats.TotalBytes - before.TotalBytes
+	report.CommEnergyJ = stats.EnergyJ - before.EnergyJ
+	report.CommFinish = depart
+	return report, nil
+}
+
+// stateWireBytes is the transfer size of a node's training artifacts:
+// class hypervectors at 32 bits per dimension plus binarized batch
+// hypervectors at 1 bit per dimension.
+func (s *System) stateWireBytes(n *node, st *trainState) int {
+	bytes := 0
+	for _, c := range st.classHVs {
+		bytes += c.WireBytes()
+	}
+	for _, perClassBatches := range st.batches {
+		for _, bt := range perClassBatches {
+			bytes += bt.WireBytes()
+		}
+	}
+	return bytes
+}
+
+// equalizeTargetRMS is the per-component root-mean-square magnitude
+// every child class hypervector is rescaled to before concatenation.
+// Large enough that integer rounding is negligible, small enough that
+// stacked projections cannot overflow int32.
+const equalizeTargetRMS = 1024
+
+// modelRMS is the per-component RMS magnitude that aggregated class
+// hypervectors are normalized to when installed at internal nodes. It
+// keeps internal models on the same scale as a leaf bundle of a few
+// hundred samples, so retraining updates and online-feedback residual
+// subtractions (both ±1 per component per event) carry the same
+// relative weight everywhere in the tree.
+const modelRMS = 32
+
+// equalizeNorm rescales an accumulator to the common RMS component
+// magnitude, preserving its direction. Zero vectors pass through.
+func equalizeNorm(a hdc.Acc) hdc.Acc {
+	return equalizeNormTo(a, equalizeTargetRMS)
+}
+
+// equalizeNormTo rescales an accumulator to the given RMS component
+// magnitude, preserving its direction. Zero vectors pass through.
+func equalizeNormTo(a hdc.Acc, targetRMS float64) hdc.Acc {
+	norm := a.Norm()
+	if norm == 0 {
+		return a.Clone()
+	}
+	target := targetRMS * math.Sqrt(float64(a.Dim()))
+	scale := target / norm
+	ints := a.Ints()
+	for i, v := range ints {
+		ints[i] = int32(math.Round(float64(v) * scale))
+	}
+	return hdc.AccFromInts(ints)
+}
+
+// aggregate runs the internal-node side of §IV-B: hierarchically encode
+// the children's class hypervectors into this node's model, then
+// retrain on the hierarchically encoded batch hypervectors.
+func (s *System) aggregate(n *node, states map[netsim.NodeID]*trainState) *trainState {
+	st := &trainState{classHVs: make([]hdc.Acc, s.classes), batches: make([][]hdc.Bipolar, s.classes)}
+	// Class hypervectors: concat children per class, project (integer
+	// path preserves bundle magnitudes), install. Children are norm-
+	// equalized first: a child that went through its own projection (or
+	// heavy retraining) carries inflated component magnitudes, and
+	// without equalization it would drown its siblings' information in
+	// the parent's mixture — the holographic property demands that every
+	// child contributes with equal weight.
+	for c := 0; c < s.classes; c++ {
+		parts := make([]hdc.Acc, len(n.children))
+		for ci, child := range n.children {
+			parts[ci] = equalizeNorm(states[child].classHVs[c])
+		}
+		agg := equalizeNormTo(s.combineAcc(n, parts), modelRMS)
+		if err := n.model.SetClass(c, agg); err != nil {
+			panic(fmt.Sprintf("hierarchy: internal dimension bug: %v", err))
+		}
+	}
+	// Batch hypervectors: children produced identical batch counts per
+	// class (batches are defined by the shared label lists), so concat
+	// positionally and re-encode.
+	var retrainSamples []core.Sample
+	for c := 0; c < s.classes; c++ {
+		nb := len(states[n.children[0]].batches[c])
+		for bi := 0; bi < nb; bi++ {
+			parts := make([]hdc.Bipolar, len(n.children))
+			for ci, child := range n.children {
+				parts[ci] = states[child].batches[c][bi]
+			}
+			combined := s.combine(n, parts)
+			st.batches[c] = append(st.batches[c], combined)
+			retrainSamples = append(retrainSamples, core.Sample{HV: combined, Label: c})
+		}
+	}
+	stats := n.model.Retrain(retrainSamples, s.cfg.RetrainEpochs)
+	n.hvOps += int64(stats.Epochs) * int64(len(retrainSamples)) * int64(s.classes+1) * int64(n.dim)
+	for c := 0; c < s.classes; c++ {
+		st.classHVs[c] = n.model.Class(c)
+	}
+	return st
+}

@@ -1,0 +1,243 @@
+package netsim
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a node inside one Network.
+type NodeID int
+
+// InvalidNode is returned by lookups that fail.
+const InvalidNode NodeID = -1
+
+// link is a half-duplex tree edge between a child and its parent.
+type link struct {
+	child, parent NodeID
+	medium        Medium
+	lossRate      float64
+	// busyUntil tracks when the link becomes free in each direction
+	// (0: child→parent, 1: parent→child), serializing transfers.
+	busyUntil [2]float64
+	// accounting
+	bytes    int64
+	energyJ  float64
+	busySecs float64
+}
+
+// Network is a tree-topology network simulator. Nodes are added first,
+// then connected child→parent; transfers route along the unique tree
+// path. The simulator is single-threaded and deterministic: transfers
+// are processed in submission order, and a shared link delays later
+// transfers until earlier ones drain (half-duplex per direction).
+type Network struct {
+	names  []string
+	parent []NodeID
+	uplink []int // index into links for each node's link to its parent
+	links  []link
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{}
+}
+
+// AddNode registers a node and returns its ID.
+func (n *Network) AddNode(name string) NodeID {
+	n.names = append(n.names, name)
+	n.parent = append(n.parent, InvalidNode)
+	n.uplink = append(n.uplink, -1)
+	return NodeID(len(n.names) - 1)
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.names) }
+
+// Name returns a node's display name.
+func (n *Network) Name(id NodeID) string { return n.names[id] }
+
+// Parent returns a node's parent, or InvalidNode for a root.
+func (n *Network) Parent(id NodeID) NodeID { return n.parent[id] }
+
+// Connect attaches child to parent over medium m. Each node has at most
+// one parent; reconnecting returns an error.
+func (n *Network) Connect(child, parent NodeID, m Medium) error {
+	if child == parent {
+		return fmt.Errorf("netsim: cannot connect node %d to itself", child)
+	}
+	if n.parent[child] != InvalidNode {
+		return fmt.Errorf("netsim: node %d already has a parent", child)
+	}
+	// Reject cycles: walk up from parent; child must not appear.
+	for p := parent; p != InvalidNode; p = n.parent[p] {
+		if p == child {
+			return fmt.Errorf("netsim: connecting %d under %d would create a cycle", child, parent)
+		}
+	}
+	n.parent[child] = parent
+	n.links = append(n.links, link{child: child, parent: parent, medium: m})
+	n.uplink[child] = len(n.links) - 1
+	return nil
+}
+
+// SetLossRate sets the per-bit corruption probability of the child's
+// uplink, used by the Fig 12 failure injection.
+func (n *Network) SetLossRate(child NodeID, rate float64) error {
+	if n.uplink[child] < 0 {
+		return fmt.Errorf("netsim: node %d has no uplink", child)
+	}
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("netsim: loss rate %v out of [0,1]", rate)
+	}
+	n.links[n.uplink[child]].lossRate = rate
+	return nil
+}
+
+// LossRate returns the per-bit corruption probability on the child's
+// uplink (0 when the node has no uplink).
+func (n *Network) LossRate(child NodeID) float64 {
+	if n.uplink[child] < 0 {
+		return 0
+	}
+	return n.links[n.uplink[child]].lossRate
+}
+
+// PathUp returns the chain of node IDs from `from` up to `to`, both
+// inclusive; `to` must be an ancestor of `from` (or equal).
+func (n *Network) PathUp(from, to NodeID) ([]NodeID, error) {
+	path := []NodeID{from}
+	for cur := from; cur != to; {
+		p := n.parent[cur]
+		if p == InvalidNode {
+			return nil, fmt.Errorf("netsim: %q is not an ancestor of %q", n.names[to], n.names[from])
+		}
+		path = append(path, p)
+		cur = p
+	}
+	return path, nil
+}
+
+// Depth returns the number of hops from the node to the root.
+func (n *Network) Depth(id NodeID) int {
+	d := 0
+	for p := n.parent[id]; p != InvalidNode; p = n.parent[p] {
+		d++
+	}
+	return d
+}
+
+// Root returns the root above id.
+func (n *Network) Root(id NodeID) NodeID {
+	cur := id
+	for n.parent[cur] != InvalidNode {
+		cur = n.parent[cur]
+	}
+	return cur
+}
+
+// Children returns the direct children of id in insertion order.
+func (n *Network) Children(id NodeID) []NodeID {
+	var out []NodeID
+	for c, p := range n.parent {
+		if p == id {
+			out = append(out, NodeID(c))
+		}
+	}
+	return out
+}
+
+// Leaves returns all nodes without children, in insertion order.
+func (n *Network) Leaves() []NodeID {
+	hasChild := make([]bool, len(n.parent))
+	for _, p := range n.parent {
+		if p != InvalidNode {
+			hasChild[p] = true
+		}
+	}
+	var out []NodeID
+	for i, h := range hasChild {
+		if !h {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+const (
+	dirUp   = 0
+	dirDown = 1
+)
+
+// hop moves bytes across a single link in the given direction, starting
+// no earlier than depart, and returns the arrival time.
+func (n *Network) hop(li int, dir int, bytes int, depart float64) float64 {
+	l := &n.links[li]
+	start := depart
+	if l.busyUntil[dir] > start {
+		start = l.busyUntil[dir]
+	}
+	tx := l.medium.TransferSeconds(bytes)
+	l.busyUntil[dir] = start + tx
+	l.bytes += int64(bytes)
+	l.energyJ += float64(bytes) * l.medium.JoulesPerByte
+	l.busySecs += tx
+	return start + tx + l.medium.Latency.Seconds()
+}
+
+// Send moves bytes from one node to an ancestor or descendant, hop by
+// hop, departing at the given simulation time. It returns the arrival
+// time at the destination. Sends between nodes that are not in an
+// ancestor relationship return an error (the hierarchy never needs
+// sibling traffic; everything flows up or down the tree).
+func (n *Network) Send(from, to NodeID, bytes int, depart float64) (float64, error) {
+	if from == to {
+		return depart, nil
+	}
+	if path, err := n.PathUp(from, to); err == nil {
+		t := depart
+		for i := 0; i < len(path)-1; i++ {
+			t = n.hop(n.uplink[path[i]], dirUp, bytes, t)
+		}
+		return t, nil
+	}
+	path, err := n.PathUp(to, from)
+	if err != nil {
+		return 0, fmt.Errorf("netsim: no tree path between %q and %q", n.names[from], n.names[to])
+	}
+	// Walk downward: traverse the reversed up-path from `from` to `to`.
+	t := depart
+	for i := len(path) - 1; i > 0; i-- {
+		t = n.hop(n.uplink[path[i-1]], dirDown, bytes, t)
+	}
+	return t, nil
+}
+
+// Stats aggregates network accounting.
+type Stats struct {
+	// TotalBytes moved across all links (each hop counts once).
+	TotalBytes int64
+	// EnergyJ is the total transmit energy in joules.
+	EnergyJ float64
+	// BusySeconds sums per-link serialization time.
+	BusySeconds float64
+}
+
+// Stats returns the accumulated accounting since the last Reset.
+func (n *Network) Stats() Stats {
+	var s Stats
+	for i := range n.links {
+		s.TotalBytes += n.links[i].bytes
+		s.EnergyJ += n.links[i].energyJ
+		s.BusySeconds += n.links[i].busySecs
+	}
+	return s
+}
+
+// Reset clears link business and accounting, keeping the topology.
+func (n *Network) Reset() {
+	for i := range n.links {
+		n.links[i].busyUntil = [2]float64{}
+		n.links[i].bytes = 0
+		n.links[i].energyJ = 0
+		n.links[i].busySecs = 0
+	}
+}

@@ -1,0 +1,201 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology bundles a built network with the roles of its nodes, in the
+// shapes the evaluation uses: STAR (all end nodes directly under the
+// central node, §VI-A), the three-level TREE (gateways with two end-node
+// children), the PECAN four-level city tree (§VI-C), and arbitrary-depth
+// grouping trees (Fig 13).
+type Topology struct {
+	Net *Network
+	// Central is the root node.
+	Central NodeID
+	// EndNodes are the leaf devices, in end-node index order.
+	EndNodes []NodeID
+	// Levels[l] lists the nodes at depth l (Levels[0] = {Central}).
+	Levels [][]NodeID
+}
+
+// NumLevels returns the depth of the topology including the central
+// node's level.
+func (t *Topology) NumLevels() int { return len(t.Levels) }
+
+// Star builds the STAR topology: nEnd end nodes directly connected to
+// the central node over medium m.
+func Star(nEnd int, m Medium) (*Topology, error) {
+	if nEnd < 1 {
+		return nil, fmt.Errorf("netsim: star needs at least one end node, got %d", nEnd)
+	}
+	net := New()
+	central := net.AddNode("central")
+	topo := &Topology{Net: net, Central: central, Levels: [][]NodeID{{central}, nil}}
+	for i := 0; i < nEnd; i++ {
+		end := net.AddNode(fmt.Sprintf("end-%d", i))
+		if err := net.Connect(end, central, m); err != nil {
+			return nil, err
+		}
+		topo.EndNodes = append(topo.EndNodes, end)
+		topo.Levels[1] = append(topo.Levels[1], end)
+	}
+	return topo, nil
+}
+
+// Tree builds the paper's three-level TREE topology: gateways each take
+// groupSize end nodes (the paper uses two); the central node connects
+// the gateways, and when the end-node count does not divide evenly the
+// remainder attaches directly to the central node (mirroring §VI-A:
+// "two gateways ... and one end node remains"). All links use medium m.
+func Tree(nEnd, groupSize int, m Medium) (*Topology, error) {
+	if nEnd < 1 || groupSize < 1 {
+		return nil, fmt.Errorf("netsim: invalid tree shape nEnd=%d group=%d", nEnd, groupSize)
+	}
+	net := New()
+	central := net.AddNode("central")
+	topo := &Topology{Net: net, Central: central, Levels: [][]NodeID{{central}, nil, nil}}
+	full := nEnd / groupSize
+	for g := 0; g < full; g++ {
+		gw := net.AddNode(fmt.Sprintf("gateway-%d", g))
+		if err := net.Connect(gw, central, m); err != nil {
+			return nil, err
+		}
+		topo.Levels[1] = append(topo.Levels[1], gw)
+		for j := 0; j < groupSize; j++ {
+			end := net.AddNode(fmt.Sprintf("end-%d", g*groupSize+j))
+			if err := net.Connect(end, gw, m); err != nil {
+				return nil, err
+			}
+			topo.EndNodes = append(topo.EndNodes, end)
+			topo.Levels[2] = append(topo.Levels[2], end)
+		}
+	}
+	for i := full * groupSize; i < nEnd; i++ {
+		end := net.AddNode(fmt.Sprintf("end-%d", i))
+		if err := net.Connect(end, central, m); err != nil {
+			return nil, err
+		}
+		topo.EndNodes = append(topo.EndNodes, end)
+		// A leftover end node hangs at depth 1 but logically remains an
+		// end node; it appears in Levels[1] alongside the gateways.
+		topo.Levels[1] = append(topo.Levels[1], end)
+	}
+	if len(topo.Levels[2]) == 0 {
+		topo.Levels = topo.Levels[:2]
+	}
+	return topo, nil
+}
+
+// GroupedSizes builds a tree by applying successive group sizes bottom-
+// up and then attaching whatever remains to a single root. PECAN's §VI-C
+// city (Fig 8) is GroupedSizes(312, []int{12, 7}, m): 312 appliances →
+// 26 houses (12 appliances each) → 4 streets (6–7 houses each) → one
+// city node, a four-level hierarchy. All links use medium m.
+func GroupedSizes(nEnd int, sizes []int, m Medium) (*Topology, error) {
+	if nEnd < 1 {
+		return nil, fmt.Errorf("netsim: invalid end-node count %d", nEnd)
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("netsim: invalid group size %d", s)
+		}
+	}
+	net := New()
+	topo := &Topology{Net: net}
+	current := make([]NodeID, nEnd)
+	for i := range current {
+		current[i] = net.AddNode(fmt.Sprintf("end-%d", i))
+	}
+	topo.EndNodes = append([]NodeID(nil), current...)
+	levelsBottomUp := [][]NodeID{append([]NodeID(nil), current...)}
+	for li, size := range sizes {
+		var parents []NodeID
+		for start := 0; start < len(current); start += size {
+			end := start + size
+			if end > len(current) {
+				end = len(current)
+			}
+			p := net.AddNode(fmt.Sprintf("agg-%d-%d", li+1, start/size))
+			for _, c := range current[start:end] {
+				if err := net.Connect(c, p, m); err != nil {
+					return nil, err
+				}
+			}
+			parents = append(parents, p)
+		}
+		levelsBottomUp = append(levelsBottomUp, parents)
+		current = parents
+	}
+	root := net.AddNode("central")
+	for _, c := range current {
+		if err := net.Connect(c, root, m); err != nil {
+			return nil, err
+		}
+	}
+	levelsBottomUp = append(levelsBottomUp, []NodeID{root})
+	topo.Central = root
+	for i := len(levelsBottomUp) - 1; i >= 0; i-- {
+		topo.Levels = append(topo.Levels, levelsBottomUp[i])
+	}
+	return topo, nil
+}
+
+// Grouped builds a grouping tree of exactly `levels` levels over nEnd
+// end nodes: the branching factor is derived as ⌈nEnd^(1/(levels−1))⌉ so
+// the leaves shrink to a single root in exactly levels−1 groupings
+// (degenerating to unary aggregators when nEnd is too small for the
+// requested depth). Fig 13 uses this to sweep hierarchy depths 3–7 over
+// the 312 PECAN appliances. All links use medium m.
+func Grouped(nEnd, levels int, m Medium) (*Topology, error) {
+	if nEnd < 1 || levels < 2 {
+		return nil, fmt.Errorf("netsim: invalid grouped shape nEnd=%d levels=%d", nEnd, levels)
+	}
+	branch := int(math.Ceil(math.Pow(float64(nEnd), 1/float64(levels-1))))
+	if branch < 2 {
+		branch = 2
+	}
+	net := New()
+	topo := &Topology{Net: net}
+	current := make([]NodeID, nEnd)
+	for i := range current {
+		current[i] = net.AddNode(fmt.Sprintf("end-%d", i))
+	}
+	topo.EndNodes = append([]NodeID(nil), current...)
+	levelsBottomUp := [][]NodeID{append([]NodeID(nil), current...)}
+	for level := 1; level < levels; level++ {
+		var parents []NodeID
+		if level == levels-1 {
+			// Final grouping: everything remaining under one root.
+			root := net.AddNode("central")
+			for _, c := range current {
+				if err := net.Connect(c, root, m); err != nil {
+					return nil, err
+				}
+			}
+			parents = []NodeID{root}
+		} else {
+			for start := 0; start < len(current); start += branch {
+				end := start + branch
+				if end > len(current) {
+					end = len(current)
+				}
+				p := net.AddNode(fmt.Sprintf("agg-%d-%d", level, start/branch))
+				for _, c := range current[start:end] {
+					if err := net.Connect(c, p, m); err != nil {
+						return nil, err
+					}
+				}
+				parents = append(parents, p)
+			}
+		}
+		levelsBottomUp = append(levelsBottomUp, parents)
+		current = parents
+	}
+	topo.Central = current[0]
+	for i := len(levelsBottomUp) - 1; i >= 0; i-- {
+		topo.Levels = append(topo.Levels, levelsBottomUp[i])
+	}
+	return topo, nil
+}

@@ -1,0 +1,228 @@
+// Package wire defines the binary message format EdgeHD devices
+// exchange: binarized hypervectors at one bit per dimension, integer
+// accumulators (class hypervectors, residuals) at 32 bits per
+// dimension, and framed messages with a type tag — the concrete bytes
+// behind the communication accounting of internal/netsim, used by the
+// live cluster runtime of internal/cluster.
+//
+// All integers are little-endian. Every frame starts with:
+//
+//	byte 0      message type
+//	bytes 1-4   payload length (uint32)
+//
+// followed by the type-specific payload. Hypervector payloads carry
+// their dimensionality so receivers can validate before use.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"edgehd/internal/hdc"
+)
+
+// MsgType tags a frame.
+type MsgType uint8
+
+// Message types exchanged during hierarchical learning.
+const (
+	// MsgClassHV carries one class accumulator hypervector.
+	MsgClassHV MsgType = iota + 1
+	// MsgBatchHV carries one binarized batch hypervector.
+	MsgBatchHV
+	// MsgQuery carries one binarized query hypervector.
+	MsgQuery
+	// MsgResidual carries one residual accumulator hypervector.
+	MsgResidual
+	// MsgModel carries a full model: k class accumulators.
+	MsgModel
+	// MsgDone signals the end of a node's transmission for a phase.
+	MsgDone
+)
+
+// maxPayload bounds a frame payload to keep a corrupted length prefix
+// from allocating unbounded memory (64 MiB is far above any real
+// hypervector message).
+const maxPayload = 64 << 20
+
+// Header is the per-message metadata.
+type Header struct {
+	Type MsgType
+	// Class is the class index for class/batch/residual payloads.
+	Class int32
+	// Batch is the batch index for batch payloads.
+	Batch int32
+}
+
+// Message is one framed unit.
+type Message struct {
+	Header Header
+	// Bipolar payload (MsgBatchHV, MsgQuery).
+	Bipolar hdc.Bipolar
+	// Acc payload (MsgClassHV, MsgResidual).
+	Acc hdc.Acc
+	// Model payload (MsgModel).
+	Model []hdc.Acc
+}
+
+// MarshalBipolar encodes a packed hypervector: uint32 dim followed by
+// the packed words.
+func MarshalBipolar(b hdc.Bipolar) []byte {
+	words := b.Words()
+	out := make([]byte, 4+8*len(words))
+	binary.LittleEndian.PutUint32(out, uint32(b.Dim()))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(out[4+8*i:], w)
+	}
+	return out
+}
+
+// UnmarshalBipolar decodes a packed hypervector.
+func UnmarshalBipolar(data []byte) (hdc.Bipolar, error) {
+	if len(data) < 4 {
+		return hdc.Bipolar{}, fmt.Errorf("wire: bipolar payload too short (%d bytes)", len(data))
+	}
+	dim := int(binary.LittleEndian.Uint32(data))
+	nWords := (dim + 63) / 64
+	if len(data) != 4+8*nWords {
+		return hdc.Bipolar{}, fmt.Errorf("wire: bipolar payload %d bytes, want %d for dim %d", len(data), 4+8*nWords, dim)
+	}
+	words := make([]uint64, nWords)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[4+8*i:])
+	}
+	return hdc.BipolarFromWords(dim, words)
+}
+
+// MarshalAcc encodes an accumulator: uint32 dim followed by int32
+// components.
+func MarshalAcc(a hdc.Acc) []byte {
+	ints := a.Ints()
+	out := make([]byte, 4+4*len(ints))
+	binary.LittleEndian.PutUint32(out, uint32(a.Dim()))
+	for i, v := range ints {
+		binary.LittleEndian.PutUint32(out[4+4*i:], uint32(v))
+	}
+	return out
+}
+
+// UnmarshalAcc decodes an accumulator.
+func UnmarshalAcc(data []byte) (hdc.Acc, error) {
+	if len(data) < 4 {
+		return hdc.Acc{}, fmt.Errorf("wire: acc payload too short (%d bytes)", len(data))
+	}
+	dim := int(binary.LittleEndian.Uint32(data))
+	if len(data) != 4+4*dim {
+		return hdc.Acc{}, fmt.Errorf("wire: acc payload %d bytes, want %d for dim %d", len(data), 4+4*dim, dim)
+	}
+	ints := make([]int32, dim)
+	for i := range ints {
+		ints[i] = int32(binary.LittleEndian.Uint32(data[4+4*i:]))
+	}
+	return hdc.AccFromInts(ints), nil
+}
+
+// headerBytes is the fixed frame prefix: type, payload length, class,
+// batch.
+const headerBytes = 1 + 4 + 4 + 4
+
+// Write frames and writes a message.
+func Write(w io.Writer, m Message) error {
+	var payload []byte
+	switch m.Header.Type {
+	case MsgBatchHV, MsgQuery:
+		payload = MarshalBipolar(m.Bipolar)
+	case MsgClassHV, MsgResidual:
+		payload = MarshalAcc(m.Acc)
+	case MsgModel:
+		payload = append(payload, make([]byte, 4)...)
+		binary.LittleEndian.PutUint32(payload, uint32(len(m.Model)))
+		for _, a := range m.Model {
+			p := MarshalAcc(a)
+			var lenBuf [4]byte
+			binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(p)))
+			payload = append(payload, lenBuf[:]...)
+			payload = append(payload, p...)
+		}
+	case MsgDone:
+		// no payload
+	default:
+		return fmt.Errorf("wire: unknown message type %d", m.Header.Type)
+	}
+	head := make([]byte, headerBytes)
+	head[0] = byte(m.Header.Type)
+	binary.LittleEndian.PutUint32(head[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[5:], uint32(m.Header.Class))
+	binary.LittleEndian.PutUint32(head[9:], uint32(m.Header.Batch))
+	if _, err := w.Write(head); err != nil {
+		return fmt.Errorf("wire: writing header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wire: writing payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read reads one framed message.
+func Read(r io.Reader) (Message, error) {
+	head := make([]byte, headerBytes)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return Message{}, fmt.Errorf("wire: reading header: %w", err)
+	}
+	m := Message{Header: Header{
+		Type:  MsgType(head[0]),
+		Class: int32(binary.LittleEndian.Uint32(head[5:])),
+		Batch: int32(binary.LittleEndian.Uint32(head[9:])),
+	}}
+	n := binary.LittleEndian.Uint32(head[1:])
+	if n > maxPayload {
+		return Message{}, fmt.Errorf("wire: payload of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	switch m.Header.Type {
+	case MsgBatchHV, MsgQuery:
+		b, err := UnmarshalBipolar(payload)
+		if err != nil {
+			return Message{}, err
+		}
+		m.Bipolar = b
+	case MsgClassHV, MsgResidual:
+		a, err := UnmarshalAcc(payload)
+		if err != nil {
+			return Message{}, err
+		}
+		m.Acc = a
+	case MsgModel:
+		if len(payload) < 4 {
+			return Message{}, fmt.Errorf("wire: model payload too short")
+		}
+		count := binary.LittleEndian.Uint32(payload)
+		off := 4
+		for i := uint32(0); i < count; i++ {
+			if off+4 > len(payload) {
+				return Message{}, fmt.Errorf("wire: truncated model payload")
+			}
+			l := int(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+			if off+l > len(payload) {
+				return Message{}, fmt.Errorf("wire: truncated model entry")
+			}
+			a, err := UnmarshalAcc(payload[off : off+l])
+			if err != nil {
+				return Message{}, err
+			}
+			m.Model = append(m.Model, a)
+			off += l
+		}
+	case MsgDone:
+	default:
+		return Message{}, fmt.Errorf("wire: unknown message type %d", m.Header.Type)
+	}
+	return m, nil
+}

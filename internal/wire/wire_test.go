@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"edgehd/internal/hdc"
+	"edgehd/internal/rng"
+)
+
+func TestBipolarRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, dim := range []int{1, 63, 64, 65, 1000, 4000} {
+		b := hdc.RandomBipolar(dim, r)
+		got, err := UnmarshalBipolar(MarshalBipolar(b))
+		if err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		if !got.Equal(b) {
+			t.Fatalf("dim %d: round trip lost data", dim)
+		}
+	}
+}
+
+func TestAccRoundTrip(t *testing.T) {
+	a := hdc.AccFromInts([]int32{0, 1, -1, 1 << 30, -(1 << 30), 42})
+	got, err := UnmarshalAcc(MarshalAcc(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Dim(); i++ {
+		if got.Get(i) != a.Get(i) {
+			t.Fatalf("component %d: %d != %d", i, got.Get(i), a.Get(i))
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalBipolar([]byte{1, 2}); err == nil {
+		t.Fatal("short bipolar accepted")
+	}
+	if _, err := UnmarshalBipolar([]byte{100, 0, 0, 0, 1}); err == nil {
+		t.Fatal("mismatched bipolar length accepted")
+	}
+	if _, err := UnmarshalAcc([]byte{9}); err == nil {
+		t.Fatal("short acc accepted")
+	}
+	if _, err := UnmarshalAcc([]byte{3, 0, 0, 0, 1, 2}); err == nil {
+		t.Fatal("mismatched acc length accepted")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	r := rng.New(2)
+	acc := hdc.NewAcc(100)
+	acc.AddBipolar(hdc.RandomBipolar(100, r))
+	cases := []Message{
+		{Header: Header{Type: MsgQuery}, Bipolar: hdc.RandomBipolar(257, r)},
+		{Header: Header{Type: MsgBatchHV, Class: 2, Batch: 7}, Bipolar: hdc.RandomBipolar(64, r)},
+		{Header: Header{Type: MsgClassHV, Class: 1}, Acc: acc},
+		{Header: Header{Type: MsgResidual, Class: 3}, Acc: acc},
+		{Header: Header{Type: MsgModel}, Model: []hdc.Acc{acc, acc.Clone()}},
+		{Header: Header{Type: MsgDone}},
+	}
+	var buf bytes.Buffer
+	for _, m := range cases {
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("write %d: %v", m.Header.Type, err)
+		}
+	}
+	for _, want := range cases {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", want.Header.Type, err)
+		}
+		if got.Header != want.Header {
+			t.Fatalf("header %+v != %+v", got.Header, want.Header)
+		}
+		switch want.Header.Type {
+		case MsgQuery, MsgBatchHV:
+			if !got.Bipolar.Equal(want.Bipolar) {
+				t.Fatal("bipolar payload mismatch")
+			}
+		case MsgClassHV, MsgResidual:
+			if got.Acc.Dim() != want.Acc.Dim() || got.Acc.DotAcc(want.Acc) != want.Acc.DotAcc(want.Acc) {
+				t.Fatal("acc payload mismatch")
+			}
+		case MsgModel:
+			if len(got.Model) != len(want.Model) {
+				t.Fatalf("model count %d != %d", len(got.Model), len(want.Model))
+			}
+		}
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+}
+
+func TestWriteUnknownType(t *testing.T) {
+	if err := Write(io.Discard, Message{Header: Header{Type: 99}}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestReadUnknownType(t *testing.T) {
+	// Hand-craft a frame with a bogus type byte.
+	frame := make([]byte, 13)
+	frame[0] = 200
+	if _, err := Read(bytes.NewReader(frame)); err == nil {
+		t.Fatal("unknown type accepted on read")
+	}
+}
+
+func TestReadOversizedPayloadRejected(t *testing.T) {
+	frame := make([]byte, 13)
+	frame[0] = byte(MsgQuery)
+	// 1 GiB claimed payload length.
+	frame[1], frame[2], frame[3], frame[4] = 0, 0, 0, 0x40
+	if _, err := Read(bytes.NewReader(frame)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestWireSizeMatchesAccounting(t *testing.T) {
+	// The netsim byte accounting assumes 1 bit/dim for binary and 32
+	// bits/dim for accumulators; the real wire format should be within
+	// a small framing overhead of that.
+	r := rng.New(3)
+	b := hdc.RandomBipolar(4000, r)
+	if got, logical := len(MarshalBipolar(b)), b.WireBytes(); got > logical+16 {
+		t.Fatalf("bipolar wire size %d far above logical %d", got, logical)
+	}
+	a := hdc.NewAcc(4000)
+	if got, logical := len(MarshalAcc(a)), a.WireBytes(); got > logical+16 {
+		t.Fatalf("acc wire size %d far above logical %d", got, logical)
+	}
+}
+
+// Property: arbitrary random hypervectors survive the frame round trip.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(seed uint64, dimRaw uint16, class, batch int32) bool {
+		dim := int(dimRaw)%2048 + 1
+		r := rng.New(seed)
+		m := Message{
+			Header:  Header{Type: MsgBatchHV, Class: class, Batch: batch},
+			Bipolar: hdc.RandomBipolar(dim, r),
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Header == m.Header && got.Bipolar.Equal(m.Bipolar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
