@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench clean
+
+# Tier-1 gate: everything CI needs to pass, plus a short instrumented
+# bench run that leaves a machine-readable metrics snapshot behind.
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A quick instrumented run of the routed-inference pipeline; the
+# telemetry snapshot (counters, histograms, spans) lands in
+# BENCH_smoke.json via the -metrics-out flag.
+bench-smoke:
+	$(GO) run ./cmd/edgehd -dataset PDP -dim 1500 -train 200 -test 80 \
+		-epochs 3 -metrics-out BENCH_smoke.json
+
+# Full benchmark suite (one bench per table/figure plus kernels).
+bench:
+	$(GO) test -bench=. -benchmem -run=XXX .
+
+clean:
+	rm -f BENCH_*.json

@@ -8,6 +8,7 @@ import (
 	"edgehd/internal/hierarchy"
 	"edgehd/internal/netsim"
 	"edgehd/internal/rng"
+	"edgehd/internal/telemetry"
 )
 
 // Re-exported core types. Aliases keep the implementation in internal
@@ -50,6 +51,18 @@ type (
 	DatasetSpec = dataset.Spec
 	// NodeID identifies a device within one Network.
 	NodeID = netsim.NodeID
+	// Telemetry is the concurrency-safe metrics registry (counters,
+	// gauges, p50/p95/p99 histograms). A nil *Telemetry disables
+	// collection at zero cost (nil-receiver no-op pattern).
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time JSON-ready copy of every
+	// metric in a Telemetry registry.
+	TelemetrySnapshot = telemetry.Snapshot
+	// Tracer records spans of the hot paths (encode, train, routed
+	// inference, residual propagation) into a bounded ring.
+	Tracer = telemetry.Tracer
+	// TraceSpan is one completed traced operation with its attributes.
+	TraceSpan = telemetry.Span
 )
 
 // InvalidNode is returned by failed node lookups (e.g. the parent of a
@@ -63,6 +76,7 @@ type classifierConfig struct {
 	lengthScale float64
 	seed        uint64
 	dense       bool
+	telemetry   *telemetry.Registry
 }
 
 // Option configures NewClassifier.
@@ -95,6 +109,23 @@ func WithDenseEncoder() Option {
 	return func(c *classifierConfig) { c.dense = true }
 }
 
+// WithTelemetry attaches a metrics registry to the classifier so
+// encode latency, prediction counts and training volume surface as
+// clf_* metrics. Pass nil (or omit) to disable collection.
+func WithTelemetry(reg *Telemetry) Option {
+	return func(c *classifierConfig) { c.telemetry = reg }
+}
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewTracer returns a tracer retaining the last capacity spans. reg
+// may be nil; when set, span durations also feed span_seconds
+// histograms in the registry.
+func NewTracer(capacity int, reg *Telemetry) *Tracer {
+	return telemetry.NewTracer(capacity, reg)
+}
+
 // NewClassifier builds a centralized EdgeHD classifier for feature
 // vectors of length n and k classes, using the paper's defaults
 // (D = 4000, 80% sparsity) unless overridden by options.
@@ -109,7 +140,11 @@ func NewClassifier(n, k int, opts ...Option) *Classifier {
 	} else {
 		enc = encoding.NewSparse(n, cfg.dim, cfg.seed, encoding.SparseConfig{Sparsity: cfg.sparsity, LengthScale: cfg.lengthScale})
 	}
-	return core.NewClassifier(enc, k)
+	clf := core.NewClassifier(enc, k)
+	if cfg.telemetry != nil {
+		clf.SetTelemetry(cfg.telemetry)
+	}
+	return clf
 }
 
 // NewNonlinearEncoder exposes the dense §III-A encoder directly.

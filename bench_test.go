@@ -222,11 +222,16 @@ func BenchmarkAssociativeSearch(b *testing.B) {
 }
 
 func BenchmarkHierarchicalProjection(b *testing.B) {
-	p := hierarchy.NewProjection(4000, 4000, 64, 5)
+	p, err := hierarchy.NewProjection(4000, 4000, 64, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
 	in := hdc.RandomBipolar(4000, rng.New(6))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.Bipolar(in)
+		if _, err := p.Bipolar(in); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -6,7 +6,13 @@
 //
 //	edgehd -dataset PDP [-topology tree|star] [-dim 4000] [-train 600]
 //	       [-test 250] [-epochs 10] [-medium WiFi-802.11ac] [-seed 42]
-//	       [-online]
+//	       [-online] [-debug-addr localhost:6060] [-metrics-out FILE]
+//
+// With -debug-addr a debug HTTP server exposes the live metrics
+// registry (/debug/metrics), recent trace spans (/debug/spans), expvar
+// (/debug/vars) and pprof (/debug/pprof/). With -metrics-out a JSON
+// snapshot of all metrics and retained spans is written at exit, so
+// benchmark runs produce machine-readable BENCH_*.json trajectories.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"strings"
 
 	"edgehd"
+	"edgehd/internal/telemetry"
 )
 
 func main() {
@@ -37,8 +44,37 @@ func run(args []string) error {
 	listMediums := fs.Bool("listmediums", false, "list available mediums and exit")
 	seed := fs.Uint64("seed", 42, "random seed")
 	online := fs.Bool("online", false, "stream half the data as online negative feedback")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans, expvar and pprof on this address (e.g. localhost:6060)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics+spans snapshot to this file at exit")
+	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Telemetry is collected whenever there is somewhere for it to go.
+	var reg *edgehd.Telemetry
+	var tracer *edgehd.Tracer
+	if *debugAddr != "" || *metricsOut != "" {
+		reg = edgehd.NewTelemetry()
+		tracer = edgehd.NewTracer(*traceCap, reg)
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		reg.Publish("edgehd")
+		fmt.Printf("debug server listening on http://%s/ (metrics, spans, expvar, pprof)\n", srv.Addr())
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := telemetry.WriteSnapshotFile(*metricsOut, reg, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "edgehd:", err)
+			} else {
+				fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+			}
+		}()
 	}
 	if *listMediums {
 		for _, m := range edgehd.Mediums() {
@@ -56,7 +92,8 @@ func run(args []string) error {
 		spec.Name, spec.Features, spec.Classes, spec.EndNodes, len(d.TrainX), len(d.TestX))
 
 	if !spec.Hierarchical() {
-		clf := edgehd.NewClassifier(spec.Features, spec.Classes, edgehd.WithDimension(*dim), edgehd.WithSeed(*seed))
+		clf := edgehd.NewClassifier(spec.Features, spec.Classes,
+			edgehd.WithDimension(*dim), edgehd.WithSeed(*seed), edgehd.WithTelemetry(reg))
 		if _, err := clf.Fit(d.TrainX, d.TrainY, *epochs); err != nil {
 			return err
 		}
@@ -93,6 +130,8 @@ func run(args []string) error {
 		TotalDim:      *dim,
 		RetrainEpochs: *epochs,
 		Seed:          *seed,
+		Telemetry:     reg,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return err

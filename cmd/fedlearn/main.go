@@ -7,7 +7,11 @@
 // Usage:
 //
 //	fedlearn [-dataset APRI] [-workers 4] [-dim 4000] [-train 600]
-//	         [-test 250] [-seed 42]
+//	         [-test 250] [-seed 42] [-debug-addr ADDR] [-metrics-out FILE]
+//
+// -debug-addr serves live metrics, expvar and pprof while the round
+// runs; -metrics-out writes a JSON telemetry snapshot (per-worker
+// encode/predict/training counters) at exit.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"edgehd/internal/cluster"
 	"edgehd/internal/dataset"
+	"edgehd/internal/telemetry"
 )
 
 func main() {
@@ -37,11 +42,36 @@ func run(args []string) error {
 	train := fs.Int("train", 600, "total training samples (split across workers)")
 	test := fs.Int("test", 250, "test samples")
 	seed := fs.Uint64("seed", 42, "random seed")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, expvar and pprof on this address")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 1 {
 		return fmt.Errorf("need at least one worker")
+	}
+
+	var reg *telemetry.Registry
+	if *debugAddr != "" || *metricsOut != "" {
+		reg = telemetry.New()
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		reg.Publish("fedlearn")
+		fmt.Printf("debug server listening on http://%s/\n", srv.Addr())
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := telemetry.WriteSnapshotFile(*metricsOut, reg, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fedlearn:", err)
+			} else {
+				fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+			}
+		}()
 	}
 
 	spec, err := dataset.ByName(strings.ToUpper(*name))
@@ -125,6 +155,7 @@ func run(args []string) error {
 				workerErrs <- err
 				return
 			}
+			w.Classifier().SetTelemetry(reg)
 			if err := w.Train(shard.X, shard.Y); err != nil {
 				workerErrs <- err
 				return

@@ -7,10 +7,13 @@
 //
 //	paper [-exp all|fig7|table2|fig8|fig9|fig10|fig11|fig12|fig13|ablations]
 //	      [-train N] [-test N] [-dim D] [-epochs E] [-seed S] [-full]
+//	      [-debug-addr ADDR] [-metrics-out FILE]
 //
 // -full selects paper-scale parameters (more samples, D = 4000, 20
 // retraining epochs); the default is a fast profile that reproduces
-// every qualitative shape in a couple of minutes.
+// every qualitative shape in a couple of minutes. -debug-addr serves
+// live metrics/spans/pprof while experiments run; -metrics-out writes
+// a JSON telemetry snapshot at exit.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"edgehd/internal/experiments"
+	"edgehd/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +42,36 @@ func run(args []string) error {
 	epochs := fs.Int("epochs", 0, "retraining epochs (0 = profile default)")
 	seed := fs.Uint64("seed", 42, "random seed")
 	full := fs.Bool("full", false, "paper-scale profile (slower)")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans, expvar and pprof on this address")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics+spans snapshot to this file at exit")
+	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *debugAddr != "" || *metricsOut != "" {
+		reg = telemetry.New()
+		tracer = telemetry.NewTracer(*traceCap, reg)
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		reg.Publish("paper")
+		fmt.Printf("debug server listening on http://%s/\n", srv.Addr())
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := telemetry.WriteSnapshotFile(*metricsOut, reg, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "paper:", err)
+			} else {
+				fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+			}
+		}()
 	}
 
 	opts := experiments.Options{MaxTrain: 600, MaxTest: 250, Dim: 4000, RetrainEpochs: 10, Seed: *seed}
@@ -58,6 +90,8 @@ func run(args []string) error {
 	if *epochs > 0 {
 		opts.RetrainEpochs = *epochs
 	}
+	opts.Telemetry = reg
+	opts.Tracer = tracer
 
 	type job struct {
 		name string

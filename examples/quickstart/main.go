@@ -5,7 +5,6 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 
 	"edgehd"
@@ -26,18 +25,18 @@ func run() error {
 	)
 	// Three synthetic "activities", each a Gaussian cluster in sensor
 	// space (accelerometer-style features).
-	rng := rand.New(rand.NewSource(7))
+	rng := edgehd.NewRandom(7)
 	centers := make([][]float64, numClasses)
 	for c := range centers {
 		centers[c] = make([]float64, numFeatures)
 		for i := range centers[c] {
-			centers[c][i] = rng.NormFloat64() * 2
+			centers[c][i] = rng.Norm() * 2
 		}
 	}
 	sample := func(c int) []float64 {
 		x := make([]float64, numFeatures)
 		for i := range x {
-			x[i] = centers[c][i] + 0.5*rng.NormFloat64()
+			x[i] = centers[c][i] + 0.5*rng.Norm()
 		}
 		return x
 	}
@@ -78,7 +77,7 @@ func run() error {
 	fmt.Printf("clean sample      → class %d, confidence %.2f\n", class, conf)
 	noise := make([]float64, numFeatures)
 	for i := range noise {
-		noise[i] = rng.NormFloat64() * 5
+		noise[i] = rng.Norm() * 5
 	}
 	class, conf = clf.PredictConfidence(noise)
 	fmt.Printf("random nonsense   → class %d, confidence %.2f (low: escalate or reject)\n", class, conf)

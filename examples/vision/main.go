@@ -7,11 +7,11 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 
 	"edgehd/internal/core"
 	"edgehd/internal/encoding"
+	"edgehd/internal/rng"
 )
 
 const (
@@ -28,7 +28,7 @@ func main() {
 
 // glyph renders one of four shapes (bar, box, cross, diagonal) at an
 // offset, with pixel noise.
-func glyph(class int, dx, dy int, noise float64, rng *rand.Rand) []float64 {
+func glyph(class int, dx, dy int, noise float64, rng *rng.Source) []float64 {
 	img := make([]float64, side*side)
 	set := func(x, y int) {
 		x += dx
@@ -70,7 +70,7 @@ func glyph(class int, dx, dy int, noise float64, rng *rand.Rand) []float64 {
 }
 
 func run() error {
-	rng := rand.New(rand.NewSource(3))
+	src := rng.New(3)
 	enc := encoding.NewImage2D(side, side, 4000, 11, 2)
 	model := core.NewModel(enc.Dim(), classes)
 
@@ -79,7 +79,7 @@ func run() error {
 	var samples []core.Sample
 	for c := 0; c < classes; c++ {
 		for s := 0; s < 60; s++ {
-			img := glyph(c, rng.Intn(5)-2, rng.Intn(5)-2, 0.02, rng)
+			img := glyph(c, src.Intn(5)-2, src.Intn(5)-2, 0.02, src)
 			hv := enc.Encode(img)
 			model.Add(c, hv)
 			samples = append(samples, core.Sample{HV: hv, Label: c})
@@ -94,7 +94,7 @@ func run() error {
 		correct, total := 0, 0
 		for c := 0; c < classes; c++ {
 			for s := 0; s < 25; s++ {
-				img := glyph(c, shift, shift, 0.02, rng)
+				img := glyph(c, shift, shift, 0.02, src)
 				if model.Predict(enc.Encode(img)) == c {
 					correct++
 				}

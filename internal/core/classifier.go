@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"edgehd/internal/encoding"
 	"edgehd/internal/hdc"
+	"edgehd/internal/telemetry"
 )
 
 // Classifier couples an encoder with a Model: the end-node and
@@ -13,6 +15,42 @@ import (
 type Classifier struct {
 	enc   encoding.Encoder
 	model *Model
+	met   clfMetrics
+}
+
+// clfMetrics holds the classifier's pre-resolved telemetry instruments
+// (all nil, hence no-op, until SetTelemetry attaches a registry).
+type clfMetrics struct {
+	encodeTotal   *telemetry.Counter
+	encodeSeconds *telemetry.Histogram
+	predictTotal  *telemetry.Counter
+	trainSamples  *telemetry.Counter
+	retrainEpochs *telemetry.Counter
+}
+
+// SetTelemetry attaches a metrics registry to the classifier; nil
+// detaches it. Encode latency, prediction counts and training volume
+// then surface as clf_* metrics.
+func (c *Classifier) SetTelemetry(reg *telemetry.Registry) {
+	c.met = clfMetrics{
+		encodeTotal:   reg.Counter("clf_encode_total"),
+		encodeSeconds: reg.Histogram("clf_encode_seconds"),
+		predictTotal:  reg.Counter("clf_predict_total"),
+		trainSamples:  reg.Counter("clf_train_samples_total"),
+		retrainEpochs: reg.Counter("clf_retrain_epochs_total"),
+	}
+}
+
+// encode runs the encoder with optional latency accounting.
+func (c *Classifier) encode(features []float64) hdc.Bipolar {
+	c.met.encodeTotal.Add(1)
+	if c.met.encodeSeconds != nil {
+		t0 := time.Now()
+		hv := c.enc.Encode(features)
+		c.met.encodeSeconds.Observe(time.Since(t0).Seconds())
+		return hv
+	}
+	return c.enc.Encode(features)
 }
 
 // NewClassifier builds an untrained classifier over enc with k classes.
@@ -38,7 +76,7 @@ func (c *Classifier) EncodeAll(features [][]float64, labels []int) ([]Sample, er
 		if labels[i] < 0 || labels[i] >= c.model.classes {
 			return nil, fmt.Errorf("core: label %d out of range [0,%d)", labels[i], c.model.classes)
 		}
-		samples[i] = Sample{HV: c.enc.Encode(f), Label: labels[i]}
+		samples[i] = Sample{HV: c.encode(f), Label: labels[i]}
 	}
 	return samples, nil
 }
@@ -54,24 +92,29 @@ func (c *Classifier) Fit(features [][]float64, labels []int, epochs int) (Retrai
 	for _, s := range samples {
 		c.model.Add(s.Label, s.HV)
 	}
-	return c.model.Retrain(samples, epochs), nil
+	c.met.trainSamples.Add(int64(len(samples)))
+	stats := c.model.Retrain(samples, epochs)
+	c.met.retrainEpochs.Add(int64(stats.Epochs))
+	return stats, nil
 }
 
 // Predict classifies one feature vector.
 func (c *Classifier) Predict(features []float64) int {
-	return c.model.Predict(c.enc.Encode(features))
+	c.met.predictTotal.Add(1)
+	return c.model.Predict(c.encode(features))
 }
 
 // PredictConfidence classifies one feature vector and reports the
 // confidence level used by the §IV-C inference router.
 func (c *Classifier) PredictConfidence(features []float64) (class int, conf float64) {
-	return c.model.Confidence(c.enc.Encode(features))
+	c.met.predictTotal.Add(1)
+	return c.model.Confidence(c.encode(features))
 }
 
 // Encode exposes the encoder so callers can ship query hypervectors up
 // the hierarchy.
 func (c *Classifier) Encode(features []float64) hdc.Bipolar {
-	return c.enc.Encode(features)
+	return c.encode(features)
 }
 
 // Evaluate returns classification accuracy over a labelled test set.

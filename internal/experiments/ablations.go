@@ -32,6 +32,7 @@ func AblationBatchSize(opts Options) (*Table, error) {
 		}
 		sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{
 			TotalDim: opts.Dim, RetrainEpochs: opts.RetrainEpochs, Seed: opts.Seed + 7, BatchSize: b,
+			Telemetry: opts.Telemetry, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -128,6 +129,7 @@ func AblationThreshold(opts Options) (*Table, error) {
 		sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{
 			TotalDim: opts.Dim, RetrainEpochs: opts.RetrainEpochs, Seed: opts.Seed + 7,
 			ConfidenceThreshold: thr,
+			Telemetry:           opts.Telemetry, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -182,6 +184,7 @@ func AblationFanIn(opts Options) (*Table, error) {
 		sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{
 			TotalDim: opts.Dim, RetrainEpochs: opts.RetrainEpochs, Seed: opts.Seed + 7,
 			ProjectionFanIn: fanIn,
+			Telemetry:       opts.Telemetry, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err

@@ -15,6 +15,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"edgehd/internal/telemetry"
 )
 
 // Options scales and seeds every experiment.
@@ -29,6 +31,12 @@ type Options struct {
 	RetrainEpochs int
 	// Seed drives dataset generation and all random structure.
 	Seed uint64
+	// Telemetry, when non-nil, receives every built system's metrics
+	// (hierarchy counters/histograms plus per-link network metrics) so
+	// cmd/paper can export a machine-readable snapshot of a run.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records training/inference spans.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults() Options {

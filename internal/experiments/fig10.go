@@ -66,6 +66,8 @@ func Fig10(opts Options) (*Fig10Result, error) {
 				TotalDim:      opts.Dim,
 				RetrainEpochs: opts.RetrainEpochs,
 				Seed:          opts.Seed + 7,
+				Telemetry:     opts.Telemetry,
+				Tracer:        opts.Tracer,
 			})
 			if err != nil {
 				return nil, err

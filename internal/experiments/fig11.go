@@ -57,6 +57,8 @@ func Fig11(opts Options) (*Fig11Result, error) {
 				TotalDim:      opts.Dim,
 				RetrainEpochs: opts.RetrainEpochs,
 				Seed:          opts.Seed + 7,
+				Telemetry:     opts.Telemetry,
+				Tracer:        opts.Tracer,
 			})
 			if err != nil {
 				return nil, err

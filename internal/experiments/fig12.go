@@ -48,6 +48,8 @@ func Fig12(opts Options) (*Fig12Result, error) {
 				RetrainEpochs: opts.RetrainEpochs,
 				Seed:          opts.Seed + 7,
 				Holographic:   hierarchy.Bool(holo),
+				Telemetry:     opts.Telemetry,
+				Tracer:        opts.Tracer,
 			})
 			if err != nil {
 				return nil, err

@@ -57,6 +57,8 @@ func Fig13(opts Options) (*Fig13Result, error) {
 				TotalDim:      opts.Dim,
 				RetrainEpochs: opts.RetrainEpochs,
 				Seed:          opts.Seed + 7,
+				Telemetry:     opts.Telemetry,
+				Tracer:        opts.Tracer,
 			})
 			if err != nil {
 				return nil, err

@@ -47,6 +47,8 @@ func Fig8(opts Options) (*Fig8Result, error) {
 		TotalDim:      opts.Dim,
 		RetrainEpochs: opts.RetrainEpochs,
 		Seed:          opts.Seed + 7,
+		Telemetry:     opts.Telemetry,
+		Tracer:        opts.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -102,6 +102,8 @@ func onlineRun(spec dataset.Spec, opts Options, steps int, fractions []float64) 
 		TotalDim:      opts.Dim,
 		RetrainEpochs: opts.RetrainEpochs,
 		Seed:          opts.Seed + 7,
+		Telemetry:     opts.Telemetry,
+		Tracer:        opts.Tracer,
 	})
 	if err != nil {
 		return onlineRunResult{}, err

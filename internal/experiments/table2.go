@@ -38,6 +38,8 @@ func trainHierarchy(topo *netsim.Topology, d *dataset.Dataset, opts Options) (*h
 		TotalDim:      opts.Dim,
 		RetrainEpochs: opts.RetrainEpochs,
 		Seed:          opts.Seed + 7,
+		Telemetry:     opts.Telemetry,
+		Tracer:        opts.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -1,5 +1,7 @@
 package hierarchy
 
+import "edgehd/internal/telemetry"
+
 // Config holds the user-tunable parameters of §VI-A. Zero values select
 // the paper's defaults.
 type Config struct {
@@ -34,6 +36,14 @@ type Config struct {
 	Holographic *bool
 	// Seed drives every random structure in the system.
 	Seed uint64
+	// Telemetry receives the system's counters, gauges and histograms
+	// (and is attached to the topology's network for per-link metrics).
+	// Nil disables metric collection at the cost of one nil check per
+	// event.
+	Telemetry *telemetry.Registry
+	// Tracer records spans of the training/inference hot paths. Nil
+	// disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {

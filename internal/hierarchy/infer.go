@@ -22,6 +22,10 @@ type InferResult struct {
 	Confidence float64
 	// Escalations counts how many hops upward the query traveled.
 	Escalations int
+	// WireBytes is the total number of bytes that had to cross links to
+	// assemble the query hypervectors at every node visited: the sum of
+	// InferCommBytes over the escalation path.
+	WireBytes int64
 }
 
 // Infer runs the §IV-C confidence-routed inference for sample x,
@@ -30,19 +34,53 @@ type InferResult struct {
 // prediction is served locally, otherwise the query escalates to the
 // parent, which combines the query hypervectors of all its children and
 // tries again, up to the central node (which always answers).
+//
+// When telemetry is attached, each call records an "infer" span
+// (entry/resolve node, resolve level, escalations, per-hop confidence,
+// wire bytes) and updates the infer_* metrics; the traced wire bytes
+// agree with InferCommBytes by construction.
 func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 	if entry < 0 || entry >= len(s.leafIndex) {
 		return InferResult{}, fmt.Errorf("hierarchy: entry end node %d out of range", entry)
 	}
 	cur := s.leafIndex[entry]
+	sp := s.tracer.Start("infer")
+	sp.SetInt("entry_node", int64(cur.id))
 	level := 1
 	escal := 0
+	var wireBytes int64
 	for {
-		q := s.Query(cur.id, x)
+		q, err := s.Query(cur.id, x)
+		if err != nil {
+			return InferResult{}, err
+		}
+		wireBytes += s.InferCommBytes(cur.id)
 		class, conf := cur.model.Confidence(q)
 		cur.hvOps += int64(s.classes+1) * int64(cur.dim)
+		s.met.assocTotal.Add(1)
+		if sp != nil {
+			sp.SetFloat(fmt.Sprintf("confidence.%d", escal), conf)
+		}
 		if conf >= s.cfg.ConfidenceThreshold || s.topo.Net.Parent(cur.id) == netsim.InvalidNode {
-			return InferResult{Class: class, Node: cur.id, Level: level, Confidence: conf, Escalations: escal}, nil
+			res := InferResult{Class: class, Node: cur.id, Level: level, Confidence: conf, Escalations: escal, WireBytes: wireBytes}
+			s.met.inferTotal.Add(1)
+			if escal == 0 {
+				s.met.inferLocal.Add(1)
+			}
+			s.met.inferEscalations.Add(int64(escal))
+			s.met.inferWireBytes.Add(wireBytes)
+			s.met.inferLevel.Observe(float64(level))
+			s.met.inferConfidence.Observe(conf)
+			if sp != nil {
+				sp.SetInt("resolve_node", int64(cur.id)).
+					SetInt("resolve_level", int64(level)).
+					SetInt("escalations", int64(escal)).
+					SetInt("wire_bytes", wireBytes).
+					SetFloat("confidence", conf).
+					SetInt("class", int64(class))
+				sp.End()
+			}
+			return res, nil
 		}
 		cur = s.nodes[s.topo.Net.Parent(cur.id)]
 		level++
@@ -52,25 +90,39 @@ func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 
 // PredictAt classifies x with the model of a specific node, bypassing
 // the confidence routing — Table II's per-level accuracy columns use
-// this.
+// this. On an internal encoding failure it degrades to -1 (never a
+// valid class) instead of crashing the node.
 func (s *System) PredictAt(id netsim.NodeID, x []float64) int {
 	n := s.nodes[id]
-	class, _ := n.model.Classify(s.Query(id, x))
+	q, err := s.Query(id, x)
+	if err != nil {
+		return -1
+	}
+	class, _ := n.model.Classify(q)
 	return class
 }
 
 // ConfidenceAt returns the prediction and confidence of a specific
-// node's model for x.
+// node's model for x ((-1, 0) on an internal encoding failure).
 func (s *System) ConfidenceAt(id netsim.NodeID, x []float64) (int, float64) {
 	n := s.nodes[id]
-	return n.model.Confidence(s.Query(id, x))
+	q, err := s.Query(id, x)
+	if err != nil {
+		return -1, 0
+	}
+	return n.model.Confidence(q)
 }
 
 // PredictAtCorrupted classifies x at a node with bit-loss injection on
-// every link crossed (Fig 12).
+// every link crossed (Fig 12). Degrades to -1 on an internal encoding
+// failure.
 func (s *System) PredictAtCorrupted(id netsim.NodeID, x []float64, r *rng.Source) int {
 	n := s.nodes[id]
-	class, _ := n.model.Classify(s.QueryCorrupted(id, x, r))
+	q, err := s.QueryCorrupted(id, x, r)
+	if err != nil {
+		return -1
+	}
+	class, _ := n.model.Classify(q)
 	return class
 }
 

@@ -17,7 +17,11 @@ func (s *System) NegativeFeedback(id netsim.NodeID, x []float64, predicted int) 
 		return fmt.Errorf("hierarchy: predicted class %d out of range", predicted)
 	}
 	n := s.nodes[id]
-	n.residual.NegativeFeedback(predicted, s.Query(id, x))
+	q, err := s.Query(id, x)
+	if err != nil {
+		return err
+	}
+	n.residual.NegativeFeedback(predicted, q)
 	return nil
 }
 
@@ -39,7 +43,10 @@ func (s *System) NegativeFeedbackBroadcast(entry int, x []float64, rejected int)
 	applied := 0
 	for id := s.leafIndex[entry].id; id != netsim.InvalidNode; id = s.topo.Net.Parent(id) {
 		n := s.nodes[id]
-		q := s.Query(id, x)
+		q, err := s.Query(id, x)
+		if err != nil {
+			return applied, err
+		}
 		if n.model.Predict(q) == rejected {
 			n.residual.NegativeFeedback(rejected, q)
 			applied++
@@ -69,6 +76,7 @@ type OnlineReport struct {
 func (s *System) PropagateResiduals() (*OnlineReport, error) {
 	report := &OnlineReport{}
 	before := s.topo.Net.Stats()
+	sp := s.tracer.Start("residual_sweep")
 	order := s.depthOrder() // deepest first: children before parents
 	// snapshots holds each node's residual at the moment of its update,
 	// so parents combine exactly what the children applied.
@@ -95,7 +103,10 @@ func (s *System) PropagateResiduals() (*OnlineReport, error) {
 					for ci := range n.children {
 						classParts[ci] = parts[ci][class]
 					}
-					agg := s.combineAcc(n, classParts)
+					agg, err := s.combineAcc(n, classParts)
+					if err != nil {
+						return nil, fmt.Errorf("hierarchy: residual aggregation: %w", err)
+					}
 					if n.proj != nil {
 						// The projection inflates component magnitudes by
 						// ~sqrt(fanIn); scale back so one feedback event keeps
@@ -147,5 +158,15 @@ func (s *System) PropagateResiduals() (*OnlineReport, error) {
 	stats := s.topo.Net.Stats()
 	report.Bytes = stats.TotalBytes - before.TotalBytes
 	report.CommEnergyJ = stats.EnergyJ - before.EnergyJ
+	s.met.onlineSweeps.Add(1)
+	s.met.onlineBytes.Add(report.Bytes)
+	s.met.feedbackApplied.Add(int64(report.FeedbackApplied))
+	if sp != nil {
+		sp.SetInt("bytes", report.Bytes).
+			SetInt("feedback_applied", int64(report.FeedbackApplied)).
+			SetFloat("comm_finish_s", report.CommFinish).
+			SetFloat("comm_energy_j", report.CommEnergyJ)
+		sp.End()
+	}
 	return report, nil
 }

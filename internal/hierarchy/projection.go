@@ -36,10 +36,11 @@ type Projection struct {
 
 // NewProjection builds a projection from inDim to outDim where each
 // output mixes fanIn inputs (clamped to inDim). All structure derives
-// from seed.
-func NewProjection(inDim, outDim, fanIn int, seed uint64) *Projection {
+// from seed. A non-positive dimension or fan-in (a malformed config)
+// returns an error instead of crashing the node.
+func NewProjection(inDim, outDim, fanIn int, seed uint64) (*Projection, error) {
 	if inDim <= 0 || outDim <= 0 || fanIn <= 0 {
-		panic(fmt.Sprintf("hierarchy: invalid projection %d→%d fanIn %d", inDim, outDim, fanIn))
+		return nil, fmt.Errorf("hierarchy: invalid projection %d→%d fanIn %d", inDim, outDim, fanIn)
 	}
 	if fanIn > inDim {
 		fanIn = inDim
@@ -62,7 +63,7 @@ func NewProjection(inDim, outDim, fanIn int, seed uint64) *Projection {
 		p.idx[o] = idx
 		p.sgn[o] = sgn
 	}
-	return p
+	return p, nil
 }
 
 // InDim returns the expected concatenated input dimensionality.
@@ -76,9 +77,11 @@ func (p *Projection) FanIn() int { return p.fanIn }
 
 // Bipolar projects a concatenated bipolar hypervector and binarizes the
 // result with sign(), the query/batch path of the hierarchical encoder.
-func (p *Projection) Bipolar(in hdc.Bipolar) hdc.Bipolar {
+// A dimension mismatch (an internal invariant violation) returns an
+// error instead of panicking.
+func (p *Projection) Bipolar(in hdc.Bipolar) (hdc.Bipolar, error) {
 	if in.Dim() != p.inDim {
-		panic(fmt.Sprintf("hierarchy: projecting dim %d through %d→%d", in.Dim(), p.inDim, p.outDim))
+		return hdc.Bipolar{}, fmt.Errorf("hierarchy: projecting dim %d through %d→%d", in.Dim(), p.inDim, p.outDim)
 	}
 	signs := in.SignsInt8()
 	out := hdc.NewBipolar(p.outDim)
@@ -91,16 +94,17 @@ func (p *Projection) Bipolar(in hdc.Bipolar) hdc.Bipolar {
 		}
 		out.Set(o, sum >= 0)
 	}
-	return out
+	return out, nil
 }
 
 // Acc projects a concatenated integer hypervector without binarizing,
 // preserving bundling linearity: Acc(a+b) == Acc(a)+Acc(b). Class
 // hypervectors and residuals travel through this path so their
-// magnitudes survive aggregation.
-func (p *Projection) Acc(in hdc.Acc) hdc.Acc {
+// magnitudes survive aggregation. A dimension mismatch returns an
+// error instead of panicking.
+func (p *Projection) Acc(in hdc.Acc) (hdc.Acc, error) {
 	if in.Dim() != p.inDim {
-		panic(fmt.Sprintf("hierarchy: projecting dim %d through %d→%d", in.Dim(), p.inDim, p.outDim))
+		return hdc.Acc{}, fmt.Errorf("hierarchy: projecting dim %d through %d→%d", in.Dim(), p.inDim, p.outDim)
 	}
 	out := make([]int32, p.outDim)
 	for o := 0; o < p.outDim; o++ {
@@ -112,7 +116,7 @@ func (p *Projection) Acc(in hdc.Acc) hdc.Acc {
 		}
 		out[o] = sum
 	}
-	return hdc.AccFromInts(out)
+	return hdc.AccFromInts(out), nil
 }
 
 // Ops returns the simple-operation count of one projection, for the

@@ -9,8 +9,38 @@ import (
 	"edgehd/internal/rng"
 )
 
+// mustProjection builds a projection or fails the test.
+func mustProjection(t *testing.T, inDim, outDim, fanIn int, seed uint64) *Projection {
+	t.Helper()
+	p, err := NewProjection(inDim, outDim, fanIn, seed)
+	if err != nil {
+		t.Fatalf("NewProjection(%d,%d,%d,%d): %v", inDim, outDim, fanIn, seed, err)
+	}
+	return p
+}
+
+// mustBipolar projects through the bipolar path or fails the test.
+func mustBipolar(t *testing.T, p *Projection, in hdc.Bipolar) hdc.Bipolar {
+	t.Helper()
+	out, err := p.Bipolar(in)
+	if err != nil {
+		t.Fatalf("Projection.Bipolar: %v", err)
+	}
+	return out
+}
+
+// mustAcc projects through the integer path or fails the test.
+func mustAcc(t *testing.T, p *Projection, in hdc.Acc) hdc.Acc {
+	t.Helper()
+	out, err := p.Acc(in)
+	if err != nil {
+		t.Fatalf("Projection.Acc: %v", err)
+	}
+	return out
+}
+
 func TestProjectionDims(t *testing.T) {
-	p := NewProjection(100, 60, 16, 1)
+	p := mustProjection(t, 100, 60, 16, 1)
 	if p.InDim() != 100 || p.OutDim() != 60 || p.FanIn() != 16 {
 		t.Fatalf("projection shape %d→%d fanIn %d", p.InDim(), p.OutDim(), p.FanIn())
 	}
@@ -20,7 +50,7 @@ func TestProjectionDims(t *testing.T) {
 }
 
 func TestProjectionFanInClamped(t *testing.T) {
-	p := NewProjection(8, 16, 64, 1)
+	p := mustProjection(t, 8, 16, 64, 1)
 	if p.FanIn() != 8 {
 		t.Fatalf("fanIn not clamped: %d", p.FanIn())
 	}
@@ -29,12 +59,12 @@ func TestProjectionFanInClamped(t *testing.T) {
 func TestProjectionDeterministic(t *testing.T) {
 	r := rng.New(1)
 	in := hdc.RandomBipolar(128, r)
-	a := NewProjection(128, 64, 16, 7).Bipolar(in)
-	b := NewProjection(128, 64, 16, 7).Bipolar(in)
+	a := mustBipolar(t, mustProjection(t, 128, 64, 16, 7), in)
+	b := mustBipolar(t, mustProjection(t, 128, 64, 16, 7), in)
 	if !a.Equal(b) {
 		t.Fatal("same-seed projections differ")
 	}
-	c := NewProjection(128, 64, 16, 8).Bipolar(in)
+	c := mustBipolar(t, mustProjection(t, 128, 64, 16, 8), in)
 	if a.Equal(c) {
 		t.Fatal("different-seed projections identical")
 	}
@@ -45,13 +75,13 @@ func TestProjectionPreservesSimilarity(t *testing.T) {
 	// inputs dissimilar — the property that lets parents classify
 	// projected queries.
 	r := rng.New(2)
-	p := NewProjection(1024, 512, 64, 3)
+	p := mustProjection(t, 1024, 512, 64, 3)
 	x := hdc.RandomBipolar(1024, r)
 	near := x.FlipBits(0.05, r)
 	far := hdc.RandomBipolar(1024, r)
-	px := p.Bipolar(x)
-	simNear := px.Cosine(p.Bipolar(near))
-	simFar := px.Cosine(p.Bipolar(far))
+	px := mustBipolar(t, p, x)
+	simNear := px.Cosine(mustBipolar(t, p, near))
+	simFar := px.Cosine(mustBipolar(t, p, far))
 	if simNear < simFar+0.3 {
 		t.Fatalf("projection destroyed similarity structure: near=%v far=%v", simNear, simFar)
 	}
@@ -61,7 +91,7 @@ func TestProjectionAccLinearity(t *testing.T) {
 	// Acc path must be linear: proj(a+b) == proj(a)+proj(b), the
 	// property that makes bundled class hypervectors aggregate correctly.
 	r := rng.New(3)
-	p := NewProjection(96, 48, 12, 4)
+	p := mustProjection(t, 96, 48, 12, 4)
 	a := hdc.NewAcc(96)
 	b := hdc.NewAcc(96)
 	for i := 0; i < 4; i++ {
@@ -70,9 +100,9 @@ func TestProjectionAccLinearity(t *testing.T) {
 	}
 	sum := a.Clone()
 	sum.AddAcc(b)
-	lhs := p.Acc(sum)
-	rhs := p.Acc(a)
-	rhs.AddAcc(p.Acc(b))
+	lhs := mustAcc(t, p, sum)
+	rhs := mustAcc(t, p, a)
+	rhs.AddAcc(mustAcc(t, p, b))
 	for i := 0; i < 48; i++ {
 		if lhs.Get(i) != rhs.Get(i) {
 			t.Fatalf("Acc projection not linear at dim %d", i)
@@ -83,33 +113,42 @@ func TestProjectionAccLinearity(t *testing.T) {
 func TestProjectionAccMatchesBipolarOnSigns(t *testing.T) {
 	// For a ±1 input, sign(Acc-projection) must equal the Bipolar path.
 	r := rng.New(4)
-	p := NewProjection(80, 40, 10, 5)
+	p := mustProjection(t, 80, 40, 10, 5)
 	x := hdc.RandomBipolar(80, r)
 	expand := make([]int32, 80)
 	for i := range expand {
 		expand[i] = int32(x.Get(i))
 	}
-	viaAcc := p.Acc(hdc.AccFromInts(expand)).Sign()
-	viaBip := p.Bipolar(x)
+	viaAcc := mustAcc(t, p, hdc.AccFromInts(expand)).Sign()
+	viaBip := mustBipolar(t, p, x)
 	if !viaAcc.Equal(viaBip) {
 		t.Fatal("Acc and Bipolar projection paths disagree")
 	}
 }
 
-func TestProjectionDimMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("projection accepted wrong input dimension")
+func TestProjectionDimMismatchErrors(t *testing.T) {
+	p := mustProjection(t, 10, 5, 4, 1)
+	if _, err := p.Bipolar(hdc.NewBipolar(11)); err == nil {
+		t.Fatal("Bipolar accepted wrong input dimension")
+	}
+	if _, err := p.Acc(hdc.NewAcc(9)); err == nil {
+		t.Fatal("Acc accepted wrong input dimension")
+	}
+}
+
+func TestNewProjectionRejectsMalformedShape(t *testing.T) {
+	for _, bad := range [][3]int{{0, 5, 4}, {10, 0, 4}, {10, 5, 0}, {-1, 5, 4}} {
+		if _, err := NewProjection(bad[0], bad[1], bad[2], 1); err == nil {
+			t.Errorf("NewProjection(%v) accepted malformed shape", bad)
 		}
-	}()
-	NewProjection(10, 5, 4, 1).Bipolar(hdc.NewBipolar(11))
+	}
 }
 
 func TestProjectionHolographicSpread(t *testing.T) {
 	// Holographic distribution: every input dimension should influence
 	// at least one output (with high probability at this fan-in), and no
 	// output should depend on a single input only when fanIn > 1.
-	p := NewProjection(64, 256, 32, 9)
+	p := mustProjection(t, 64, 256, 32, 9)
 	influenced := make([]bool, 64)
 	for o := 0; o < 256; o++ {
 		for _, ix := range p.idx[o] {

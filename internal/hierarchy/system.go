@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"edgehd/internal/core"
 	"edgehd/internal/dataset"
@@ -11,6 +12,7 @@ import (
 	"edgehd/internal/hdc"
 	"edgehd/internal/netsim"
 	"edgehd/internal/rng"
+	"edgehd/internal/telemetry"
 )
 
 // node is one device in the hierarchy with its model state.
@@ -53,6 +55,62 @@ type System struct {
 	// leafIndex maps an end-node position (dataset partition index) to
 	// its node.
 	leafIndex []*node
+	// tracer records hot-path spans; met holds the pre-resolved metric
+	// instruments. Both stay nil (no-op) until telemetry is attached.
+	tracer *telemetry.Tracer
+	met    sysMetrics
+}
+
+// sysMetrics caches the registry instruments the hierarchy hot paths
+// touch. Instruments are resolved once at SetTelemetry, so when
+// telemetry is disabled every site costs one nil check, keeping the
+// disabled path within noise of the uninstrumented one.
+type sysMetrics struct {
+	encodeTotal   *telemetry.Counter
+	encodeSeconds *telemetry.Histogram
+	assocTotal    *telemetry.Counter
+	projOps       *telemetry.Counter
+
+	inferTotal       *telemetry.Counter
+	inferLocal       *telemetry.Counter
+	inferEscalations *telemetry.Counter
+	inferWireBytes   *telemetry.Counter
+	inferLevel       *telemetry.Histogram
+	inferConfidence  *telemetry.Histogram
+
+	trainRuns    *telemetry.Counter
+	trainBytes   *telemetry.Counter
+	trainBatches *telemetry.Counter
+
+	onlineSweeps    *telemetry.Counter
+	onlineBytes     *telemetry.Counter
+	feedbackApplied *telemetry.Counter
+}
+
+// SetTelemetry attaches (or with nils, detaches) a metrics registry and
+// tracer to the system, and propagates the registry to the topology's
+// network so per-link metrics surface alongside the hierarchy's own.
+func (s *System) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	s.tracer = tracer
+	s.met = sysMetrics{
+		encodeTotal:      reg.Counter("hier_encode_total"),
+		encodeSeconds:    reg.Histogram("hier_encode_seconds"),
+		assocTotal:       reg.Counter("hier_assoc_search_total"),
+		projOps:          reg.Counter("hier_projection_ops_total"),
+		inferTotal:       reg.Counter("infer_total"),
+		inferLocal:       reg.Counter("infer_resolved_local_total"),
+		inferEscalations: reg.Counter("infer_escalations_total"),
+		inferWireBytes:   reg.Counter("infer_wire_bytes_total"),
+		inferLevel:       reg.Histogram("infer_resolve_level"),
+		inferConfidence:  reg.Histogram("infer_confidence"),
+		trainRuns:        reg.Counter("train_runs_total"),
+		trainBytes:       reg.Counter("train_bytes_total"),
+		trainBatches:     reg.Counter("train_batch_hvs_total"),
+		onlineSweeps:     reg.Counter("online_sweeps_total"),
+		onlineBytes:      reg.Counter("online_bytes_total"),
+		feedbackApplied:  reg.Counter("online_feedback_applied_total"),
+	}
+	s.topo.Net.SetTelemetry(reg)
 }
 
 // Build constructs the hierarchy for a topology whose end nodes observe
@@ -122,7 +180,11 @@ func Build(topo *netsim.Topology, partition [][]int, numClasses int, cfg Config)
 				} else {
 					n.dim = s.allocDim(n.subFeatures)
 				}
-				n.proj = NewProjection(inDim, n.dim, cfg.ProjectionFanIn, seedSrc.Uint64())
+				proj, err := NewProjection(inDim, n.dim, cfg.ProjectionFanIn, seedSrc.Uint64())
+				if err != nil {
+					return nil, fmt.Errorf("hierarchy: node %d hierarchical encoder: %w", n.id, err)
+				}
+				n.proj = proj
 			} else {
 				n.dim = inDim
 			}
@@ -130,6 +192,7 @@ func Build(topo *netsim.Topology, partition [][]int, numClasses int, cfg Config)
 		n.model = core.NewModel(n.dim, numClasses)
 		n.residual = core.NewResidual(n.dim, numClasses)
 	}
+	s.SetTelemetry(cfg.Telemetry, cfg.Tracer)
 	return s, nil
 }
 
@@ -192,6 +255,13 @@ func (s *System) LeafDims() []int {
 func (s *System) encodeLeaf(i int, x []float64) hdc.Bipolar {
 	n := s.leafIndex[i]
 	n.encodeMACs += n.enc.MACsPerEncode()
+	s.met.encodeTotal.Add(1)
+	if s.met.encodeSeconds != nil {
+		t0 := time.Now()
+		hv := n.enc.Encode(dataset.Project(x, n.features))
+		s.met.encodeSeconds.Observe(time.Since(t0).Seconds())
+		return hv
+	}
 	return n.enc.Encode(dataset.Project(x, n.features))
 }
 
@@ -199,38 +269,52 @@ func (s *System) encodeLeaf(i int, x []float64) hdc.Bipolar {
 // children's bipolar hypervectors (in child order): concatenate, then
 // project-and-sign when holographic (Fig 4b), or return the
 // concatenation as-is (Fig 4a ablation).
-func (s *System) combine(n *node, parts []hdc.Bipolar) hdc.Bipolar {
+func (s *System) combine(n *node, parts []hdc.Bipolar) (hdc.Bipolar, error) {
 	cat := hdc.ConcatBipolar(parts...)
 	if n.proj == nil {
-		return cat
+		return cat, nil
 	}
 	n.hvOps += n.proj.Ops()
-	return n.proj.Bipolar(cat)
+	s.met.projOps.Add(n.proj.Ops())
+	out, err := n.proj.Bipolar(cat)
+	if err != nil {
+		return hdc.Bipolar{}, fmt.Errorf("hierarchy: node %d: %w", n.id, err)
+	}
+	return out, nil
 }
 
 // combineAcc is the integer-preserving variant used for class
 // hypervectors and residuals.
-func (s *System) combineAcc(n *node, parts []hdc.Acc) hdc.Acc {
+func (s *System) combineAcc(n *node, parts []hdc.Acc) (hdc.Acc, error) {
 	cat := hdc.ConcatAcc(parts...)
 	if n.proj == nil {
-		return cat
+		return cat, nil
 	}
 	n.hvOps += n.proj.Ops()
-	return n.proj.Acc(cat)
+	s.met.projOps.Add(n.proj.Ops())
+	out, err := n.proj.Acc(cat)
+	if err != nil {
+		return hdc.Acc{}, fmt.Errorf("hierarchy: node %d: %w", n.id, err)
+	}
+	return out, nil
 }
 
 // Query computes the query hypervector of sample x at the given node:
 // leaf encoding at end nodes, recursive hierarchical encoding above
 // (§IV-A). This is the pure computation; communication accounting for
 // moving the parts is handled by the cost helpers.
-func (s *System) Query(id netsim.NodeID, x []float64) hdc.Bipolar {
+func (s *System) Query(id netsim.NodeID, x []float64) (hdc.Bipolar, error) {
 	n := s.nodes[id]
 	if n.isLeaf() {
-		return s.encodeLeaf(n.leafPos, x)
+		return s.encodeLeaf(n.leafPos, x), nil
 	}
 	parts := make([]hdc.Bipolar, len(n.children))
 	for i, c := range n.children {
-		parts[i] = s.Query(c, x)
+		part, err := s.Query(c, x)
+		if err != nil {
+			return hdc.Bipolar{}, err
+		}
+		parts[i] = part
 	}
 	return s.combine(n, parts)
 }
@@ -257,14 +341,17 @@ func burstFor(dim int) int {
 // every hypervector crossing a link suffers burst erasure at the link's
 // loss rate (contiguous runs of components lost, as packet loss does)
 // before being combined at the parent.
-func (s *System) QueryCorrupted(id netsim.NodeID, x []float64, r *rng.Source) hdc.Bipolar {
+func (s *System) QueryCorrupted(id netsim.NodeID, x []float64, r *rng.Source) (hdc.Bipolar, error) {
 	n := s.nodes[id]
 	if n.isLeaf() {
-		return s.encodeLeaf(n.leafPos, x)
+		return s.encodeLeaf(n.leafPos, x), nil
 	}
 	parts := make([]hdc.Bipolar, len(n.children))
 	for i, c := range n.children {
-		part := s.QueryCorrupted(c, x, r)
+		part, err := s.QueryCorrupted(c, x, r)
+		if err != nil {
+			return hdc.Bipolar{}, err
+		}
 		if rate := s.topo.Net.LossRate(c); rate > 0 {
 			part = part.EraseBursts(rate, burstFor(part.Dim()), r)
 		}

@@ -104,7 +104,10 @@ func TestQueryDimsMatchNodeDims(t *testing.T) {
 	topo := sys.Topology()
 	x := d.TrainX[0]
 	for id := 0; id < topo.Net.NumNodes(); id++ {
-		q := sys.Query(netsim.NodeID(id), x)
+		q, err := sys.Query(netsim.NodeID(id), x)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", id, err)
+		}
 		if q.Dim() != sys.NodeDim(netsim.NodeID(id)) {
 			t.Fatalf("query dim %d != node dim %d at node %d", q.Dim(), sys.NodeDim(netsim.NodeID(id)), id)
 		}
@@ -114,8 +117,11 @@ func TestQueryDimsMatchNodeDims(t *testing.T) {
 func TestQueryDeterministic(t *testing.T) {
 	sys, d := buildPDP(t, Config{TotalDim: 1000, Seed: 5}, 10, 10)
 	topo := sys.Topology()
-	q1 := sys.Query(topo.Central, d.TrainX[0])
-	q2 := sys.Query(topo.Central, d.TrainX[0])
+	q1, err1 := sys.Query(topo.Central, d.TrainX[0])
+	q2, err2 := sys.Query(topo.Central, d.TrainX[0])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Query: %v / %v", err1, err2)
+	}
 	if !q1.Equal(q2) {
 		t.Fatal("central query not deterministic")
 	}

@@ -56,6 +56,8 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 	}
 	report := &TrainReport{}
 	before := s.topo.Net.Stats()
+	sp := s.tracer.Start("train")
+	sp.SetInt("samples", int64(len(x)))
 
 	// Per-class sample index lists define batch membership identically
 	// on every node (batches must align across feature views).
@@ -145,7 +147,11 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 			if !ready {
 				continue
 			}
-			states[n.id] = s.aggregate(n, states)
+			st, err := s.aggregate(n, states)
+			if err != nil {
+				return nil, fmt.Errorf("hierarchy: aggregation at node %d: %w", n.id, err)
+			}
+			states[n.id] = st
 		}
 		depart = levelFinish
 	}
@@ -153,6 +159,16 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 	report.Bytes = stats.TotalBytes - before.TotalBytes
 	report.CommEnergyJ = stats.EnergyJ - before.EnergyJ
 	report.CommFinish = depart
+	s.met.trainRuns.Add(1)
+	s.met.trainBytes.Add(report.Bytes)
+	s.met.trainBatches.Add(int64(report.BatchCount))
+	if sp != nil {
+		sp.SetInt("bytes", report.Bytes).
+			SetInt("batch_hvs", int64(report.BatchCount)).
+			SetFloat("comm_finish_s", report.CommFinish).
+			SetFloat("comm_energy_j", report.CommEnergyJ)
+		sp.End()
+	}
 	return report, nil
 }
 
@@ -210,8 +226,10 @@ func equalizeNormTo(a hdc.Acc, targetRMS float64) hdc.Acc {
 
 // aggregate runs the internal-node side of §IV-B: hierarchically encode
 // the children's class hypervectors into this node's model, then
-// retrain on the hierarchically encoded batch hypervectors.
-func (s *System) aggregate(n *node, states map[netsim.NodeID]*trainState) *trainState {
+// retrain on the hierarchically encoded batch hypervectors. A dimension
+// mismatch (a malformed configuration that survived Build) surfaces as
+// a wrapped error instead of crashing the node.
+func (s *System) aggregate(n *node, states map[netsim.NodeID]*trainState) (*trainState, error) {
 	st := &trainState{classHVs: make([]hdc.Acc, s.classes), batches: make([][]hdc.Bipolar, s.classes)}
 	// Class hypervectors: concat children per class, project (integer
 	// path preserves bundle magnitudes), install. Children are norm-
@@ -225,9 +243,13 @@ func (s *System) aggregate(n *node, states map[netsim.NodeID]*trainState) *train
 		for ci, child := range n.children {
 			parts[ci] = equalizeNorm(states[child].classHVs[c])
 		}
-		agg := equalizeNormTo(s.combineAcc(n, parts), modelRMS)
+		combined, err := s.combineAcc(n, parts)
+		if err != nil {
+			return nil, fmt.Errorf("class %d: %w", c, err)
+		}
+		agg := equalizeNormTo(combined, modelRMS)
 		if err := n.model.SetClass(c, agg); err != nil {
-			panic(fmt.Sprintf("hierarchy: internal dimension bug: %v", err))
+			return nil, fmt.Errorf("class %d: install aggregated hypervector: %w", c, err)
 		}
 	}
 	// Batch hypervectors: children produced identical batch counts per
@@ -241,7 +263,10 @@ func (s *System) aggregate(n *node, states map[netsim.NodeID]*trainState) *train
 			for ci, child := range n.children {
 				parts[ci] = states[child].batches[c][bi]
 			}
-			combined := s.combine(n, parts)
+			combined, err := s.combine(n, parts)
+			if err != nil {
+				return nil, fmt.Errorf("class %d batch %d: %w", c, bi, err)
+			}
 			st.batches[c] = append(st.batches[c], combined)
 			retrainSamples = append(retrainSamples, core.Sample{HV: combined, Label: c})
 		}
@@ -251,5 +276,5 @@ func (s *System) aggregate(n *node, states map[netsim.NodeID]*trainState) *train
 	for c := 0; c < s.classes; c++ {
 		st.classHVs[c] = n.model.Class(c)
 	}
-	return st
+	return st, nil
 }

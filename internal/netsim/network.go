@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"fmt"
+
+	"edgehd/internal/telemetry"
 )
 
 // NodeID identifies a node inside one Network.
@@ -22,6 +24,11 @@ type link struct {
 	bytes    int64
 	energyJ  float64
 	busySecs float64
+	// per-link telemetry instruments, resolved by SetTelemetry (nil and
+	// no-op until a registry is attached).
+	telBytes    *telemetry.Counter
+	telEnergy   *telemetry.Gauge
+	telTransfer *telemetry.Histogram
 }
 
 // Network is a tree-topology network simulator. Nodes are added first,
@@ -34,6 +41,15 @@ type Network struct {
 	parent []NodeID
 	uplink []int // index into links for each node's link to its parent
 	links  []link
+
+	// tel is the attached metrics registry (nil = telemetry disabled);
+	// the aggregate instruments below are resolved once by SetTelemetry
+	// so the hop hot path pays only nil checks when disabled.
+	tel         *telemetry.Registry
+	telBytes    *telemetry.Counter
+	telHops     *telemetry.Counter
+	telEnergy   *telemetry.Gauge
+	telTransfer *telemetry.Histogram
 }
 
 // New returns an empty network.
@@ -76,7 +92,43 @@ func (n *Network) Connect(child, parent NodeID, m Medium) error {
 	n.parent[child] = parent
 	n.links = append(n.links, link{child: child, parent: parent, medium: m})
 	n.uplink[child] = len(n.links) - 1
+	if n.tel != nil {
+		n.resolveLinkInstruments(len(n.links) - 1)
+	}
 	return nil
+}
+
+// SetTelemetry attaches a metrics registry: every hop then surfaces
+// per-link bytes (net_link_bytes), transmit energy (net_link_energy_j)
+// and serialization latency (net_link_transfer_seconds) as labeled
+// metrics, plus network-wide aggregates. A nil registry detaches.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	n.tel = reg
+	n.telBytes = reg.Counter("net_bytes_total")
+	n.telHops = reg.Counter("net_hops_total")
+	n.telEnergy = reg.Gauge("net_energy_j")
+	n.telTransfer = reg.Histogram("net_transfer_seconds")
+	for i := range n.links {
+		if reg == nil {
+			n.links[i].telBytes = nil
+			n.links[i].telEnergy = nil
+			n.links[i].telTransfer = nil
+			continue
+		}
+		n.resolveLinkInstruments(i)
+	}
+}
+
+// resolveLinkInstruments binds link i's labeled instruments in n.tel.
+func (n *Network) resolveLinkInstruments(i int) {
+	l := &n.links[i]
+	labels := []telemetry.Label{
+		telemetry.L("link", n.names[l.child]+"->"+n.names[l.parent]),
+		telemetry.L("medium", l.medium.Name),
+	}
+	l.telBytes = n.tel.Counter("net_link_bytes", labels...)
+	l.telEnergy = n.tel.Gauge("net_link_energy_j", labels...)
+	l.telTransfer = n.tel.Histogram("net_link_transfer_seconds", labels...)
 }
 
 // SetLossRate sets the per-bit corruption probability of the child's
@@ -178,8 +230,16 @@ func (n *Network) hop(li int, dir int, bytes int, depart float64) float64 {
 	tx := l.medium.TransferSeconds(bytes)
 	l.busyUntil[dir] = start + tx
 	l.bytes += int64(bytes)
-	l.energyJ += float64(bytes) * l.medium.JoulesPerByte
+	energy := float64(bytes) * l.medium.JoulesPerByte
+	l.energyJ += energy
 	l.busySecs += tx
+	l.telBytes.Add(int64(bytes))
+	l.telEnergy.Add(energy)
+	l.telTransfer.Observe(tx)
+	n.telBytes.Add(int64(bytes))
+	n.telHops.Inc()
+	n.telEnergy.Add(energy)
+	n.telTransfer.Observe(tx)
 	return start + tx + l.medium.Latency.Seconds()
 }
 

@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"edgehd/internal/telemetry"
+)
+
+// TestMultiHopAccountingMatchesTelemetry drives repeated multi-hop
+// transfers over a leaf→gateway→root chain with two different mediums
+// and checks three views of the same traffic against the closed-form
+// medium parameters: per-link internal accounting, Stats() aggregates,
+// and the labeled telemetry instruments.
+func TestMultiHopAccountingMatchesTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	n := New()
+	root := n.AddNode("root")
+	gw := n.AddNode("gw")
+	leaf := n.AddNode("leaf")
+	// Attach telemetry before connecting so the Connect path, not only
+	// SetTelemetry, resolves per-link instruments.
+	n.SetTelemetry(reg)
+	mLow := WiFiAC()
+	mHigh := Wired1G()
+	if err := n.Connect(gw, root, mHigh); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect(leaf, gw, mLow); err != nil {
+		t.Fatal(err)
+	}
+
+	const bytes = 4000
+	const sends = 3
+	var arr float64
+	var err error
+	for i := 0; i < sends; i++ {
+		// Back-to-back departures at t=0: the shared links serialize.
+		arr, err = n.Send(leaf, root, bytes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	txLow := mLow.TransferSeconds(bytes)
+	txHigh := mHigh.TransferSeconds(bytes)
+	// The k-th transfer waits for k-1 serializations on the slow first
+	// hop, then crosses both links; the fast uplink never queues because
+	// txHigh < txLow keeps it drained.
+	wantArr := float64(sends)*txLow + mLow.Latency.Seconds() + txHigh + mHigh.Latency.Seconds()
+	if math.Abs(arr-wantArr) > 1e-9 {
+		t.Fatalf("last arrival = %v, want closed-form %v", arr, wantArr)
+	}
+
+	// Stats() aggregates: every hop counts once.
+	st := n.Stats()
+	if want := int64(2 * sends * bytes); st.TotalBytes != want {
+		t.Fatalf("TotalBytes = %d, want %d", st.TotalBytes, want)
+	}
+	wantEnergy := float64(sends*bytes) * (mLow.JoulesPerByte + mHigh.JoulesPerByte)
+	if math.Abs(st.EnergyJ-wantEnergy) > 1e-12 {
+		t.Fatalf("EnergyJ = %v, want %v", st.EnergyJ, wantEnergy)
+	}
+	wantBusy := float64(sends) * (txLow + txHigh)
+	if math.Abs(st.BusySeconds-wantBusy) > 1e-9 {
+		t.Fatalf("BusySeconds = %v, want %v", st.BusySeconds, wantBusy)
+	}
+
+	// Per-link labeled instruments must agree with the same closed form.
+	check := func(child, parent string, m Medium, tx float64) {
+		t.Helper()
+		labels := []telemetry.Label{
+			telemetry.L("link", child+"->"+parent),
+			telemetry.L("medium", m.Name),
+		}
+		if got := reg.Counter("net_link_bytes", labels...).Value(); got != sends*bytes {
+			t.Fatalf("%s->%s net_link_bytes = %d, want %d", child, parent, got, sends*bytes)
+		}
+		wantE := float64(sends*bytes) * m.JoulesPerByte
+		if got := reg.Gauge("net_link_energy_j", labels...).Value(); math.Abs(got-wantE) > 1e-12 {
+			t.Fatalf("%s->%s net_link_energy_j = %v, want %v", child, parent, got, wantE)
+		}
+		h := reg.Histogram("net_link_transfer_seconds", labels...)
+		if got := h.Count(); got != sends {
+			t.Fatalf("%s->%s transfer observations = %d, want %d", child, parent, got, sends)
+		}
+		if got := h.Sum(); math.Abs(got-float64(sends)*tx) > 1e-9 {
+			t.Fatalf("%s->%s transfer seconds sum = %v, want %v", child, parent, got, float64(sends)*tx)
+		}
+	}
+	check("leaf", "gw", mLow, txLow)
+	check("gw", "root", mHigh, txHigh)
+
+	// Network-wide aggregates.
+	if got := reg.Counter("net_bytes_total").Value(); got != int64(st.TotalBytes) {
+		t.Fatalf("net_bytes_total = %d, want %d", got, st.TotalBytes)
+	}
+	if got := reg.Counter("net_hops_total").Value(); got != 2*sends {
+		t.Fatalf("net_hops_total = %d, want %d", got, 2*sends)
+	}
+	if got := reg.Gauge("net_energy_j").Value(); math.Abs(got-wantEnergy) > 1e-12 {
+		t.Fatalf("net_energy_j = %v, want %v", got, wantEnergy)
+	}
+	if got := reg.Histogram("net_transfer_seconds").Sum(); math.Abs(got-wantBusy) > 1e-9 {
+		t.Fatalf("net_transfer_seconds sum = %v, want %v", got, wantBusy)
+	}
+}
+
+// TestSetTelemetryDetach verifies that passing a nil registry detaches
+// instruments and that traffic with telemetry disabled neither panics
+// nor records.
+func TestSetTelemetryDetach(t *testing.T) {
+	reg := telemetry.New()
+	n := New()
+	root := n.AddNode("root")
+	leaf := n.AddNode("leaf")
+	if err := n.Connect(leaf, root, Wired1G()); err != nil {
+		t.Fatal(err)
+	}
+	n.SetTelemetry(reg)
+	if _, err := n.Send(leaf, root, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.SetTelemetry(nil)
+	if _, err := n.Send(leaf, root, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("net_bytes_total").Value(); got != 100 {
+		t.Fatalf("detached registry still recorded: net_bytes_total = %d, want 100", got)
+	}
+	if st := n.Stats(); st.TotalBytes != 200 {
+		t.Fatalf("internal accounting broken after detach: %d", st.TotalBytes)
+	}
+}

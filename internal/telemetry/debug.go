@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// shaped for JSON (the -metrics-out / BENCH_*.json format).
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]float64       `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current metric values (empty snapshot on nil).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Stat()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// FileSnapshot is the on-disk shape written by WriteSnapshotFile: the
+// metric snapshot plus the retained trace spans and a timestamp, so a
+// benchmark run leaves a machine-readable trajectory behind.
+type FileSnapshot struct {
+	WrittenAt time.Time `json:"written_at"`
+	Metrics   Snapshot  `json:"metrics"`
+	Spans     []Span    `json:"spans,omitempty"`
+	// TotalSpans counts all spans ever recorded, including those that
+	// rotated out of the retained ring.
+	TotalSpans int64 `json:"total_spans,omitempty"`
+}
+
+// WriteSnapshotFile writes a FileSnapshot of reg (and tr's retained
+// spans, if non-nil) to path. Used by the cmd binaries' -metrics-out
+// flag.
+func WriteSnapshotFile(path string, reg *Registry, tr *Tracer) error {
+	snap := FileSnapshot{
+		WrittenAt:  time.Now().UTC(),
+		Metrics:    reg.Snapshot(),
+		Spans:      tr.Spans(),
+		TotalSpans: tr.Total(),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: marshal snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// Publish registers the registry under name in the process-global
+// expvar namespace (visible at /debug/vars). Publishing the same name
+// twice is a no-op, so tests and long-lived processes can call it
+// freely.
+func (r *Registry) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
+}
+
+// NewDebugMux builds the debug-server handler: expvar at /debug/vars,
+// pprof under /debug/pprof/, the registry snapshot at /debug/metrics,
+// and the retained trace spans at /debug/spans.
+func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total int64  `json:"total"`
+			Spans []Span `json:"spans"`
+		}{Total: tr.Total(), Spans: tr.Spans()})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "edgehd debug server\n\n"+
+			"/debug/metrics  JSON metrics snapshot\n"+
+			"/debug/spans    recent trace spans\n"+
+			"/debug/vars     expvar\n"+
+			"/debug/pprof/   pprof profiles\n")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP server.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the server's listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts the debug server on addr (e.g. "localhost:6060" or
+// "127.0.0.1:0") serving NewDebugMux(reg, tr) in a background
+// goroutine. The caller owns the returned server and should Close it.
+func ServeDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listen on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+)
+
+// Histogram bucket layout: bucket 0 holds values ≤ histMin; bucket i>0
+// holds (histMin·growth^(i−1), histMin·growth^i]. With growth 1.15 and
+// 384 buckets the range spans ~1e-9 (nanoseconds, expressed in
+// seconds) up past 1e14 (byte counts of very large transfers) with
+// ≤7.5% relative quantile error — plenty for latency and size
+// distributions.
+const (
+	histBuckets = 384
+	histMin     = 1e-9
+	histGrowth  = 1.15
+)
+
+var logGrowth = math.Log(histGrowth)
+
+// Histogram is a streaming log-bucketed histogram tracking count, sum,
+// min, max and approximate quantiles. All methods are safe on a nil
+// receiver and safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	i := int(math.Log(v/histMin)/logGrowth) + 1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketMid returns a representative value for bucket i: the geometric
+// mean of its bounds (histMin for bucket 0).
+func bucketMid(i int) float64 {
+	if i == 0 {
+		return histMin
+	}
+	lo := histMin * math.Pow(histGrowth, float64(i-1))
+	return lo * math.Sqrt(histGrowth)
+}
+
+// Observe records one value. Negative values clamp into the lowest
+// bucket (durations and sizes are non-negative by construction).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketIndex(v)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]) of the
+// observations, 0 when the histogram is empty or nil. The estimate is
+// the representative value of the bucket containing the q·count-th
+// observation, clamped to the exact observed min/max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i]
+		if cum >= rank {
+			v := bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// HistogramStat is a point-in-time summary of a Histogram.
+type HistogramStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Stat summarizes the histogram (zero value on nil or empty).
+func (h *Histogram) Stat() HistogramStat {
+	if h == nil {
+		return HistogramStat{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return HistogramStat{}
+	}
+	return HistogramStat{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		Mean:  h.sum / float64(h.count),
+		P50:   h.quantileLocked(0.50),
+		P95:   h.quantileLocked(0.95),
+		P99:   h.quantileLocked(0.99),
+	}
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

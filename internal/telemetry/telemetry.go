@@ -1,0 +1,186 @@
+// Package telemetry is the stdlib-only observability substrate of the
+// EdgeHD reproduction: a concurrency-safe metrics registry (counters,
+// gauges, streaming histograms with p50/p95/p99), span-style tracing
+// for the hot paths (encode, associative search, confidence-routed
+// inference, hierarchical training, residual propagation), and helpers
+// that expose both over HTTP (expvar + pprof) or as JSON snapshots.
+//
+// Everything is built around the nil-receiver no-op pattern: a nil
+// *Registry hands out nil instruments, and every method on a nil
+// instrument (or nil *Tracer / nil *SpanHandle) is a cheap no-op. Code
+// can therefore be instrumented unconditionally — when no registry is
+// attached the added cost is a nil check per event, which keeps the
+// disabled hot path within noise of the uninstrumented one.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key="value" dimension of a metric name.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// canonicalName renders name plus sorted labels as
+// name{k1="v1",k2="v2"}, the registry's map key and the name reported
+// in snapshots.
+func canonicalName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with New. A nil *Registry is a valid "telemetry disabled" registry:
+// every lookup returns a nil instrument whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the counter with the given
+// name and labels. Returns nil on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := canonicalName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge with the given name
+// and labels. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := canonicalName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the streaming histogram
+// with the given name and labels. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := canonicalName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = newHistogram()
+		r.hists[key] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing int64 metric. All methods are
+// safe on a nil receiver and safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move in both directions (e.g.
+// accumulated joules, current queue depth). All methods are safe on a
+// nil receiver and safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// Add accumulates delta into the gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return bitsFloat(g.bits.Load())
+}

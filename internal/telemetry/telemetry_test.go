@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments, got %v %v %v", c, g, h)
+	}
+	// None of these may panic, and all reads must be zero.
+	c.Add(5)
+	c.Inc()
+	g.Set(3)
+	g.Add(2)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("nil instruments must read zero")
+	}
+	if st := h.Stat(); st.Count != 0 {
+		t.Fatalf("nil histogram stat must be zero, got %+v", st)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot must be empty, got %+v", snap)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("requests", L("path", "/infer"))
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	// Same name+labels resolves to the same instrument regardless of
+	// label order.
+	c2 := r.Counter("requests", L("path", "/infer"))
+	if c2 != c {
+		t.Fatalf("same key must return the same counter")
+	}
+	g := r.Gauge("energy_j")
+	g.Set(1.5)
+	g.Add(0.25)
+	if got := g.Value(); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("gauge = %v, want 1.75", got)
+	}
+}
+
+func TestCanonicalNameSortsLabels(t *testing.T) {
+	a := canonicalName("m", []Label{L("b", "2"), L("a", "1")})
+	b := canonicalName("m", []Label{L("a", "1"), L("b", "2")})
+	want := `m{a="1",b="2"}`
+	if a != want || b != want {
+		t.Fatalf("canonicalName = %q / %q, want %q", a, b, want)
+	}
+	if got := canonicalName("bare", nil); got != "bare" {
+		t.Fatalf("unlabeled name = %q, want bare", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency")
+	// 1..1000: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990 within bucket error
+	// (±7.5%).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q, want float64
+	}{{0.5, 500}, {0.95, 950}, {0.99, 990}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want)/c.want > 0.08 {
+			t.Errorf("p%v = %v, want ≈%v", 100*c.q, got, c.want)
+		}
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q=0 should be min, got %v", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("q=1 should be max, got %v", got)
+	}
+	st := h.Stat()
+	if st.Count != 1000 || st.Min != 1 || st.Max != 1000 {
+		t.Errorf("stat = %+v", st)
+	}
+	if math.Abs(st.Mean-500.5) > 1e-9 {
+		t.Errorf("mean = %v, want 500.5", st.Mean)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	r := New()
+	h := r.Histogram("x")
+	h.Observe(0)    // below histMin → bucket 0
+	h.Observe(-3)   // negative clamps, must not panic
+	h.Observe(1e20) // beyond top bucket clamps
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(1); got != 1e20 {
+		t.Fatalf("max = %v", got)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", L("w", fmt.Sprint(w%2))).Observe(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+	snap := r.Snapshot()
+	if snap.Histograms[`h{w="0"}`].Count+snap.Histograms[`h{w="1"}`].Count != 8000 {
+		t.Fatalf("histogram counts = %+v", snap.Histograms)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("bytes").Add(1234)
+	r.Gauge("joules").Set(0.5)
+	r.Histogram("lat").Observe(0.01)
+	tr := NewTracer(4, r)
+	sp := tr.Start("op")
+	sp.SetInt("n", 7)
+	sp.End()
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteSnapshotFile(path, r, tr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got FileSnapshot
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if got.Metrics.Counters["bytes"] != 1234 {
+		t.Errorf("counters = %+v", got.Metrics.Counters)
+	}
+	if got.Metrics.Gauges["joules"] != 0.5 {
+		t.Errorf("gauges = %+v", got.Metrics.Gauges)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Name != "op" || got.TotalSpans != 1 {
+		t.Errorf("spans = %+v total=%d", got.Spans, got.TotalSpans)
+	}
+	// The tracer fed the registry a span_seconds histogram.
+	if got.Metrics.Histograms[`span_seconds{span="op"}`].Count != 1 {
+		t.Errorf("span_seconds missing: %+v", got.Metrics.Histograms)
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("hits").Add(2)
+	tr := NewTracer(8, nil)
+	tr.Start("ping").End()
+	srv, err := ServeDebug("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var buf [1 << 16]byte
+		n, _ := resp.Body.Read(buf[:])
+		return buf[:n]
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/metrics"), &snap); err != nil {
+		t.Fatalf("/debug/metrics not JSON: %v", err)
+	}
+	if snap.Counters["hits"] != 2 {
+		t.Errorf("metrics = %+v", snap)
+	}
+	var spans struct {
+		Total int64  `json:"total"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(get("/debug/spans"), &spans); err != nil {
+		t.Fatalf("/debug/spans not JSON: %v", err)
+	}
+	if spans.Total != 1 || len(spans.Spans) != 1 {
+		t.Errorf("spans = %+v", spans)
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("pprof cmdline empty")
+	}
+	if body := get("/"); len(body) == 0 {
+		t.Error("index empty")
+	}
+}

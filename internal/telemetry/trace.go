@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are whatever the
+// instrumentation records — node IDs and byte counts as int64,
+// confidences as float64 — and marshal directly to JSON.
+type Attr struct {
+	Key   string      `json:"key"`
+	Value interface{} `json:"value"`
+}
+
+// Span is one completed traced operation.
+type Span struct {
+	// Name identifies the operation ("infer", "train", ...).
+	Name string `json:"name"`
+	// Seq is the span's 1-based position in the tracer's lifetime
+	// (monotonic even after older spans rotate out of the ring).
+	Seq int64 `json:"seq"`
+	// Start is the wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurationNS is the span's wall-clock duration in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// Attrs are the recorded annotations, in recording order.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the first attribute with the given key, or
+// nil when absent.
+func (s *Span) Attr(key string) interface{} {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return nil
+}
+
+// Int64Attr returns an integer attribute (and whether it was present
+// as an int64).
+func (s *Span) Int64Attr(key string) (int64, bool) {
+	v, ok := s.Attr(key).(int64)
+	return v, ok
+}
+
+// Tracer records completed spans into a fixed-capacity ring buffer and
+// (optionally) feeds per-span-name duration histograms into a Registry
+// as span_seconds{span="<name>"}. A nil *Tracer is a valid "tracing
+// disabled" tracer: Start returns a nil handle whose methods no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total int64
+	reg   *Registry
+}
+
+// NewTracer returns a tracer retaining the last capacity spans
+// (minimum 1). reg may be nil; when set, every ended span observes its
+// duration into span_seconds{span="<name>"}.
+func NewTracer(capacity int, reg *Registry) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Span, 0, capacity), reg: reg}
+}
+
+// Start opens a span. Returns nil (a no-op handle) on a nil tracer.
+func (t *Tracer) Start(name string) *SpanHandle {
+	if t == nil {
+		return nil
+	}
+	return &SpanHandle{t: t, span: Span{Name: name, Start: time.Now()}}
+}
+
+// Total returns the number of spans ever completed (0 on nil).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the retained spans, oldest first (nil on a nil tracer).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		// Ring has wrapped: t.next is the oldest entry.
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Last returns the most recently completed span with the given name
+// (nil when none is retained).
+func (t *Tracer) Last(name string) *Span {
+	spans := t.Spans()
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+	}
+	return nil
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	t.total++
+	s.Seq = t.total
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	reg := t.reg
+	t.mu.Unlock()
+	reg.Histogram("span_seconds", L("span", s.Name)).
+		Observe(float64(s.DurationNS) / 1e9)
+}
+
+// SpanHandle is an open span being annotated. All methods are safe on a
+// nil receiver. A handle belongs to the goroutine that started it.
+type SpanHandle struct {
+	t    *Tracer
+	span Span
+}
+
+// SetInt records an integer attribute and returns the handle for
+// chaining.
+func (h *SpanHandle) SetInt(key string, v int64) *SpanHandle {
+	if h == nil {
+		return nil
+	}
+	h.span.Attrs = append(h.span.Attrs, Attr{Key: key, Value: v})
+	return h
+}
+
+// SetFloat records a float attribute and returns the handle.
+func (h *SpanHandle) SetFloat(key string, v float64) *SpanHandle {
+	if h == nil {
+		return nil
+	}
+	h.span.Attrs = append(h.span.Attrs, Attr{Key: key, Value: v})
+	return h
+}
+
+// SetStr records a string attribute and returns the handle.
+func (h *SpanHandle) SetStr(key, v string) *SpanHandle {
+	if h == nil {
+		return nil
+	}
+	h.span.Attrs = append(h.span.Attrs, Attr{Key: key, Value: v})
+	return h
+}
+
+// End closes the span and commits it to the tracer's ring.
+func (h *SpanHandle) End() {
+	if h == nil {
+		return
+	}
+	h.span.DurationNS = time.Since(h.span.Start).Nanoseconds()
+	h.t.record(h.span)
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatalf("nil tracer must return nil handle")
+	}
+	// Chaining and End on a nil handle must not panic.
+	sp.SetInt("a", 1).SetFloat("b", 2).SetStr("c", "d").End()
+	if tr.Total() != 0 || tr.Spans() != nil || tr.Last("x") != nil {
+		t.Fatalf("nil tracer must read empty")
+	}
+}
+
+func TestTracerRecordsSpansAndAttrs(t *testing.T) {
+	tr := NewTracer(8, nil)
+	sp := tr.Start("infer")
+	sp.SetInt("entry_node", 3).SetInt("wire_bytes", 4096).SetFloat("confidence", 0.9)
+	sp.End()
+
+	if tr.Total() != 1 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	last := tr.Last("infer")
+	if last == nil {
+		t.Fatal("no infer span retained")
+	}
+	if v, ok := last.Int64Attr("entry_node"); !ok || v != 3 {
+		t.Errorf("entry_node = %v %v", v, ok)
+	}
+	if v, ok := last.Int64Attr("wire_bytes"); !ok || v != 4096 {
+		t.Errorf("wire_bytes = %v %v", v, ok)
+	}
+	if c, ok := last.Attr("confidence").(float64); !ok || c != 0.9 {
+		t.Errorf("confidence = %v", last.Attr("confidence"))
+	}
+	if last.Attr("missing") != nil {
+		t.Error("missing attr must be nil")
+	}
+	if last.DurationNS < 0 {
+		t.Errorf("duration = %d", last.DurationNS)
+	}
+}
+
+func TestTracerRingRotation(t *testing.T) {
+	tr := NewTracer(3, nil)
+	for i := 0; i < 5; i++ {
+		tr.Start("op").SetInt("i", int64(i)).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(spans))
+	}
+	// Oldest-first: spans 2, 3, 4 with monotonically increasing Seq.
+	for k, s := range spans {
+		if v, _ := s.Int64Attr("i"); v != int64(k+2) {
+			t.Errorf("span %d has i=%v, want %d", k, v, k+2)
+		}
+		if s.Seq != int64(k+3) {
+			t.Errorf("span %d Seq=%d, want %d", k, s.Seq, k+3)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Errorf("total = %d, want 5", tr.Total())
+	}
+}
+
+func TestTracerFeedsRegistryHistogram(t *testing.T) {
+	reg := New()
+	tr := NewTracer(4, reg)
+	tr.Start("train").End()
+	tr.Start("train").End()
+	h := reg.Histogram("span_seconds", L("span", "train"))
+	if h.Count() != 2 {
+		t.Fatalf("span_seconds count = %d, want 2", h.Count())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16, New())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Start("op").SetInt("i", int64(i)).End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 1600 {
+		t.Fatalf("total = %d, want 1600", tr.Total())
+	}
+	if len(tr.Spans()) != 16 {
+		t.Fatalf("retained = %d, want 16", len(tr.Spans()))
+	}
+}
