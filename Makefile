@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench clean
+.PHONY: check vet build lint test race fuzz bench-smoke bench clean
 
 # Tier-1 gate: everything CI needs to pass, plus a short instrumented
 # bench run that leaves a machine-readable metrics snapshot behind.
-check: vet build race bench-smoke
+check: vet build lint race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -12,11 +12,23 @@ vet:
 build:
 	$(GO) build ./...
 
+# Domain-specific static analysis (see DESIGN.md "Static analysis"):
+# determinism, panic-policy, error-style and telemetry-nil invariants.
+# Exits non-zero on any diagnostic, so check fails on violations.
+lint:
+	$(GO) run ./cmd/hdlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzz passes over the wire codec and the hypervector algebra.
+# Each target runs for 10s; failures land reproducer files in testdata.
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzWireRoundTrip -fuzztime 10s
+	$(GO) test ./internal/hdc -fuzz FuzzBipolarOps -fuzztime 10s
 
 # A quick instrumented run of the routed-inference pipeline; the
 # telemetry snapshot (counters, histograms, spans) lands in

@@ -128,38 +128,50 @@ func NewTracer(capacity int, reg *Telemetry) *Tracer {
 
 // NewClassifier builds a centralized EdgeHD classifier for feature
 // vectors of length n and k classes, using the paper's defaults
-// (D = 4000, 80% sparsity) unless overridden by options.
-func NewClassifier(n, k int, opts ...Option) *Classifier {
+// (D = 4000, 80% sparsity) unless overridden by options. It returns an
+// error on invalid sizes or option values (non-positive n, k or
+// dimension, sparsity outside [0, 1)).
+func NewClassifier(n, k int, opts ...Option) (*Classifier, error) {
 	cfg := classifierConfig{dim: 4000, sparsity: 0.8}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var enc Encoder
+	var (
+		enc Encoder
+		err error
+	)
 	if cfg.dense {
-		enc = encoding.NewNonlinear(n, cfg.dim, cfg.seed, encoding.NonlinearConfig{LengthScale: cfg.lengthScale})
+		enc, err = encoding.NewNonlinear(n, cfg.dim, cfg.seed, encoding.NonlinearConfig{LengthScale: cfg.lengthScale})
 	} else {
-		enc = encoding.NewSparse(n, cfg.dim, cfg.seed, encoding.SparseConfig{Sparsity: cfg.sparsity, LengthScale: cfg.lengthScale})
+		enc, err = encoding.NewSparse(n, cfg.dim, cfg.seed, encoding.SparseConfig{Sparsity: cfg.sparsity, LengthScale: cfg.lengthScale})
 	}
-	clf := core.NewClassifier(enc, k)
+	if err != nil {
+		return nil, err
+	}
+	clf, err := core.NewClassifier(enc, k)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.telemetry != nil {
 		clf.SetTelemetry(cfg.telemetry)
 	}
-	return clf
+	return clf, nil
 }
 
 // NewNonlinearEncoder exposes the dense §III-A encoder directly.
-func NewNonlinearEncoder(n, dim int, seed uint64) Encoder {
+func NewNonlinearEncoder(n, dim int, seed uint64) (Encoder, error) {
 	return encoding.NewNonlinear(n, dim, seed, encoding.NonlinearConfig{})
 }
 
 // NewSparseEncoder exposes the sparse §V-A encoder directly.
-func NewSparseEncoder(n, dim int, seed uint64, sparsity float64) Encoder {
+func NewSparseEncoder(n, dim int, seed uint64, sparsity float64) (Encoder, error) {
 	return encoding.NewSparse(n, dim, seed, encoding.SparseConfig{Sparsity: sparsity})
 }
 
 // NewModel returns an empty model with k classes of dimension d, for
-// callers that manage encoding themselves.
-func NewModel(d, k int) *Model { return core.NewModel(d, k) }
+// callers that manage encoding themselves. It returns an error on
+// non-positive sizes.
+func NewModel(d, k int) (*Model, error) { return core.NewModel(d, k) }
 
 // BuildHierarchy constructs an EdgeHD system over a topology whose end
 // nodes observe the features listed in partition (partition[i] holds

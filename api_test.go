@@ -8,7 +8,7 @@ import (
 )
 
 func TestFacadeClassifier(t *testing.T) {
-	clf := edgehd.NewClassifier(8, 2, edgehd.WithDimension(512), edgehd.WithSeed(1))
+	clf := must(edgehd.NewClassifier(8, 2, edgehd.WithDimension(512), edgehd.WithSeed(1)))
 	xs := [][]float64{
 		{1, 1, 1, 1, 0, 0, 0, 0}, {0.9, 1.1, 1, 0.8, 0.1, 0, 0.2, 0},
 		{0, 0, 0, 0, 1, 1, 1, 1}, {0.1, 0, 0.2, 0, 1.1, 0.9, 1, 0.8},
@@ -26,12 +26,12 @@ func TestFacadeClassifier(t *testing.T) {
 }
 
 func TestFacadeClassifierOptions(t *testing.T) {
-	dense := edgehd.NewClassifier(4, 2, edgehd.WithDenseEncoder(), edgehd.WithDimension(128),
-		edgehd.WithLengthScale(2), edgehd.WithSeed(3))
+	dense := must(edgehd.NewClassifier(4, 2, edgehd.WithDenseEncoder(), edgehd.WithDimension(128),
+		edgehd.WithLengthScale(2), edgehd.WithSeed(3)))
 	if dense.Encoder().Dim() != 128 {
 		t.Fatalf("dense encoder dim = %d", dense.Encoder().Dim())
 	}
-	sparse := edgehd.NewClassifier(4, 2, edgehd.WithSparsity(0.5), edgehd.WithDimension(64))
+	sparse := must(edgehd.NewClassifier(4, 2, edgehd.WithSparsity(0.5), edgehd.WithDimension(64)))
 	if sparse.Encoder().NumFeatures() != 4 {
 		t.Fatalf("sparse encoder features = %d", sparse.Encoder().NumFeatures())
 	}
@@ -109,7 +109,7 @@ func TestFacadeMediums(t *testing.T) {
 }
 
 func TestFacadeModel(t *testing.T) {
-	m := edgehd.NewModel(256, 3)
+	m := must(edgehd.NewModel(256, 3))
 	r := edgehd.NewRandom(9)
 	h := edgehd.RandomHypervector(256, r)
 	m.Add(2, h)
@@ -121,7 +121,7 @@ func TestFacadeModel(t *testing.T) {
 // ExampleNewClassifier demonstrates centralized training and prediction
 // with the public API.
 func ExampleNewClassifier() {
-	clf := edgehd.NewClassifier(4, 2, edgehd.WithDimension(256), edgehd.WithSeed(7))
+	clf := must(edgehd.NewClassifier(4, 2, edgehd.WithDimension(256), edgehd.WithSeed(7)))
 	trainX := [][]float64{
 		{1, 1, 0, 0}, {0.9, 1.1, 0.1, 0}, {1.1, 0.9, 0, 0.1},
 		{0, 0, 1, 1}, {0.1, 0, 0.9, 1.1}, {0, 0.1, 1.1, 0.9},
@@ -151,4 +151,13 @@ func ExampleTree() {
 	// levels: 3
 	// end nodes: 5
 	// central children: 3
+}
+
+// must unwraps a constructor result; tests treat construction failure
+// as fatal.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

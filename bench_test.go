@@ -177,7 +177,7 @@ func BenchmarkAblationFanIn(b *testing.B) {
 // accelerates, measured on the host CPU.
 
 func BenchmarkEncodeSparse(b *testing.B) {
-	enc := encoding.NewSparse(128, 4000, 1, encoding.SparseConfig{Sparsity: 0.8})
+	enc := mustB(encoding.NewSparse(128, 4000, 1, encoding.SparseConfig{Sparsity: 0.8}))
 	x := rng.New(2).NormVec(128, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -186,7 +186,7 @@ func BenchmarkEncodeSparse(b *testing.B) {
 }
 
 func BenchmarkEncodeDense(b *testing.B) {
-	enc := encoding.NewNonlinear(128, 4000, 1, encoding.NonlinearConfig{})
+	enc := mustB(encoding.NewNonlinear(128, 4000, 1, encoding.NonlinearConfig{}))
 	x := rng.New(2).NormVec(128, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -208,7 +208,7 @@ func BenchmarkBipolarDot(b *testing.B) {
 
 func BenchmarkAssociativeSearch(b *testing.B) {
 	r := rng.New(4)
-	m := NewModel(4000, 10)
+	m := mustB(NewModel(4000, 10))
 	for c := 0; c < 10; c++ {
 		for s := 0; s < 20; s++ {
 			m.Add(c, hdc.RandomBipolar(4000, r))
@@ -293,4 +293,13 @@ func BenchmarkHierarchyInferPDP(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// mustB unwraps a constructor result; benchmarks treat construction
+// failure as fatal.
+func mustB[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -92,8 +92,11 @@ func run(args []string) error {
 		spec.Name, spec.Features, spec.Classes, spec.EndNodes, len(d.TrainX), len(d.TestX))
 
 	if !spec.Hierarchical() {
-		clf := edgehd.NewClassifier(spec.Features, spec.Classes,
+		clf, err := edgehd.NewClassifier(spec.Features, spec.Classes,
 			edgehd.WithDimension(*dim), edgehd.WithSeed(*seed), edgehd.WithTelemetry(reg))
+		if err != nil {
+			return err
+		}
 		if _, err := clf.Fit(d.TrainX, d.TrainY, *epochs); err != nil {
 			return err
 		}

@@ -111,7 +111,10 @@ func run(args []string) error {
 	}
 	defer ln.Close() //nolint:errcheck // process exit closes it anyway
 	fmt.Printf("aggregator listening on %s\n", ln.Addr())
-	agg := cluster.NewAggregator(*dim, spec.Classes)
+	agg, err := cluster.NewAggregator(*dim, spec.Classes)
+	if err != nil {
+		return err
+	}
 	release := make(chan struct{})
 	merged := make(chan error, *workers)
 	var serveWG sync.WaitGroup

@@ -1,0 +1,80 @@
+// Command hdlint runs EdgeHD's domain-specific static analysis over the
+// module: determinism (det-rand, map-order), panic policy, error-string
+// style and the telemetry nil-receiver contract. It is part of the
+// tier-1 gate (`make lint`, included in `make check`) and exits
+// non-zero on any diagnostic so regressions fail CI.
+//
+// Usage:
+//
+//	hdlint [-json] [-C dir] [packages]
+//
+// The package arguments are accepted for familiarity (`./...`) but the
+// whole module is always analyzed — the rules are module-wide
+// invariants. -json emits machine-readable diagnostics; the default
+// output is one `file:line:col: rule: message` line per violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"edgehd/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON")
+		dir     = flag.String("C", ".", "directory inside the module to lint")
+		list    = flag.Bool("rules", false, "list the active rules and exit")
+	)
+	flag.Parse()
+
+	if err := run(*dir, *jsonOut, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "hdlint:", err)
+		os.Exit(2)
+	}
+}
+
+// report is the JSON output shape.
+type report struct {
+	Module      string            `json:"module"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	Count       int               `json:"count"`
+}
+
+func run(dir string, jsonOut, listRules bool) error {
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		return err
+	}
+	cfg := lint.Default(mod.Path)
+
+	if listRules {
+		for _, r := range cfg.Rules {
+			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
+		}
+		return nil
+	}
+
+	diags := lint.Run(mod, cfg)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Module: mod.Path, Diagnostics: diags, Count: len(diags)}); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Printf("hdlint: %d diagnostic(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -52,8 +52,11 @@ func run() error {
 	// A classifier with hypervector dimension 2000. The encoder maps
 	// each 16-feature reading into a ±1 hypervector; training bundles
 	// hypervectors per class and then retrains iteratively.
-	clf := edgehd.NewClassifier(numFeatures, numClasses,
+	clf, err := edgehd.NewClassifier(numFeatures, numClasses,
 		edgehd.WithDimension(2000), edgehd.WithSeed(1))
+	if err != nil {
+		return err
+	}
 	stats, err := clf.Fit(trainX, trainY, 0)
 	if err != nil {
 		return err

@@ -71,8 +71,14 @@ func glyph(class int, dx, dy int, noise float64, rng *rng.Source) []float64 {
 
 func run() error {
 	src := rng.New(3)
-	enc := encoding.NewImage2D(side, side, 4000, 11, 2)
-	model := core.NewModel(enc.Dim(), classes)
+	enc, err := encoding.NewImage2D(side, side, 4000, 11, 2)
+	if err != nil {
+		return err
+	}
+	model, err := core.NewModel(enc.Dim(), classes)
+	if err != nil {
+		return err
+	}
 
 	// Train on glyphs jittered by up to ±2 pixels; generalization to
 	// larger unseen shifts decays with the position kernel, by design.

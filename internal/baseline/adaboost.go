@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -83,9 +84,9 @@ func (s stump) predict(x []float64) int {
 
 // NewAdaBoost constructs an untrained booster for in features and out
 // classes.
-func NewAdaBoost(in, out int, cfg AdaBoostConfig) *AdaBoost {
+func NewAdaBoost(in, out int, cfg AdaBoostConfig) (*AdaBoost, error) {
 	if in <= 0 || out <= 0 {
-		panic("baseline: non-positive AdaBoost size")
+		return nil, fmt.Errorf("baseline: non-positive AdaBoost size %dx%d", in, out)
 	}
 	cfg.fill()
 	if cfg.FeatureSubsample == 0 {
@@ -97,7 +98,7 @@ func NewAdaBoost(in, out int, cfg AdaBoostConfig) *AdaBoost {
 	if cfg.FeatureSubsample > in {
 		cfg.FeatureSubsample = in
 	}
-	return &AdaBoost{cfg: cfg, in: in, out: out, r: rng.New(cfg.Seed)}
+	return &AdaBoost{cfg: cfg, in: in, out: out, r: rng.New(cfg.Seed)}, nil
 }
 
 // Name implements Learner.

@@ -45,7 +45,7 @@ func antipodal(seed uint64, maxTrain, maxTest int) *dataset.Dataset {
 func TestMLPLearnsBlobs(t *testing.T) {
 	xs, ys := simpleBlobs(10, 3, 60, 0.5, 1)
 	xt, yt := simpleBlobs(10, 3, 20, 0.5, 2)
-	m := NewMLP(10, 3, MLPConfig{Hidden: []int{32}, Epochs: 20, Seed: 3})
+	m := must(NewMLP(10, 3, MLPConfig{Hidden: []int{32}, Epochs: 20, Seed: 3}))
 	if err := m.Fit(xs, ys); err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestMLPLearnsBlobs(t *testing.T) {
 
 func TestMLPLearnsNonLinearStructure(t *testing.T) {
 	d := antipodal(11, 400, 150)
-	m := NewMLP(d.Spec.Features, d.Spec.Classes, MLPConfig{Hidden: []int{64}, Epochs: 40, Seed: 5})
+	m := must(NewMLP(d.Spec.Features, d.Spec.Classes, MLPConfig{Hidden: []int{64}, Epochs: 40, Seed: 5}))
 	if err := m.Fit(d.TrainX, d.TrainY); err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestMLPLearnsNonLinearStructure(t *testing.T) {
 
 func TestMLPProbabilitiesSumToOne(t *testing.T) {
 	xs, ys := simpleBlobs(6, 2, 30, 0.5, 7)
-	m := NewMLP(6, 2, MLPConfig{Hidden: []int{16}, Epochs: 5, Seed: 8})
+	m := must(NewMLP(6, 2, MLPConfig{Hidden: []int{16}, Epochs: 5, Seed: 8}))
 	if err := m.Fit(xs, ys); err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestMLPProbabilitiesSumToOne(t *testing.T) {
 }
 
 func TestMLPValidation(t *testing.T) {
-	m := NewMLP(4, 2, MLPConfig{})
+	m := must(NewMLP(4, 2, MLPConfig{}))
 	if err := m.Fit([][]float64{{1, 2, 3, 4}}, []int{0, 1}); err == nil {
 		t.Fatal("Fit accepted mismatched shapes")
 	}
@@ -111,7 +111,7 @@ func TestMLPValidation(t *testing.T) {
 }
 
 func TestMLPOpCounts(t *testing.T) {
-	m := NewMLP(100, 10, MLPConfig{Hidden: []int{50}})
+	m := must(NewMLP(100, 10, MLPConfig{Hidden: []int{50}}))
 	wantForward := int64(100*50 + 50*10)
 	if got := m.ForwardMACs(); got != wantForward {
 		t.Fatalf("ForwardMACs = %d, want %d", got, wantForward)
@@ -126,7 +126,7 @@ func TestLinearSVMFailsOnAntipodal(t *testing.T) {
 	// non-linearity property Fig 7 measures. Chance for APRI (2 classes)
 	// is 0.5.
 	d := antipodal(21, 400, 150)
-	s := NewSVM(d.Spec.Features, d.Spec.Classes, SVMConfig{Seed: 1})
+	s := must(NewSVM(d.Spec.Features, d.Spec.Classes, SVMConfig{Seed: 1}))
 	if err := s.Fit(d.TrainX, d.TrainY); err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestLinearSVMFailsOnAntipodal(t *testing.T) {
 
 func TestRBFSVMSolvesAntipodal(t *testing.T) {
 	d := antipodal(22, 400, 150)
-	s := NewRBFSVM(d.Spec.Features, d.Spec.Classes, 1000, 0, SVMConfig{Seed: 2, Epochs: 30})
+	s := must(NewRBFSVM(d.Spec.Features, d.Spec.Classes, 1000, 0, SVMConfig{Seed: 2, Epochs: 30}))
 	if err := s.Fit(d.TrainX, d.TrainY); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestRBFSVMSolvesAntipodal(t *testing.T) {
 
 func TestLinearSVMLearnsBlobs(t *testing.T) {
 	xs, ys := simpleBlobs(8, 3, 60, 0.5, 31)
-	s := NewSVM(8, 3, SVMConfig{Seed: 3})
+	s := must(NewSVM(8, 3, SVMConfig{Seed: 3}))
 	if err := s.Fit(xs, ys); err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestLinearSVMLearnsBlobs(t *testing.T) {
 
 func TestSVMDecisionLength(t *testing.T) {
 	xs, ys := simpleBlobs(5, 4, 10, 0.3, 41)
-	s := NewSVM(5, 4, SVMConfig{})
+	s := must(NewSVM(5, 4, SVMConfig{}))
 	if err := s.Fit(xs, ys); err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestSVMDecisionLength(t *testing.T) {
 
 func TestAdaBoostLearnsBlobs(t *testing.T) {
 	xs, ys := simpleBlobs(6, 3, 80, 0.6, 51)
-	a := NewAdaBoost(6, 3, AdaBoostConfig{Rounds: 40})
+	a := must(NewAdaBoost(6, 3, AdaBoostConfig{Rounds: 40}))
 	if err := a.Fit(xs, ys); err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestAdaBoostPerfectStump(t *testing.T) {
 	// and classify perfectly.
 	xs := [][]float64{{-2}, {-1.5}, {-1}, {1}, {1.5}, {2}}
 	ys := []int{0, 0, 0, 1, 1, 1}
-	a := NewAdaBoost(1, 2, AdaBoostConfig{Rounds: 10, Thresholds: 4})
+	a := must(NewAdaBoost(1, 2, AdaBoostConfig{Rounds: 10, Thresholds: 4}))
 	if err := a.Fit(xs, ys); err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestAdaBoostPerfectStump(t *testing.T) {
 
 func TestHDLinearLearnsBlobs(t *testing.T) {
 	xs, ys := simpleBlobs(10, 3, 50, 0.4, 61)
-	h := NewHDLinear(10, 3, HDLinearConfig{Dim: 2000, Epochs: 5, Seed: 6})
+	h := must(NewHDLinear(10, 3, HDLinearConfig{Dim: 2000, Epochs: 5, Seed: 6}))
 	if err := h.Fit(xs, ys); err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestHDLinearWeakerThanNonlinearEncoding(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := spec.Generate(71, dataset.Options{MaxTrain: 600, MaxTest: 200})
-	h := NewHDLinear(d.Spec.Features, d.Spec.Classes, HDLinearConfig{Dim: 2000, Epochs: 10, Seed: 7})
+	h := must(NewHDLinear(d.Spec.Features, d.Spec.Classes, HDLinearConfig{Dim: 2000, Epochs: 10, Seed: 7}))
 	if err := h.Fit(d.TrainX, d.TrainY); err != nil {
 		t.Fatal(err)
 	}
@@ -245,8 +245,8 @@ func TestHDLinearWeakerThanNonlinearEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc := encoding.NewNonlinear(d.Spec.Features, 2000, 7, encoding.NonlinearConfig{})
-	clf := core.NewClassifier(enc, d.Spec.Classes)
+	enc := must(encoding.NewNonlinear(d.Spec.Features, 2000, 7, encoding.NonlinearConfig{}))
+	clf := must(core.NewClassifier(enc, d.Spec.Classes))
 	if _, err := clf.Fit(d.TrainX, d.TrainY, 10); err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestHDLinearWeakerThanNonlinearEncoding(t *testing.T) {
 }
 
 func TestEvaluateValidation(t *testing.T) {
-	m := NewMLP(2, 2, MLPConfig{})
+	m := must(NewMLP(2, 2, MLPConfig{}))
 	if _, err := Evaluate(m, [][]float64{{1, 2}}, nil); err == nil {
 		t.Fatal("Evaluate accepted mismatched shapes")
 	}
@@ -271,15 +271,24 @@ func TestEvaluateValidation(t *testing.T) {
 
 func TestLearnerNames(t *testing.T) {
 	names := map[string]Learner{
-		"DNN":        NewMLP(2, 2, MLPConfig{}),
-		"SVM-linear": NewSVM(2, 2, SVMConfig{}),
-		"SVM":        NewRBFSVM(2, 2, 16, 0, SVMConfig{}),
-		"AdaBoost":   NewAdaBoost(2, 2, AdaBoostConfig{}),
-		"BaselineHD": NewHDLinear(2, 2, HDLinearConfig{Dim: 64}),
+		"DNN":        must(NewMLP(2, 2, MLPConfig{})),
+		"SVM-linear": must(NewSVM(2, 2, SVMConfig{})),
+		"SVM":        must(NewRBFSVM(2, 2, 16, 0, SVMConfig{})),
+		"AdaBoost":   must(NewAdaBoost(2, 2, AdaBoostConfig{})),
+		"BaselineHD": must(NewHDLinear(2, 2, HDLinearConfig{Dim: 64})),
 	}
 	for want, l := range names {
 		if got := l.Name(); got != want {
 			t.Errorf("Name = %q, want %q", got, want)
 		}
 	}
+}
+
+// must unwraps a constructor result; tests treat construction failure
+// as fatal.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"edgehd/internal/core"
 	"edgehd/internal/encoding"
 )
@@ -33,16 +35,23 @@ type HDLinearConfig struct {
 
 // NewHDLinear constructs the baseline HD classifier for in features and
 // out classes.
-func NewHDLinear(in, out int, cfg HDLinearConfig) *HDLinear {
+func NewHDLinear(in, out int, cfg HDLinearConfig) (*HDLinear, error) {
 	if cfg.Dim == 0 {
 		cfg.Dim = 4000
 	}
-	enc := encoding.NewLinear(in, cfg.Dim, cfg.Seed, encoding.LinearConfig{Levels: cfg.Levels})
+	enc, err := encoding.NewLinear(in, cfg.Dim, cfg.Seed, encoding.LinearConfig{Levels: cfg.Levels})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: hd-linear encoder: %w", err)
+	}
 	epochs := cfg.Epochs
 	if epochs == 0 {
 		epochs = core.DefaultRetrainEpochs
 	}
-	return &HDLinear{clf: core.NewClassifier(enc, out), epochs: epochs}
+	clf, err := core.NewClassifier(enc, out)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: hd-linear classifier: %w", err)
+	}
+	return &HDLinear{clf: clf, epochs: epochs}, nil
 }
 
 // Name implements Learner.

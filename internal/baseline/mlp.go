@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"fmt"
 	"math"
 
 	"edgehd/internal/rng"
@@ -61,9 +62,9 @@ func (c *MLPConfig) fill() {
 }
 
 // NewMLP constructs an untrained network for in features and out classes.
-func NewMLP(in, out int, cfg MLPConfig) *MLP {
+func NewMLP(in, out int, cfg MLPConfig) (*MLP, error) {
 	if in <= 0 || out <= 0 {
-		panic("baseline: non-positive MLP size")
+		return nil, fmt.Errorf("baseline: non-positive MLP size %dx%d", in, out)
 	}
 	cfg.fill()
 	m := &MLP{cfg: cfg, in: in, out: out, r: rng.New(cfg.Seed)}
@@ -80,7 +81,7 @@ func NewMLP(in, out int, cfg MLPConfig) *MLP {
 		m.weights[l] = w
 		m.biases[l] = make([]float64, fanOut)
 	}
-	return m
+	return m, nil
 }
 
 // Name implements Learner.

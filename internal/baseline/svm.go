@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"edgehd/internal/encoding"
 	"edgehd/internal/rng"
 )
@@ -45,25 +47,29 @@ func (c *SVMConfig) fill() {
 
 // NewSVM constructs a linear one-vs-rest SVM for in features and out
 // classes.
-func NewSVM(in, out int, cfg SVMConfig) *SVM {
+func NewSVM(in, out int, cfg SVMConfig) (*SVM, error) {
 	if in <= 0 || out <= 0 {
-		panic("baseline: non-positive SVM size")
+		return nil, fmt.Errorf("baseline: non-positive SVM size %dx%d", in, out)
 	}
 	cfg.fill()
-	return &SVM{cfg: cfg, name: "SVM-linear", in: in, out: out, r: rng.New(cfg.Seed)}
+	return &SVM{cfg: cfg, name: "SVM-linear", in: in, out: out, r: rng.New(cfg.Seed)}, nil
 }
 
 // NewRBFSVM constructs an RBF-kernel SVM approximated with rffDim random
 // Fourier features of the given length scale (0 = default 1). This is
 // the configuration Fig 7 calls "SVM": grid-searched kernel SVMs.
-func NewRBFSVM(in, out, rffDim int, lengthScale float64, cfg SVMConfig) *SVM {
+func NewRBFSVM(in, out, rffDim int, lengthScale float64, cfg SVMConfig) (*SVM, error) {
 	if rffDim <= 0 {
-		panic("baseline: non-positive RFF dimension")
+		return nil, fmt.Errorf("baseline: non-positive RFF dimension %d", rffDim)
 	}
 	cfg.fill()
+	rff, err := encoding.NewRFF(in, rffDim, cfg.Seed+1, lengthScale)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: rbf-svm feature map: %w", err)
+	}
 	s := &SVM{cfg: cfg, name: "SVM", in: rffDim, out: out, r: rng.New(cfg.Seed)}
-	s.rff = encoding.NewRFF(in, rffDim, cfg.Seed+1, lengthScale)
-	return s
+	s.rff = rff
+	return s, nil
 }
 
 // Name implements Learner.

@@ -69,8 +69,15 @@ func NewWorker(cfg Config) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	enc := encoding.NewSparse(cfg.Features, cfg.Dim, cfg.EncoderSeed, encoding.SparseConfig{Sparsity: cfg.Sparsity})
-	return &Worker{cfg: cfg, clf: core.NewClassifier(enc, cfg.Classes)}, nil
+	enc, err := encoding.NewSparse(cfg.Features, cfg.Dim, cfg.EncoderSeed, encoding.SparseConfig{Sparsity: cfg.Sparsity})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker encoder: %w", err)
+	}
+	clf, err := core.NewClassifier(enc, cfg.Classes)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker classifier: %w", err)
+	}
+	return &Worker{cfg: cfg, clf: clf}, nil
 }
 
 // Train fits the worker's local model on its shard. With LocalEpochs
@@ -141,8 +148,12 @@ type Aggregator struct {
 }
 
 // NewAggregator returns an empty aggregator for the given model shape.
-func NewAggregator(dim, classes int) *Aggregator {
-	return &Aggregator{dim: dim, classes: classes, global: core.NewModel(dim, classes)}
+func NewAggregator(dim, classes int) (*Aggregator, error) {
+	global, err := core.NewModel(dim, classes)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: aggregator model: %w", err)
+	}
+	return &Aggregator{dim: dim, classes: classes, global: global}, nil
 }
 
 // Global returns the merged model (shared; callers must not mutate
@@ -181,7 +192,10 @@ func (a *Aggregator) readAndMerge(conn io.Reader) error {
 	if msg.Header.Type != wire.MsgModel {
 		return fmt.Errorf("cluster: aggregator expected model frame, got type %d", msg.Header.Type)
 	}
-	partial := core.NewModel(a.dim, a.classes)
+	partial, err := core.NewModel(a.dim, a.classes)
+	if err != nil {
+		return fmt.Errorf("cluster: partial model: %w", err)
+	}
 	if err := installModel(partial, msg.Model); err != nil {
 		return err
 	}
@@ -221,7 +235,10 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 		}
 		workers[i] = w
 	}
-	agg := NewAggregator(cfg.Dim, cfg.Classes)
+	agg, err := NewAggregator(cfg.Dim, cfg.Classes)
+	if err != nil {
+		return nil, nil, err
+	}
 	release := make(chan struct{})
 	merged := make(chan error, len(shards))
 	errs := make(chan error, 2*len(shards))

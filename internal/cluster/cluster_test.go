@@ -43,8 +43,8 @@ func TestFederatedEqualsJointTraining(t *testing.T) {
 		t.Fatalf("got %d workers", len(workers))
 	}
 	// Joint reference: bundle everything with the same encoder seed.
-	enc := encoding.NewSparse(spec.Features, 1000, 5, encoding.SparseConfig{Sparsity: 0.8})
-	joint := core.NewClassifier(enc, spec.Classes)
+	enc := must(encoding.NewSparse(spec.Features, 1000, 5, encoding.SparseConfig{Sparsity: 0.8}))
+	joint := must(core.NewClassifier(enc, spec.Classes))
 	samples, err := joint.EncodeAll(d.TrainX, d.TrainY)
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +155,7 @@ func TestFederatedOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close() //nolint:errcheck // test listener
-	agg := NewAggregator(cfg.Dim, cfg.Classes)
+	agg := must(NewAggregator(cfg.Dim, cfg.Classes))
 	release := make(chan struct{})
 	merged := make(chan error, len(shards))
 	serveErrs := make(chan error, len(shards))
@@ -242,7 +242,7 @@ func TestAggregatorRejectsWrongShape(t *testing.T) {
 	if err := w.Train(shards[0].X, shards[0].Y); err != nil {
 		t.Fatal(err)
 	}
-	agg := NewAggregator(1024, spec.Classes) // mismatched dimension
+	agg := must(NewAggregator(1024, spec.Classes)) // mismatched dimension
 	a, b := net.Pipe()
 	merged := make(chan error, 1)
 	release := make(chan struct{})
@@ -257,4 +257,13 @@ func TestAggregatorRejectsWrongShape(t *testing.T) {
 	}
 	_ = a.Close()
 	_ = b.Close()
+}
+
+// must unwraps a constructor result; tests treat construction failure
+// as fatal.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

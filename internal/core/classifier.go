@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"edgehd/internal/encoding"
 	"edgehd/internal/hdc"
@@ -41,21 +40,24 @@ func (c *Classifier) SetTelemetry(reg *telemetry.Registry) {
 	}
 }
 
-// encode runs the encoder with optional latency accounting.
+// encode runs the encoder with optional latency accounting. Timing
+// goes through telemetry's StartTimer so this package never touches
+// the wall clock directly (det-rand invariant).
 func (c *Classifier) encode(features []float64) hdc.Bipolar {
 	c.met.encodeTotal.Add(1)
-	if c.met.encodeSeconds != nil {
-		t0 := time.Now()
-		hv := c.enc.Encode(features)
-		c.met.encodeSeconds.Observe(time.Since(t0).Seconds())
-		return hv
-	}
-	return c.enc.Encode(features)
+	stop := c.met.encodeSeconds.StartTimer()
+	hv := c.enc.Encode(features)
+	stop()
+	return hv
 }
 
 // NewClassifier builds an untrained classifier over enc with k classes.
-func NewClassifier(enc encoding.Encoder, k int) *Classifier {
-	return &Classifier{enc: enc, model: NewModel(enc.Dim(), k)}
+func NewClassifier(enc encoding.Encoder, k int) (*Classifier, error) {
+	m, err := NewModel(enc.Dim(), k)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{enc: enc, model: m}, nil
 }
 
 // Model exposes the underlying model (shared, not a copy) so the

@@ -39,15 +39,15 @@ type Model struct {
 }
 
 // NewModel returns an empty model with k classes of dimension d.
-func NewModel(d, k int) *Model {
+func NewModel(d, k int) (*Model, error) {
 	if d <= 0 || k <= 0 {
-		panic("core: non-positive model size")
+		return nil, fmt.Errorf("core: non-positive model size %dx%d", d, k)
 	}
 	m := &Model{dim: d, classes: k, classHV: make([]hdc.Acc, k), dirty: true}
 	for i := range m.classHV {
 		m.classHV[i] = hdc.NewAcc(d)
 	}
-	return m
+	return m, nil
 }
 
 // Dim returns the hypervector dimensionality.
@@ -235,7 +235,7 @@ func (m *Model) Merge(o *Model) error {
 
 // Clone returns a deep copy of the model.
 func (m *Model) Clone() *Model {
-	c := NewModel(m.dim, m.classes)
+	c := &Model{dim: m.dim, classes: m.classes, classHV: make([]hdc.Acc, m.classes), dirty: true}
 	for i := range m.classHV {
 		c.classHV[i] = m.classHV[i].Clone()
 	}

@@ -15,7 +15,7 @@ import (
 func blobs(t *testing.T, n, k, perClass, dim int, noise float64, seed uint64) (*encoding.Nonlinear, []Sample, []Sample) {
 	t.Helper()
 	r := rng.New(seed)
-	enc := encoding.NewNonlinear(n, dim, seed+1, encoding.NonlinearConfig{LengthScale: 2})
+	enc := must(encoding.NewNonlinear(n, dim, seed+1, encoding.NonlinearConfig{LengthScale: 2}))
 	centers := make([][]float64, k)
 	for c := range centers {
 		centers[c] = r.NormVec(n, nil)
@@ -40,7 +40,7 @@ func blobs(t *testing.T, n, k, perClass, dim int, noise float64, seed uint64) (*
 }
 
 func trainModel(samples []Sample, dim, k, epochs int) *Model {
-	m := NewModel(dim, k)
+	m := must(NewModel(dim, k))
 	for _, s := range samples {
 		m.Add(s.Label, s.HV)
 	}
@@ -51,7 +51,7 @@ func trainModel(samples []Sample, dim, k, epochs int) *Model {
 func TestInitialTrainingSeparatesBlobs(t *testing.T) {
 	const dim, k = 2048, 4
 	_, train, test := blobs(t, 10, k, 30, dim, 0.3, 1)
-	m := NewModel(dim, k)
+	m := must(NewModel(dim, k))
 	for _, s := range train {
 		m.Add(s.Label, s.HV)
 	}
@@ -63,7 +63,7 @@ func TestInitialTrainingSeparatesBlobs(t *testing.T) {
 func TestRetrainImprovesHardProblem(t *testing.T) {
 	const dim, k = 2048, 4
 	_, train, _ := blobs(t, 10, k, 40, dim, 1.2, 2)
-	m := NewModel(dim, k)
+	m := must(NewModel(dim, k))
 	for _, s := range train {
 		m.Add(s.Label, s.HV)
 	}
@@ -89,7 +89,7 @@ func TestRetrainEarlyStopsOnSeparableData(t *testing.T) {
 }
 
 func TestRetrainDefaultEpochs(t *testing.T) {
-	m := NewModel(64, 2)
+	m := must(NewModel(64, 2))
 	r := rng.New(4)
 	// Contradictory labels on the same hypervector force errors forever.
 	h := hdc.RandomBipolar(64, r)
@@ -159,8 +159,8 @@ func TestMergeEquivalentToJointTraining(t *testing.T) {
 	const dim, k = 1024, 3
 	_, train, _ := blobs(t, 8, k, 20, dim, 0.5, 8)
 	half := len(train) / 2
-	a, b := NewModel(dim, k), NewModel(dim, k)
-	joint := NewModel(dim, k)
+	a, b := must(NewModel(dim, k)), must(NewModel(dim, k))
+	joint := must(NewModel(dim, k))
 	for i, s := range train {
 		if i < half {
 			a.Add(s.Label, s.HV)
@@ -183,16 +183,16 @@ func TestMergeEquivalentToJointTraining(t *testing.T) {
 }
 
 func TestMergeShapeMismatch(t *testing.T) {
-	if err := NewModel(64, 2).Merge(NewModel(64, 3)); err == nil {
+	if err := must(NewModel(64, 2)).Merge(must(NewModel(64, 3))); err == nil {
 		t.Fatal("merging mismatched class counts should fail")
 	}
-	if err := NewModel(64, 2).Merge(NewModel(128, 2)); err == nil {
+	if err := must(NewModel(64, 2)).Merge(must(NewModel(128, 2))); err == nil {
 		t.Fatal("merging mismatched dimensions should fail")
 	}
 }
 
 func TestSetClassValidation(t *testing.T) {
-	m := NewModel(64, 2)
+	m := must(NewModel(64, 2))
 	if err := m.SetClass(0, hdc.NewAcc(32)); err == nil {
 		t.Fatal("SetClass accepted wrong dimension")
 	}
@@ -207,7 +207,7 @@ func TestSetClassValidation(t *testing.T) {
 }
 
 func TestCloneIsIndependent(t *testing.T) {
-	m := NewModel(64, 2)
+	m := must(NewModel(64, 2))
 	m.Add(0, hdc.RandomBipolar(64, rng.New(2)))
 	c := m.Clone()
 	c.Add(0, hdc.RandomBipolar(64, rng.New(3)))
@@ -217,14 +217,14 @@ func TestCloneIsIndependent(t *testing.T) {
 }
 
 func TestWireBytes(t *testing.T) {
-	m := NewModel(1000, 4)
+	m := must(NewModel(1000, 4))
 	if got := m.WireBytes(); got != 4*4*1000 {
 		t.Fatalf("model WireBytes = %d, want 16000", got)
 	}
 }
 
 func TestAccuracyEmptySet(t *testing.T) {
-	if acc := NewModel(8, 2).Accuracy(nil); acc != 0 {
+	if acc := must(NewModel(8, 2)).Accuracy(nil); acc != 0 {
 		t.Fatalf("accuracy on empty set = %v", acc)
 	}
 }
@@ -235,7 +235,7 @@ func TestQuickNormCacheConsistency(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
 		const dim, k = 256, 3
-		m := NewModel(dim, k)
+		m := must(NewModel(dim, k))
 		var added []Sample
 		for i := 0; i < 12; i++ {
 			s := Sample{HV: hdc.RandomBipolar(dim, r), Label: r.Intn(k)}
@@ -244,7 +244,7 @@ func TestQuickNormCacheConsistency(t *testing.T) {
 			// Interleave a classification to populate the cache.
 			m.Predict(s.HV)
 		}
-		fresh := NewModel(dim, k)
+		fresh := must(NewModel(dim, k))
 		for _, s := range added {
 			fresh.Add(s.Label, s.HV)
 		}
@@ -268,7 +268,7 @@ func TestQuickOwnClassMostSimilar(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
 		const dim = 512
-		m := NewModel(dim, 2)
+		m := must(NewModel(dim, 2))
 		h0 := hdc.RandomBipolar(dim, r)
 		h1 := hdc.RandomBipolar(dim, r)
 		m.Add(0, h0)

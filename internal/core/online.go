@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"edgehd/internal/hdc"
 )
@@ -22,15 +23,15 @@ type Residual struct {
 
 // NewResidual returns zeroed residual hypervectors for k classes of
 // dimension d.
-func NewResidual(d, k int) *Residual {
+func NewResidual(d, k int) (*Residual, error) {
 	if d <= 0 || k <= 0 {
-		panic("core: non-positive residual size")
+		return nil, fmt.Errorf("core: non-positive residual size %dx%d", d, k)
 	}
 	r := &Residual{res: make([]hdc.Acc, k), count: make([]int, k)}
 	for i := range r.res {
 		r.res[i] = hdc.NewAcc(d)
 	}
-	return r
+	return r, nil
 }
 
 // Classes returns the number of classes.

@@ -10,7 +10,7 @@ import (
 func TestResidualFeedbackApplied(t *testing.T) {
 	const dim, k = 512, 2
 	r := rng.New(1)
-	m := NewModel(dim, k)
+	m := must(NewModel(dim, k))
 	h := hdc.RandomBipolar(dim, r)
 	// Poison class 0 with h so the model predicts 0 for it.
 	m.Add(0, h)
@@ -18,7 +18,7 @@ func TestResidualFeedbackApplied(t *testing.T) {
 	if m.Predict(h) != 0 {
 		t.Fatal("setup: model should predict class 0")
 	}
-	res := NewResidual(dim, k)
+	res := must(NewResidual(dim, k))
 	// Users reject that prediction several times.
 	for i := 0; i < 3; i++ {
 		res.NegativeFeedback(0, h)
@@ -45,14 +45,14 @@ func TestResidualOnlineLearningImprovesAccuracy(t *testing.T) {
 	_, all, test := blobs(t, 10, k, 60, dim, 0.6, 11)
 	half := len(all) / 2
 	offline, online := all[:half], all[half:]
-	m := NewModel(dim, k)
+	m := must(NewModel(dim, k))
 	for _, s := range offline {
 		m.Add(s.Label, s.HV)
 	}
 	m.Retrain(offline, 5)
 	before := m.Accuracy(test)
 
-	res := NewResidual(dim, k)
+	res := must(NewResidual(dim, k))
 	for i, s := range online {
 		pred := m.Predict(s.HV)
 		if pred != s.Label {
@@ -80,11 +80,11 @@ func TestResidualOnlineLearningImprovesAccuracy(t *testing.T) {
 }
 
 func TestResidualShapeMismatch(t *testing.T) {
-	res := NewResidual(64, 2)
-	if err := res.ApplyTo(NewModel(64, 3)); err == nil {
+	res := must(NewResidual(64, 2))
+	if err := res.ApplyTo(must(NewModel(64, 3))); err == nil {
 		t.Fatal("ApplyTo accepted mismatched class count")
 	}
-	if err := res.ApplyTo(NewModel(32, 2)); err == nil {
+	if err := res.ApplyTo(must(NewModel(32, 2))); err == nil {
 		t.Fatal("ApplyTo accepted mismatched dimension")
 	}
 	if err := res.AddAcc(0, hdc.NewAcc(32)); err == nil {
@@ -93,7 +93,7 @@ func TestResidualShapeMismatch(t *testing.T) {
 }
 
 func TestResidualSnapshotDoesNotClear(t *testing.T) {
-	res := NewResidual(64, 2)
+	res := must(NewResidual(64, 2))
 	res.NegativeFeedback(1, hdc.RandomBipolar(64, rng.New(2)))
 	snap := res.Snapshot()
 	if len(snap) != 2 {
@@ -108,7 +108,7 @@ func TestResidualSnapshotDoesNotClear(t *testing.T) {
 }
 
 func TestResidualAddAccFromChild(t *testing.T) {
-	res := NewResidual(64, 2)
+	res := must(NewResidual(64, 2))
 	child := hdc.NewAcc(64)
 	child.AddBipolar(hdc.RandomBipolar(64, rng.New(3)))
 	if err := res.AddAcc(1, child); err != nil {
@@ -120,7 +120,7 @@ func TestResidualAddAccFromChild(t *testing.T) {
 }
 
 func TestResidualWireBytes(t *testing.T) {
-	res := NewResidual(1000, 3)
+	res := must(NewResidual(1000, 3))
 	if got := res.WireBytes(); got != 3*4000 {
 		t.Fatalf("residual WireBytes = %d, want 12000", got)
 	}
@@ -157,7 +157,7 @@ func TestClassifierFitPredict(t *testing.T) {
 	}
 	xTrain, yTrain := gen(30)
 	xTest, yTest := gen(10)
-	clf := NewClassifier(newTestEncoder(n, 1024, 23), k)
+	clf := must(NewClassifier(newTestEncoder(n, 1024, 23), k))
 	if _, err := clf.Fit(xTrain, yTrain, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestClassifierFitPredict(t *testing.T) {
 }
 
 func TestClassifierFitValidation(t *testing.T) {
-	clf := NewClassifier(newTestEncoder(4, 128, 1), 2)
+	clf := must(NewClassifier(newTestEncoder(4, 128, 1), 2))
 	if _, err := clf.Fit([][]float64{{1, 2, 3, 4}}, []int{0, 1}, 1); err == nil {
 		t.Fatal("Fit accepted mismatched rows/labels")
 	}

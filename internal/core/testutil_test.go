@@ -5,5 +5,14 @@ import "edgehd/internal/encoding"
 // newTestEncoder builds the default non-linear encoder with a wider
 // length scale so that moderately noisy test blobs stay separable.
 func newTestEncoder(n, d int, seed uint64) encoding.Encoder {
-	return encoding.NewNonlinear(n, d, seed, encoding.NonlinearConfig{LengthScale: 2})
+	return must(encoding.NewNonlinear(n, d, seed, encoding.NonlinearConfig{LengthScale: 2}))
+}
+
+// must unwraps a constructor result; tests treat construction failure
+// as fatal.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

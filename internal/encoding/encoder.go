@@ -33,6 +33,7 @@ type Encoder interface {
 // programming error, not a runtime condition.
 func checkFeatures(got, want int) {
 	if got != want {
+		//hdlint:allow panic-policy sanctioned hot-path guard (Encode cannot return an error)
 		panic(fmt.Sprintf("encoding: got %d features, encoder expects %d", got, want))
 	}
 }

@@ -17,8 +17,8 @@ func randFeatures(r *rng.Source, n int) []float64 {
 }
 
 func TestNonlinearDeterministic(t *testing.T) {
-	a := NewNonlinear(10, 256, 42, NonlinearConfig{})
-	b := NewNonlinear(10, 256, 42, NonlinearConfig{})
+	a := must(NewNonlinear(10, 256, 42, NonlinearConfig{}))
+	b := must(NewNonlinear(10, 256, 42, NonlinearConfig{}))
 	f := randFeatures(rng.New(1), 10)
 	if !a.Encode(f).Equal(b.Encode(f)) {
 		t.Fatal("same seed produced different encodings")
@@ -26,8 +26,8 @@ func TestNonlinearDeterministic(t *testing.T) {
 }
 
 func TestNonlinearSeedChangesEncoding(t *testing.T) {
-	a := NewNonlinear(10, 256, 1, NonlinearConfig{})
-	b := NewNonlinear(10, 256, 2, NonlinearConfig{})
+	a := must(NewNonlinear(10, 256, 1, NonlinearConfig{}))
+	b := must(NewNonlinear(10, 256, 2, NonlinearConfig{}))
 	f := randFeatures(rng.New(1), 10)
 	if a.Encode(f).Equal(b.Encode(f)) {
 		t.Fatal("different seeds produced identical encodings")
@@ -37,7 +37,7 @@ func TestNonlinearSeedChangesEncoding(t *testing.T) {
 func TestNonlinearLocality(t *testing.T) {
 	// The common-sense principle of §III: nearby points in the original
 	// space must stay similar in hyperspace, distant points dissimilar.
-	e := NewNonlinear(16, 2048, 7, NonlinearConfig{})
+	e := must(NewNonlinear(16, 2048, 7, NonlinearConfig{}))
 	r := rng.New(3)
 	x := randFeatures(r, 16)
 	near := make([]float64, 16)
@@ -57,7 +57,7 @@ func TestNonlinearLocality(t *testing.T) {
 }
 
 func TestNonlinearDimAndFeatures(t *testing.T) {
-	e := NewNonlinear(5, 100, 1, NonlinearConfig{})
+	e := must(NewNonlinear(5, 100, 1, NonlinearConfig{}))
 	if e.Dim() != 100 || e.NumFeatures() != 5 {
 		t.Fatalf("Dim/NumFeatures = %d/%d", e.Dim(), e.NumFeatures())
 	}
@@ -72,13 +72,13 @@ func TestNonlinearWrongFeatureCountPanics(t *testing.T) {
 			t.Fatal("mismatched feature count did not panic")
 		}
 	}()
-	NewNonlinear(5, 100, 1, NonlinearConfig{}).Encode(make([]float64, 6))
+	must(NewNonlinear(5, 100, 1, NonlinearConfig{})).Encode(make([]float64, 6))
 }
 
 func TestRFFApproximatesGaussianKernel(t *testing.T) {
 	// eq. (1): H_D(x)ᵀH_D(y) ≈ exp(−‖x−y‖²/(2ℓ²)).
 	const n, d = 8, 8192
-	e := NewRFF(n, d, 11, 1.5)
+	e := must(NewRFF(n, d, 11, 1.5))
 	r := rng.New(5)
 	for trial := 0; trial < 10; trial++ {
 		x := randFeatures(r, n)
@@ -99,7 +99,7 @@ func TestRFFApproximatesGaussianKernel(t *testing.T) {
 }
 
 func TestRFFSelfKernelIsOne(t *testing.T) {
-	e := NewRFF(4, 2048, 3, 0)
+	e := must(NewRFF(4, 2048, 3, 0))
 	x := randFeatures(rng.New(9), 4)
 	if k := e.Kernel(x, x); k != 1 {
 		t.Fatalf("self kernel = %v", k)
@@ -109,7 +109,7 @@ func TestRFFSelfKernelIsOne(t *testing.T) {
 func TestSparseMatchesDenseStatistics(t *testing.T) {
 	// Sparse encoding should preserve the locality property despite
 	// dropping 80% of the weights.
-	e := NewSparse(32, 2048, 13, SparseConfig{Sparsity: 0.8})
+	e := must(NewSparse(32, 2048, 13, SparseConfig{Sparsity: 0.8}))
 	r := rng.New(4)
 	x := randFeatures(r, 32)
 	near := make([]float64, 32)
@@ -125,7 +125,7 @@ func TestSparseMatchesDenseStatistics(t *testing.T) {
 }
 
 func TestSparseWindowSize(t *testing.T) {
-	e := NewSparse(500, 64, 1, SparseConfig{Sparsity: 0.8})
+	e := must(NewSparse(500, 64, 1, SparseConfig{Sparsity: 0.8}))
 	if e.Window() != 100 {
 		t.Fatalf("window = %d, want 100", e.Window())
 	}
@@ -136,14 +136,14 @@ func TestSparseWindowSize(t *testing.T) {
 		t.Fatalf("Sparsity = %v", e.Sparsity())
 	}
 	// Small feature counts hit the window floor instead.
-	floored := NewSparse(100, 64, 1, SparseConfig{Sparsity: 0.8})
+	floored := must(NewSparse(100, 64, 1, SparseConfig{Sparsity: 0.8}))
 	if floored.Window() != 32 {
 		t.Fatalf("floored window = %d, want 32", floored.Window())
 	}
 }
 
 func TestSparseWindowAtLeastOne(t *testing.T) {
-	e := NewSparse(2, 16, 1, SparseConfig{Sparsity: 0.9})
+	e := must(NewSparse(2, 16, 1, SparseConfig{Sparsity: 0.9}))
 	if e.Window() < 1 {
 		t.Fatalf("window = %d", e.Window())
 	}
@@ -151,15 +151,15 @@ func TestSparseWindowAtLeastOne(t *testing.T) {
 }
 
 func TestSparseMACSavings(t *testing.T) {
-	dense := NewNonlinear(500, 512, 1, NonlinearConfig{})
-	sparse := NewSparse(500, 512, 1, SparseConfig{Sparsity: 0.8})
+	dense := must(NewNonlinear(500, 512, 1, NonlinearConfig{}))
+	sparse := must(NewSparse(500, 512, 1, SparseConfig{Sparsity: 0.8}))
 	if ratio := float64(dense.MACsPerEncode()) / float64(sparse.MACsPerEncode()); math.Abs(ratio-5) > 0.01 {
 		t.Fatalf("80%% sparsity should cut MACs 5×, got %v×", ratio)
 	}
 }
 
 func TestLinearQuantize(t *testing.T) {
-	e := NewLinear(4, 128, 1, LinearConfig{Levels: 4, Lo: 0, Hi: 4})
+	e := must(NewLinear(4, 128, 1, LinearConfig{Levels: 4, Lo: 0, Hi: 4}))
 	cases := []struct {
 		v    float64
 		want int
@@ -172,7 +172,7 @@ func TestLinearQuantize(t *testing.T) {
 }
 
 func TestLinearLevelChainCorrelation(t *testing.T) {
-	e := NewLinear(4, 4096, 2, LinearConfig{Levels: 8})
+	e := must(NewLinear(4, 4096, 2, LinearConfig{Levels: 8}))
 	// Adjacent levels similar, extremes quasi-orthogonal.
 	adj := e.LevelSimilarity(3, 4)
 	ext := e.LevelSimilarity(0, 7)
@@ -194,8 +194,8 @@ func TestLinearLevelChainCorrelation(t *testing.T) {
 }
 
 func TestLinearEncodeDeterministic(t *testing.T) {
-	a := NewLinear(6, 512, 9, LinearConfig{})
-	b := NewLinear(6, 512, 9, LinearConfig{})
+	a := must(NewLinear(6, 512, 9, LinearConfig{}))
+	b := must(NewLinear(6, 512, 9, LinearConfig{}))
 	f := randFeatures(rng.New(2), 6)
 	if !a.Encode(f).Equal(b.Encode(f)) {
 		t.Fatal("linear encoder is not deterministic")
@@ -203,7 +203,7 @@ func TestLinearEncodeDeterministic(t *testing.T) {
 }
 
 func TestLinearLocality(t *testing.T) {
-	e := NewLinear(8, 2048, 5, LinearConfig{})
+	e := must(NewLinear(8, 2048, 5, LinearConfig{}))
 	r := rng.New(6)
 	x := randFeatures(r, 8)
 	near := make([]float64, 8)
@@ -218,7 +218,7 @@ func TestLinearLocality(t *testing.T) {
 }
 
 func TestImage2DPositionKernel(t *testing.T) {
-	e := NewImage2D(16, 16, 4096, 21, 2)
+	e := must(NewImage2D(16, 16, 4096, 21, 2))
 	// Same position → similarity 1; neighbours high; distant ≈ 0.
 	if s := e.PositionSimilarity(5, 5, 5, 5); math.Abs(s-1) > 1e-9 {
 		t.Fatalf("self position similarity = %v", s)
@@ -243,7 +243,7 @@ func TestImage2DShiftSimilarity(t *testing.T) {
 	// A one-pixel-shifted image should stay far more similar than a
 	// random image — the spatial-structure preservation claim of §III-A.
 	const w, h = 12, 12
-	e := NewImage2D(w, h, 4096, 22, 2)
+	e := must(NewImage2D(w, h, 4096, 22, 2))
 	r := rng.New(7)
 	img := make([]float64, w*h)
 	for y := 3; y < 9; y++ {
@@ -275,15 +275,15 @@ func TestImage2DSizeMismatchPanics(t *testing.T) {
 			t.Fatal("image size mismatch did not panic")
 		}
 	}()
-	NewImage2D(4, 4, 64, 1, 0).Encode(make([]float64, 15))
+	must(NewImage2D(4, 4, 64, 1, 0)).Encode(make([]float64, 15))
 }
 
 // Property: every encoder produces hypervectors of its declared
 // dimension for arbitrary inputs.
 func TestQuickEncodersProduceDeclaredDim(t *testing.T) {
-	nl := NewNonlinear(6, 130, 1, NonlinearConfig{})
-	sp := NewSparse(6, 130, 2, SparseConfig{})
-	ln := NewLinear(6, 130, 3, LinearConfig{})
+	nl := must(NewNonlinear(6, 130, 1, NonlinearConfig{}))
+	sp := must(NewSparse(6, 130, 2, SparseConfig{}))
+	ln := must(NewLinear(6, 130, 3, LinearConfig{}))
 	f := func(a, b, c, d, e, g int8) bool {
 		feat := []float64{float64(a) / 16, float64(b) / 16, float64(c) / 16,
 			float64(d) / 16, float64(e) / 16, float64(g) / 16}
@@ -299,7 +299,7 @@ func TestQuickEncodersProduceDeclaredDim(t *testing.T) {
 // Property: encoding is a pure function — the same input always yields
 // the same hypervector.
 func TestQuickEncodePure(t *testing.T) {
-	e := NewNonlinear(4, 256, 17, NonlinearConfig{})
+	e := must(NewNonlinear(4, 256, 17, NonlinearConfig{}))
 	f := func(a, b, c, d int8) bool {
 		feat := []float64{float64(a), float64(b), float64(c), float64(d)}
 		return e.Encode(feat).Equal(e.Encode(feat))
@@ -307,4 +307,13 @@ func TestQuickEncodePure(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+// must unwraps a constructor result; tests treat construction failure
+// as fatal.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

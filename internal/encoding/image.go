@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"fmt"
 	"math"
 
 	"edgehd/internal/hdc"
@@ -30,9 +31,9 @@ type Image2D struct {
 // NewImage2D constructs an encoder for w×h images with hypervector
 // dimension d. lengthScale is the kernel width in pixels (0 selects a
 // default of 2, giving IDs correlated across ~2-pixel neighbourhoods).
-func NewImage2D(w, h, d int, seed uint64, lengthScale float64) *Image2D {
+func NewImage2D(w, h, d int, seed uint64, lengthScale float64) (*Image2D, error) {
 	if w <= 0 || h <= 0 || d <= 0 {
-		panic("encoding: non-positive encoder size")
+		return nil, fmt.Errorf("encoding: non-positive encoder size %dx%dx%d", w, h, d)
 	}
 	if lengthScale == 0 {
 		lengthScale = 2
@@ -50,7 +51,7 @@ func NewImage2D(w, h, d int, seed uint64, lengthScale float64) *Image2D {
 		e.thetaX[i] = r.Norm() / lengthScale
 		e.thetaY[i] = r.Norm() / lengthScale
 	}
-	return e
+	return e, nil
 }
 
 // Dim returns the hypervector dimensionality.
@@ -76,7 +77,10 @@ func (e *Image2D) PositionSimilarity(x1, y1, x2, y2 int) float64 {
 // bundled phasor hypervector.
 func (e *Image2D) EncodeFloat(pixels []float64) []float64 {
 	if len(pixels) != e.w*e.h {
-		panic("encoding: image size mismatch")
+		// Encoders are wired to fixed-size sensors; a mismatched frame is
+		// a programming error on the Encode hot path, not a runtime
+		// condition an error return could recover.
+		panic("encoding: image size mismatch") //hdlint:allow panic-policy sanctioned hot-path guard
 	}
 	out := make([]float64, e.d)
 	for i := 0; i < e.d; i++ {

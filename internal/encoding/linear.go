@@ -1,6 +1,8 @@
 package encoding
 
 import (
+	"fmt"
+
 	"edgehd/internal/hdc"
 	"edgehd/internal/rng"
 )
@@ -39,23 +41,23 @@ type LinearConfig struct {
 }
 
 // NewLinear constructs a baseline linear encoder.
-func NewLinear(n, d int, seed uint64, cfg LinearConfig) *Linear {
+func NewLinear(n, d int, seed uint64, cfg LinearConfig) (*Linear, error) {
 	if n <= 0 || d <= 0 {
-		panic("encoding: non-positive encoder size")
+		return nil, fmt.Errorf("encoding: non-positive encoder size %dx%d", n, d)
 	}
 	q := cfg.Levels
 	if q == 0 {
 		q = 16
 	}
 	if q < 2 {
-		panic("encoding: need at least 2 quantization levels")
+		return nil, fmt.Errorf("encoding: need at least 2 quantization levels, got %d", q)
 	}
 	lo, hi := cfg.Lo, cfg.Hi
 	if lo == 0 && hi == 0 {
 		lo, hi = -3, 3
 	}
 	if hi <= lo {
-		panic("encoding: invalid quantization range")
+		return nil, fmt.Errorf("encoding: invalid quantization range [%g, %g]", lo, hi)
 	}
 	r := rng.New(seed)
 	e := &Linear{
@@ -88,7 +90,7 @@ func NewLinear(n, d int, seed uint64, cfg LinearConfig) *Linear {
 		}
 		e.levelHVs[l] = next
 	}
-	return e
+	return e, nil
 }
 
 // Dim implements Encoder.

@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"fmt"
 	"math"
 
 	"edgehd/internal/hdc"
@@ -40,9 +41,9 @@ type NonlinearConfig struct {
 
 // NewNonlinear constructs an encoder for n features and dimension d,
 // drawing all bases from seed.
-func NewNonlinear(n, d int, seed uint64, cfg NonlinearConfig) *Nonlinear {
+func NewNonlinear(n, d int, seed uint64, cfg NonlinearConfig) (*Nonlinear, error) {
 	if n <= 0 || d <= 0 {
-		panic("encoding: non-positive encoder size")
+		return nil, fmt.Errorf("encoding: non-positive encoder size %dx%d", n, d)
 	}
 	ls := cfg.LengthScale
 	if ls == 0 {
@@ -65,7 +66,7 @@ func NewNonlinear(n, d int, seed uint64, cfg NonlinearConfig) *Nonlinear {
 		e.bases[i] = row
 		e.biases[i] = r.Uniform(0, 2*math.Pi)
 	}
-	return e
+	return e, nil
 }
 
 // Dim implements Encoder.

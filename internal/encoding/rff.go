@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"fmt"
 	"math"
 
 	"edgehd/internal/rng"
@@ -25,9 +26,9 @@ type RFF struct {
 // NewRFF constructs the feature map for n inputs and d output features.
 // lengthScale ℓ sets the kernel bandwidth; pass 0 for the default of √n
 // (see NonlinearConfig.LengthScale).
-func NewRFF(n, d int, seed uint64, lengthScale float64) *RFF {
+func NewRFF(n, d int, seed uint64, lengthScale float64) (*RFF, error) {
 	if n <= 0 || d <= 0 {
-		panic("encoding: non-positive encoder size")
+		return nil, fmt.Errorf("encoding: non-positive encoder size %dx%d", n, d)
 	}
 	if lengthScale == 0 {
 		lengthScale = math.Sqrt(float64(n))
@@ -49,7 +50,7 @@ func NewRFF(n, d int, seed uint64, lengthScale float64) *RFF {
 		e.bases[i] = row
 		e.biases[i] = r.Uniform(0, 2*math.Pi)
 	}
-	return e
+	return e, nil
 }
 
 // Dim returns the output feature count D.

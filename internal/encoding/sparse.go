@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"fmt"
 	"math"
 
 	"edgehd/internal/hdc"
@@ -41,16 +42,16 @@ type SparseConfig struct {
 }
 
 // NewSparse constructs a sparse encoder for n features and dimension d.
-func NewSparse(n, d int, seed uint64, cfg SparseConfig) *Sparse {
+func NewSparse(n, d int, seed uint64, cfg SparseConfig) (*Sparse, error) {
 	if n <= 0 || d <= 0 {
-		panic("encoding: non-positive encoder size")
+		return nil, fmt.Errorf("encoding: non-positive encoder size %dx%d", n, d)
 	}
 	s := cfg.Sparsity
 	if s == 0 {
 		s = 0.8
 	}
 	if s < 0 || s >= 1 {
-		panic("encoding: sparsity must be in [0, 1)")
+		return nil, fmt.Errorf("encoding: sparsity %g outside [0, 1)", s)
 	}
 	ls := cfg.LengthScale
 	if ls == 0 {
@@ -91,7 +92,7 @@ func NewSparse(n, d int, seed uint64, cfg SparseConfig) *Sparse {
 		e.weights[i] = row
 		e.biases[i] = r.Uniform(0, 2*math.Pi)
 	}
-	return e
+	return e, nil
 }
 
 // Dim implements Encoder.

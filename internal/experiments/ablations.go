@@ -94,8 +94,14 @@ func AblationDimension(opts Options) (*Table, error) {
 		Header: []string{"D", "Accuracy"},
 	}
 	for _, dim := range []int{250, 500, 1000, 2000, 4000, 8000} {
-		enc := encoding.NewSparse(spec.Features, dim, opts.Seed+5, encoding.SparseConfig{Sparsity: 0.8})
-		clf := core.NewClassifier(enc, spec.Classes)
+		enc, err := encoding.NewSparse(spec.Features, dim, opts.Seed+5, encoding.SparseConfig{Sparsity: 0.8})
+		if err != nil {
+			return nil, err
+		}
+		clf, err := core.NewClassifier(enc, spec.Classes)
+		if err != nil {
+			return nil, err
+		}
 		if _, err := clf.Fit(d.TrainX, d.TrainY, opts.RetrainEpochs); err != nil {
 			return nil, err
 		}
@@ -216,8 +222,14 @@ func AblationSparsity(opts Options) (*Table, error) {
 		Header: []string{"Sparsity", "Accuracy", "MACsPerEncode"},
 	}
 	for _, s := range []float64{0.001, 0.5, 0.8, 0.9, 0.95} {
-		enc := encoding.NewSparse(spec.Features, opts.Dim, opts.Seed+5, encoding.SparseConfig{Sparsity: s})
-		clf := core.NewClassifier(enc, spec.Classes)
+		enc, err := encoding.NewSparse(spec.Features, opts.Dim, opts.Seed+5, encoding.SparseConfig{Sparsity: s})
+		if err != nil {
+			return nil, err
+		}
+		clf, err := core.NewClassifier(enc, spec.Classes)
+		if err != nil {
+			return nil, err
+		}
 		if _, err := clf.Fit(d.TrainX, d.TrainY, opts.RetrainEpochs); err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"edgehd/internal/baseline"
 	"edgehd/internal/dataset"
@@ -134,7 +135,7 @@ func centralizedHDCost(topo *netsim.Topology, d *dataset.Dataset, opts Options, 
 // fig10DNN is the grid-searched DNN architecture the cost model charges
 // for (the paper's TensorFlow models are substantially larger than the
 // minimal MLP that suffices on the synthetic analogs).
-func fig10DNN(spec dataset.Spec) *baseline.MLP {
+func fig10DNN(spec dataset.Spec) (*baseline.MLP, error) {
 	return baseline.NewMLP(spec.Features, spec.Classes, baseline.MLPConfig{Hidden: []int{512, 512}, Epochs: 25})
 }
 
@@ -143,7 +144,10 @@ func fig10DNN(spec dataset.Spec) *baseline.MLP {
 func centralizedDNNCost(topo *netsim.Topology, d *dataset.Dataset, opts Options) (train, infer Cost, err error) {
 	spec := d.Spec
 	gpu := device.GPU()
-	mlp := fig10DNN(spec)
+	mlp, err := fig10DNN(spec)
+	if err != nil {
+		return Cost{}, Cost{}, err
+	}
 	train, err = rawUploadCost(topo, d.Partition, len(d.TrainX))
 	if err != nil {
 		return Cost{}, Cost{}, err
@@ -224,7 +228,15 @@ func edgeHDInferCost(sys *hierarchy.System, xs [][]float64, forcedDepth int) (Co
 	var total Cost
 	commFinish := 0.0
 	maxComp := 0.0
-	for id, count := range perNode {
+	// Iterate nodes in ID order: CompJ accumulates floats, and map
+	// order would make the sum run-to-run different in the last bits.
+	ids := make([]netsim.NodeID, 0, len(perNode))
+	for id := range perNode {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		count := perNode[id]
 		macs, ops := sys.QueryWork(id)
 		ops += sys.AssocOps(id)
 		c := fpga.Cost(device.Work{MACs: macs, Ops: ops, ActiveDims: sys.NodeDim(id)})

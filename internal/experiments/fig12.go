@@ -36,9 +36,19 @@ func Fig12(opts Options) (*Fig12Result, error) {
 	specs := dataset.HierarchySpecs()
 	for _, spec := range specs {
 		d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
-		// Two hierarchies: holographic and concatenation-only.
+		// Two hierarchies: holographic and concatenation-only, evaluated
+		// in fixed order — the corruption RNG stream below is shared
+		// across configs, so iteration order is part of the result.
+		edgeConfigs := []struct {
+			name string
+			holo bool
+		}{
+			{"EdgeHD-holographic", true},
+			{"EdgeHD-concat", false},
+		}
 		systems := map[string]*hierarchy.System{}
-		for name, holo := range map[string]bool{"EdgeHD-holographic": true, "EdgeHD-concat": false} {
+		for _, ec := range edgeConfigs {
+			name, holo := ec.name, ec.holo
 			topo, err := hierarchyTopology(spec, netsim.Wired1G())
 			if err != nil {
 				return nil, err
@@ -59,7 +69,10 @@ func Fig12(opts Options) (*Fig12Result, error) {
 			}
 			systems[name] = sys
 		}
-		mlp := baseline.NewMLP(spec.Features, spec.Classes, baseline.MLPConfig{Hidden: []int{128}, Epochs: 25, Seed: opts.Seed + 1})
+		mlp, err := baseline.NewMLP(spec.Features, spec.Classes, baseline.MLPConfig{Hidden: []int{128}, Epochs: 25, Seed: opts.Seed + 1})
+		if err != nil {
+			return nil, err
+		}
 		if err := mlp.Fit(d.TrainX, d.TrainY); err != nil {
 			return nil, err
 		}
@@ -71,7 +84,8 @@ func Fig12(opts Options) (*Fig12Result, error) {
 		}
 		for li, rate := range res.LossRates {
 			r := rng.New(opts.Seed + uint64(li)*101)
-			for name, sys := range systems {
+			for _, ec := range edgeConfigs {
+				name, sys := ec.name, systems[ec.name]
 				// Loss applies per link (every hop loses `rate` of its
 				// payload in packet-sized bursts) for HD and DNN alike;
 				// the DNN's raw features below cross the same number of

@@ -30,12 +30,23 @@ func Fig7(opts Options) (*Fig7Result, error) {
 	for _, spec := range dataset.Specs() {
 		d := spec.Generate(opts.Seed, dataset.Options{MaxTrain: opts.MaxTrain, MaxTest: opts.MaxTest})
 		res.Datasets = append(res.Datasets, spec.Name)
-		learners := []baseline.Learner{
-			baseline.NewMLP(spec.Features, spec.Classes, baseline.MLPConfig{Hidden: []int{128}, Epochs: 25, Seed: opts.Seed + 1}),
-			baseline.NewRBFSVM(spec.Features, spec.Classes, 2000, 0, baseline.SVMConfig{Seed: opts.Seed + 2, Epochs: 20}),
-			baseline.NewAdaBoost(spec.Features, spec.Classes, baseline.AdaBoostConfig{Rounds: 40}),
-			baseline.NewHDLinear(spec.Features, spec.Classes, baseline.HDLinearConfig{Dim: opts.Dim, Epochs: opts.RetrainEpochs, Seed: opts.Seed + 3}),
+		mlp, err := baseline.NewMLP(spec.Features, spec.Classes, baseline.MLPConfig{Hidden: []int{128}, Epochs: 25, Seed: opts.Seed + 1})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
 		}
+		svm, err := baseline.NewRBFSVM(spec.Features, spec.Classes, 2000, 0, baseline.SVMConfig{Seed: opts.Seed + 2, Epochs: 20})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
+		}
+		ada, err := baseline.NewAdaBoost(spec.Features, spec.Classes, baseline.AdaBoostConfig{Rounds: 40})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
+		}
+		hdl, err := baseline.NewHDLinear(spec.Features, spec.Classes, baseline.HDLinearConfig{Dim: opts.Dim, Epochs: opts.RetrainEpochs, Seed: opts.Seed + 3})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
+		}
+		learners := []baseline.Learner{mlp, svm, ada, hdl}
 		for _, l := range learners {
 			if err := l.Fit(d.TrainX, d.TrainY); err != nil {
 				return nil, fmt.Errorf("fig7 %s/%s: %w", spec.Name, l.Name(), err)
@@ -47,8 +58,14 @@ func Fig7(opts Options) (*Fig7Result, error) {
 			res.Accuracy[l.Name()] = append(res.Accuracy[l.Name()], acc)
 		}
 		// EdgeHD: sparse non-linear encoder at 80% sparsity (§VI-B).
-		enc := encoding.NewSparse(spec.Features, opts.Dim, opts.Seed+4, encoding.SparseConfig{Sparsity: 0.8})
-		clf := core.NewClassifier(enc, spec.Classes)
+		enc, err := encoding.NewSparse(spec.Features, opts.Dim, opts.Seed+4, encoding.SparseConfig{Sparsity: 0.8})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s/EdgeHD: %w", spec.Name, err)
+		}
+		clf, err := core.NewClassifier(enc, spec.Classes)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s/EdgeHD: %w", spec.Name, err)
+		}
 		if _, err := clf.Fit(d.TrainX, d.TrainY, opts.RetrainEpochs); err != nil {
 			return nil, fmt.Errorf("fig7 %s/EdgeHD: %w", spec.Name, err)
 		}

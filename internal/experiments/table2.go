@@ -53,8 +53,14 @@ func trainHierarchy(topo *netsim.Topology, d *dataset.Dataset, opts Options) (*h
 // centralizedAccuracy trains the centralized EdgeHD classifier (all
 // features at the central node) as the Table II reference column.
 func centralizedAccuracy(d *dataset.Dataset, opts Options) (float64, error) {
-	enc := encoding.NewSparse(d.Spec.Features, opts.Dim, opts.Seed+5, encoding.SparseConfig{Sparsity: 0.8})
-	clf := core.NewClassifier(enc, d.Spec.Classes)
+	enc, err := encoding.NewSparse(d.Spec.Features, opts.Dim, opts.Seed+5, encoding.SparseConfig{Sparsity: 0.8})
+	if err != nil {
+		return 0, err
+	}
+	clf, err := core.NewClassifier(enc, d.Spec.Classes)
+	if err != nil {
+		return 0, err
+	}
 	if _, err := clf.Fit(d.TrainX, d.TrainY, opts.RetrainEpochs); err != nil {
 		return 0, err
 	}

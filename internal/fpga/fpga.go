@@ -132,13 +132,13 @@ func Synthesize(b Board, cfg Config) (*Design, error) {
 		UsedBRAMKb: weightKb + modelKb,
 	}
 	if d.UsedDSP > b.DSPSlices {
-		return nil, fmt.Errorf("fpga: %d DSP slices needed, %d available", d.UsedDSP, b.DSPSlices)
+		return nil, fmt.Errorf("fpga: need %d DSP slices, %d available", d.UsedDSP, b.DSPSlices)
 	}
 	if d.UsedLUTs > b.LUTs {
-		return nil, fmt.Errorf("fpga: %d LUTs needed, %d available", d.UsedLUTs, b.LUTs)
+		return nil, fmt.Errorf("fpga: need %d LUTs, %d available", d.UsedLUTs, b.LUTs)
 	}
 	if d.UsedBRAMKb > b.BRAMKb {
-		return nil, fmt.Errorf("fpga: %d Kb BRAM needed, %d available", d.UsedBRAMKb, b.BRAMKb)
+		return nil, fmt.Errorf("fpga: need %d Kb of BRAM, %d available", d.UsedBRAMKb, b.BRAMKb)
 	}
 	return d, nil
 }

@@ -1,0 +1,73 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"edgehd/internal/dataset"
+	"edgehd/internal/netsim"
+)
+
+// runSeeded builds a system from a fixed seed, trains it, streams a
+// slice of online samples with negative feedback, propagates residuals,
+// and returns the central node's class hypervectors as raw integers.
+func runSeeded(t *testing.T) ([][]int32, netsim.NodeID) {
+	t.Helper()
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spec.Generate(42, dataset.Options{MaxTrain: 300, MaxTest: 50})
+	topo, err := netsim.Tree(5, 2, netsim.Wired1G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildForDataset(topo, d, Config{TotalDim: 2000, Seed: 31, RetrainEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Train(d.TrainX[:200], d.TrainY[:200]); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.TrainX[200:] {
+		res, err := sys.Infer(x, i%5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != d.TrainY[200+i] {
+			if err := sys.NegativeFeedback(res.Node, x, res.Class); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := sys.PropagateResiduals(); err != nil {
+		t.Fatal(err)
+	}
+	central := sys.nodes[topo.Central]
+	classes := make([][]int32, sys.classes)
+	for c := range classes {
+		classes[c] = central.model.Class(c).Ints()
+	}
+	return classes, topo.Central
+}
+
+// TestTrainAndPropagateDeterministic is the regression test for the
+// determinism contract: two identically-seeded runs of the full
+// Train + online-feedback + PropagateResiduals pipeline must produce
+// byte-identical central class models. This would catch any
+// reintroduction of map-iteration-order dependence in the hierarchy's
+// training or residual sweeps.
+func TestTrainAndPropagateDeterministic(t *testing.T) {
+	a, central := runSeeded(t)
+	b, _ := runSeeded(t)
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			t.Fatalf("class %d: dim mismatch %d vs %d", c, len(a[c]), len(b[c]))
+		}
+		for i := range a[c] {
+			if a[c][i] != b[c][i] {
+				t.Fatalf("node %d class %d component %d differs between identically-seeded runs: %d vs %d",
+					central, c, i, a[c][i], b[c][i])
+			}
+		}
+	}
+}

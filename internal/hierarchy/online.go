@@ -79,9 +79,11 @@ func (s *System) PropagateResiduals() (*OnlineReport, error) {
 	sp := s.tracer.Start("residual_sweep")
 	order := s.depthOrder() // deepest first: children before parents
 	// snapshots holds each node's residual at the moment of its update,
-	// so parents combine exactly what the children applied.
-	snapshots := make(map[netsim.NodeID][]hdc.Acc, len(s.nodes))
-	depart := make(map[netsim.NodeID]float64, len(s.nodes))
+	// so parents combine exactly what the children applied. Both tables
+	// are NodeID-indexed slices, not maps: the sweep's arithmetic must
+	// not depend on any map iteration order (determinism contract).
+	snapshots := make([][]hdc.Acc, len(s.nodes))
+	depart := make([]float64, len(s.nodes))
 	for _, n := range order {
 		// Fold in children residual snapshots first (they are at
 		// deeper depths, already processed).

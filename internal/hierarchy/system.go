@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"edgehd/internal/core"
 	"edgehd/internal/dataset"
@@ -168,7 +167,11 @@ func Build(topo *netsim.Topology, partition [][]int, numClasses int, cfg Config)
 	for _, n := range order { // deepest first: children before parents
 		if n.isLeaf() {
 			n.dim = s.allocDim(n.subFeatures)
-			n.enc = encoding.NewSparse(len(n.features), n.dim, seedSrc.Uint64(), encoding.SparseConfig{Sparsity: cfg.Sparsity})
+			enc, err := encoding.NewSparse(len(n.features), n.dim, seedSrc.Uint64(), encoding.SparseConfig{Sparsity: cfg.Sparsity})
+			if err != nil {
+				return nil, fmt.Errorf("hierarchy: node %d encoder: %w", n.id, err)
+			}
+			n.enc = enc
 		} else {
 			inDim := 0
 			for _, c := range n.children {
@@ -189,8 +192,16 @@ func Build(topo *netsim.Topology, partition [][]int, numClasses int, cfg Config)
 				n.dim = inDim
 			}
 		}
-		n.model = core.NewModel(n.dim, numClasses)
-		n.residual = core.NewResidual(n.dim, numClasses)
+		model, err := core.NewModel(n.dim, numClasses)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: node %d model: %w", n.id, err)
+		}
+		residual, err := core.NewResidual(n.dim, numClasses)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: node %d residual: %w", n.id, err)
+		}
+		n.model = model
+		n.residual = residual
 	}
 	s.SetTelemetry(cfg.Telemetry, cfg.Tracer)
 	return s, nil
@@ -256,13 +267,10 @@ func (s *System) encodeLeaf(i int, x []float64) hdc.Bipolar {
 	n := s.leafIndex[i]
 	n.encodeMACs += n.enc.MACsPerEncode()
 	s.met.encodeTotal.Add(1)
-	if s.met.encodeSeconds != nil {
-		t0 := time.Now()
-		hv := n.enc.Encode(dataset.Project(x, n.features))
-		s.met.encodeSeconds.Observe(time.Since(t0).Seconds())
-		return hv
-	}
-	return n.enc.Encode(dataset.Project(x, n.features))
+	stop := s.met.encodeSeconds.StartTimer()
+	hv := n.enc.Encode(dataset.Project(x, n.features))
+	stop()
+	return hv
 }
 
 // combine applies the hierarchical encoding of an internal node to its

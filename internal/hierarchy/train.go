@@ -6,7 +6,6 @@ import (
 
 	"edgehd/internal/core"
 	"edgehd/internal/hdc"
-	"edgehd/internal/netsim"
 )
 
 // TrainReport summarizes one distributed training run: communication
@@ -70,8 +69,10 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 		report.BatchCount += (len(idxs) + b - 1) / b
 	}
 
-	// Phase 1: end nodes encode, train and batch locally.
-	states := make(map[netsim.NodeID]*trainState, len(s.leafIndex))
+	// Phase 1: end nodes encode, train and batch locally. states is a
+	// NodeID-indexed slice (nil = not yet reported), not a map, so the
+	// upward propagation below can never depend on map iteration order.
+	states := make([]*trainState, len(s.nodes))
 	for li, leaf := range s.leafIndex {
 		st := &trainState{classHVs: make([]hdc.Acc, s.classes), batches: make([][]hdc.Bipolar, s.classes)}
 		encoded := make([]hdc.Bipolar, len(x))
@@ -115,8 +116,8 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 			if n.depth != d {
 				continue
 			}
-			st, ok := states[n.id]
-			if !ok {
+			st := states[n.id]
+			if st == nil {
 				continue
 			}
 			bytes := s.stateWireBytes(n, st)
@@ -134,12 +135,12 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 			if n.depth != d-1 || n.isLeaf() {
 				continue
 			}
-			if _, done := states[n.id]; done {
+			if states[n.id] != nil {
 				continue
 			}
 			ready := true
 			for _, c := range n.children {
-				if _, ok := states[c]; !ok {
+				if states[c] == nil {
 					ready = false
 					break
 				}
@@ -229,7 +230,7 @@ func equalizeNormTo(a hdc.Acc, targetRMS float64) hdc.Acc {
 // retrain on the hierarchically encoded batch hypervectors. A dimension
 // mismatch (a malformed configuration that survived Build) surfaces as
 // a wrapped error instead of crashing the node.
-func (s *System) aggregate(n *node, states map[netsim.NodeID]*trainState) (*trainState, error) {
+func (s *System) aggregate(n *node, states []*trainState) (*trainState, error) {
 	st := &trainState{classHVs: make([]hdc.Acc, s.classes), batches: make([][]hdc.Bipolar, s.classes)}
 	// Class hypervectors: concat children per class, project (integer
 	// path preserves bundle magnitudes), install. Children are norm-

@@ -1,0 +1,96 @@
+package lint
+
+// Config selects the rules to run and the package policy each rule
+// enforces. All package lists hold import paths.
+type Config struct {
+	// Rules to execute, in order.
+	Rules []Rule
+	// Allow maps a rule name to packages the rule skips entirely — the
+	// per-package allowlist. Rules consult it through Run; they never
+	// see allowlisted packages.
+	Allow map[string][]string
+
+	// DeterministicPackages must be bit-reproducible across runs: no
+	// ambient randomness (math/rand) and no wall clocks (time.Now and
+	// friends). Clock access for telemetry goes through the telemetry
+	// package's instruments instead.
+	DeterministicPackages []string
+
+	// HDCPackages hold the hypervector kernels; calling into them from
+	// a map-ordered loop makes numeric results order-dependent.
+	HDCPackages []string
+
+	// RNGSourceTypes are the fully qualified named types
+	// ("pkgpath.Type") of seeded random streams; consuming one inside a
+	// map-ordered loop breaks seeded reproducibility.
+	RNGSourceTypes []string
+
+	// TelemetryPackage is the package whose exported instrument methods
+	// must begin with a nil-receiver guard.
+	TelemetryPackage string
+	// InstrumentTypes are the receiver type names the telemetry-nil
+	// rule checks within TelemetryPackage.
+	InstrumentTypes []string
+}
+
+// Default returns the EdgeHD policy for a module rooted at modPath:
+//
+//   - det-rand over the deterministic pipeline packages (hdc, encoding,
+//     core, hierarchy, rng);
+//   - map-order everywhere;
+//   - panic-policy everywhere except the hdc and rng kernels, whose
+//     index/size guards are sanctioned programmer-error panics;
+//   - err-style everywhere (main packages are skipped by the rule);
+//   - telemetry-nil over the telemetry instrument types.
+func Default(modPath string) *Config {
+	p := func(rel string) string { return modPath + "/" + rel }
+	return &Config{
+		Rules: []Rule{
+			DetRand{},
+			MapOrder{},
+			PanicPolicy{},
+			ErrStyle{},
+			TelemetryNil{},
+		},
+		Allow: map[string][]string{
+			// Guard panics (negative dimension, slice out of range,
+			// dimension mismatch, non-positive n) are the documented
+			// contract of the kernels: they signal programmer errors on
+			// hot paths where error returns would poison every caller.
+			"panic-policy": {p("internal/hdc"), p("internal/rng")},
+		},
+		DeterministicPackages: []string{
+			p("internal/hdc"),
+			p("internal/encoding"),
+			p("internal/core"),
+			p("internal/hierarchy"),
+			p("internal/rng"),
+		},
+		HDCPackages:      []string{p("internal/hdc")},
+		RNGSourceTypes:   []string{p("internal/rng") + ".Source"},
+		TelemetryPackage: p("internal/telemetry"),
+		InstrumentTypes: []string{
+			"Registry", "Counter", "Gauge", "Histogram", "Tracer", "SpanHandle",
+		},
+	}
+}
+
+// allowed reports whether pkgPath is allowlisted for the rule.
+func (c *Config) allowed(rule, pkgPath string) bool {
+	for _, p := range c.Allow[rule] {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether list holds s.
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DetRand enforces the determinism contract of the numeric pipeline
+// (ROADMAP / §IV-B, §IV-D): hierarchical aggregation and residual
+// propagation only reproduce the paper's numbers when every node's
+// hypervectors are bit-identical across runs. That requires all
+// randomness to flow through the seeded internal/rng streams and bans
+// wall-clock reads; telemetry (whose histograms time things) and netsim
+// (whose simulated clock is deterministic) are the sanctioned homes for
+// time.
+type DetRand struct{}
+
+// Name implements Rule.
+func (DetRand) Name() string { return "det-rand" }
+
+// Doc implements Rule.
+func (DetRand) Doc() string {
+	return "forbids math/rand imports and wall-clock reads (time.Now etc.) in the " +
+		"deterministic pipeline packages; use the seeded internal/rng streams and the " +
+		"telemetry instruments' timers instead"
+}
+
+// clockFuncs are the time-package functions that read or depend on the
+// wall clock or a runtime timer.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"Sleep": true, "NewTimer": true, "NewTicker": true,
+}
+
+// Check implements Rule.
+func (r DetRand) Check(pass *Pass) {
+	if !contains(pass.Cfg.DeterministicPackages, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package %s; use the seeded streams of internal/rng", path, pass.Pkg.Name)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if clockFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(), "wall-clock read time.%s in deterministic package %s; route timing through a telemetry instrument", fn.Name(), pass.Pkg.Name)
+			}
+			return true
+		})
+	}
+}

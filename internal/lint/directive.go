@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"strings"
+)
+
+// directivePrefix introduces an inline suppression comment:
+//
+//	//hdlint:allow det-rand,panic-policy encoder guards are programmer errors
+//
+// The rule list is comma-separated; everything after the first space is
+// a free-form justification. A directive suppresses matching
+// diagnostics on its own line and on the line directly below it (so it
+// can sit above the offending statement).
+const directivePrefix = "//hdlint:allow"
+
+// suppressions indexes the directives of one package: file → line →
+// rule names allowed there.
+type suppressions struct {
+	byLine map[string]map[int][]string
+}
+
+// collectDirectives scans every comment of the package for
+// //hdlint:allow directives.
+func collectDirectives(pkg *Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]string{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// Require a space or end-of-comment after the prefix so
+				// "//hdlint:allowx" is not a directive.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byLine[pos.Filename] = lines
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					if rule = strings.TrimSpace(rule); rule != "" {
+						lines[pos.Line] = append(lines[pos.Line], rule)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppresses reports whether a directive covers the diagnostic: same
+// rule, same file, on the diagnostic's line or the line above.
+func (s *suppressions) suppresses(d Diagnostic) bool {
+	for _, lines := range []int{d.Line, d.Line - 1} {
+		for file, byLine := range s.byLine {
+			if !strings.HasSuffix(file, d.File) {
+				continue
+			}
+			for _, rule := range byLine[lines] {
+				if rule == d.Rule {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ErrStyle enforces the repository's error-string convention: every
+// error constructed with fmt.Errorf or errors.New starts with the
+// package prefix ("hierarchy: ..."), reads lowercase, and wraps
+// underlying errors with %w so errors.Is/As keep working across the
+// hierarchy's layers. Pure context-adding wrappers (formats containing
+// %w) are exempt from the prefix requirement — the wrapped error
+// already carries it, and double prefixes would stutter. Main packages
+// are skipped; their errors terminate in log output, not in caller
+// chains.
+type ErrStyle struct{}
+
+// Name implements Rule.
+func (ErrStyle) Name() string { return "err-style" }
+
+// Doc implements Rule.
+func (ErrStyle) Doc() string {
+	return `requires error strings to start with the "pkg: " prefix (unless wrapping ` +
+		"with %w), read lowercase, and wrap underlying errors with %w rather than %v/%s"
+}
+
+// Check implements Rule.
+func (r ErrStyle) Check(pass *Pass) {
+	if pass.Pkg.Name == "main" {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass.Pkg.Info, call, "fmt", "Errorf"):
+				r.checkErrorf(pass, call)
+			case isPkgFunc(pass.Pkg.Info, call, "errors", "New"):
+				r.checkLiteral(pass, call, false)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf validates one fmt.Errorf call.
+func (r ErrStyle) checkErrorf(pass *Pass, call *ast.CallExpr) {
+	format, ok := stringLiteral(call.Args[0])
+	wraps := ok && strings.Contains(format, "%w")
+	// Wrapping check works even without a literal format: any error
+	// argument demands %w.
+	if len(call.Args) > 1 && !wraps {
+		for _, arg := range call.Args[1:] {
+			if t := pass.Pkg.Info.TypeOf(arg); t != nil && implementsError(t) {
+				pass.Reportf(arg.Pos(), "error argument formatted without %%w; wrap it so errors.Is/As see the chain")
+				break
+			}
+		}
+	}
+	if ok {
+		r.checkMessage(pass, call, format, wraps)
+	}
+}
+
+// checkLiteral validates an errors.New-style literal message.
+func (r ErrStyle) checkLiteral(pass *Pass, call *ast.CallExpr, wraps bool) {
+	if msg, ok := stringLiteral(call.Args[0]); ok {
+		r.checkMessage(pass, call, msg, wraps)
+	}
+}
+
+// checkMessage applies the prefix and case conventions to a message.
+func (r ErrStyle) checkMessage(pass *Pass, call *ast.CallExpr, msg string, wraps bool) {
+	prefix := pass.Pkg.Name + ": "
+	if !strings.HasPrefix(msg, prefix) && !wraps {
+		pass.Reportf(call.Args[0].Pos(), "error string %q should start with %q (or wrap an underlying error with %%w)", msg, prefix)
+		return
+	}
+	word, ok := firstMessageWord(strings.TrimPrefix(msg, prefix))
+	if ok && unicode.IsUpper([]rune(word)[0]) && !isAcronym(word) {
+		pass.Reportf(call.Args[0].Pos(), "error string %q should read lowercase after the package prefix", msg)
+	}
+}
+
+// firstMessageWord returns the first word of a format string that is
+// not part of a %-verb (so "%T mismatch" inspects "mismatch", not "T").
+func firstMessageWord(format string) (string, bool) {
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] == '%' {
+			// Skip the verb: flags, width, precision, then one verb rune.
+			i++
+			for i < len(runes) && strings.ContainsRune("+-# 0123456789.[]*", runes[i]) {
+				i++
+			}
+			continue
+		}
+		if unicode.IsLetter(runes[i]) {
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j])) {
+				j++
+			}
+			return string(runes[i:j]), true
+		}
+	}
+	return "", false
+}
+
+// isAcronym reports whether every letter in word is uppercase (DSP,
+// BRAM, I2C): capitalized initialisms are conventional in error text
+// and do not count as a capitalized sentence start.
+func isAcronym(word string) bool {
+	for _, r := range word {
+		if unicode.IsLetter(r) && !unicode.IsUpper(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// stringLiteral extracts a basic string literal's value.
+func stringLiteral(expr ast.Expr) (string, bool) {
+	lit, ok := expr.(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// isPkgFunc reports whether the call resolves to pkgPath.name.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errType)
+}

@@ -1,0 +1,129 @@
+// Package lint is EdgeHD's domain-specific static-analysis engine,
+// built entirely on the standard library's go/ast, go/parser and
+// go/types (no golang.org/x/tools dependency). It enforces the
+// invariants the compiler cannot see but the paper's numbers depend on:
+// bit-exact determinism of the hierarchical pipeline (no ambient
+// randomness or clocks, no order-sensitive map iteration), the
+// no-panics policy of error-returning layers, the error-string
+// conventions, and the nil-receiver no-op contract of the telemetry
+// instruments.
+//
+// Violations can be suppressed three ways, from broadest to narrowest:
+// removing a rule from Config.Rules, allowlisting a package under
+// Config.Allow, or annotating an individual line with an
+//
+//	//hdlint:allow <rule>[,<rule>] [reason]
+//
+// directive placed on the offending line or the line directly above.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation at a source position.
+type Diagnostic struct {
+	// Rule is the reporting rule's name.
+	Rule string `json:"rule"`
+	// Package is the import path of the offending package.
+	Package string `json:"package"`
+	// File is the path of the offending file, relative to the module
+	// root when possible.
+	File string `json:"file"`
+	// Line and Col are the 1-based source position.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message describes the violation and how to fix it.
+	Message string `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Rule is one invariant check. Check inspects a single type-checked
+// package and reports violations through the pass.
+type Rule interface {
+	// Name is the rule identifier used in diagnostics, allowlists and
+	// directives (e.g. "det-rand").
+	Name() string
+	// Doc is a one-paragraph description of what the rule catches and
+	// why it matters.
+	Doc() string
+	// Check analyzes one package.
+	Check(pass *Pass)
+}
+
+// Pass carries one (rule, package) analysis unit.
+type Pass struct {
+	// Cfg is the active configuration.
+	Cfg *Config
+	// Mod is the module under analysis.
+	Mod *Module
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	rule  Rule
+	diags *[]Diagnostic
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Pkg.Fset.Position(pos)
+	file := position.Filename
+	if p.Mod != nil && p.Mod.Dir != "" {
+		if rel, ok := strings.CutPrefix(file, p.Mod.Dir+"/"); ok {
+			file = rel
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.rule.Name(),
+		Package: p.Pkg.Path,
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every configured rule over every package of the module
+// and returns the surviving diagnostics: per-package allowlists and
+// //hdlint:allow line directives are applied here, and the result is
+// sorted by file, line, column and rule so output is stable.
+func Run(mod *Module, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Packages {
+		supp := collectDirectives(pkg)
+		for _, rule := range cfg.Rules {
+			if cfg.allowed(rule.Name(), pkg.Path) {
+				continue
+			}
+			var ruleDiags []Diagnostic
+			rule.Check(&Pass{Cfg: cfg, Mod: mod, Pkg: pkg, rule: rule, diags: &ruleDiags})
+			for _, d := range ruleDiags {
+				if supp.suppresses(d) {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked Go module: every non-test
+// package under the module root, in deterministic (topological, then
+// lexical) order. It is the unit hdlint analyzes.
+type Module struct {
+	// Path is the module path from go.mod (e.g. "edgehd").
+	Path string
+	// Dir is the absolute module root directory.
+	Dir string
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+	// Packages are type-checked in dependency order.
+	Packages []*Package
+}
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("edgehd/internal/hdc"; for main
+	// packages, the path of their directory).
+	Path string
+	// Name is the package name from the source ("hdc", "main").
+	Name string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset is the module-wide file set.
+	Fset *token.FileSet
+	// Files are the parsed non-test files, sorted by filename.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries identifier resolution and expression types.
+	Info *types.Info
+}
+
+// FindModuleRoot walks upward from dir until it finds a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", fmt.Errorf("lint: resolving %s: %w", dir, err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(p); err == nil {
+				p = unq
+			}
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// skipDir reports whether a directory is excluded from analysis:
+// hidden directories, testdata trees and underscore-prefixed dirs, the
+// same set the go tool ignores.
+func skipDir(name string) bool {
+	return name == "testdata" ||
+		strings.HasPrefix(name, ".") ||
+		strings.HasPrefix(name, "_")
+}
+
+// LoadModule parses and type-checks every non-test package of the
+// module rooted at (or above) dir, using only the standard library:
+// module-internal imports resolve against the packages being checked,
+// standard-library imports resolve through the compiler's export data
+// with a source-based fallback.
+func LoadModule(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Path: modPath, Dir: root, Fset: token.NewFileSet()}
+
+	// Discover package directories.
+	var pkgDirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				pkgDirs = append(pkgDirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking module: %w", err)
+	}
+	sort.Strings(pkgDirs)
+
+	// Parse each directory into a Package shell.
+	byPath := make(map[string]*Package, len(pkgDirs))
+	var order []string
+	for _, d := range pkgDirs {
+		pkg, err := parseDir(mod, d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		byPath[pkg.Path] = pkg
+		order = append(order, pkg.Path)
+	}
+
+	// Topologically sort by module-internal imports so dependencies
+	// type-check before their importers.
+	sorted, err := topoSort(mod, byPath, order)
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check in order.
+	std := newStdImporter(mod.Fset)
+	checked := make(map[string]*types.Package, len(sorted))
+	for _, path := range sorted {
+		pkg := byPath[path]
+		if err := typeCheck(mod, pkg, std, checked); err != nil {
+			return nil, err
+		}
+		checked[path] = pkg.Types
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	return mod, nil
+}
+
+// parseDir parses the non-test files of one directory. Returns nil when
+// the directory holds no buildable files.
+func parseDir(mod *Module, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	pkg := &Package{Dir: dir, Fset: mod.Fset, Path: importPathFor(mod, dir)}
+	for _, name := range names {
+		f, err := parser.ParseFile(mod.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", filepath.Join(dir, name), err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		} else if pkg.Name != f.Name.Name {
+			return nil, fmt.Errorf("lint: %s: mixed packages %s and %s in one directory", dir, pkg.Name, f.Name.Name)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}
+
+// importPathFor maps a directory to its import path under the module.
+func importPathFor(mod *Module, dir string) string {
+	rel, err := filepath.Rel(mod.Dir, dir)
+	if err != nil || rel == "." {
+		return mod.Path
+	}
+	return mod.Path + "/" + filepath.ToSlash(rel)
+}
+
+// moduleImports lists the module-internal import paths of a package.
+func moduleImports(mod *Module, pkg *Package) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (path == mod.Path || strings.HasPrefix(path, mod.Path+"/")) && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort orders package paths so that every package follows its
+// module-internal dependencies. Import cycles are reported as errors.
+func topoSort(mod *Module, byPath map[string]*Package, paths []string) ([]string, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(paths))
+	var out []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		pkg, ok := byPath[path]
+		if !ok {
+			return fmt.Errorf("lint: import %q not found in module", path)
+		}
+		for _, dep := range moduleImports(mod, pkg) {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		out = append(out, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// stdImporter resolves standard-library imports, preferring compiled
+// export data and falling back to type-checking library source (both
+// stdlib-only mechanisms; no x/tools).
+type stdImporter struct {
+	fset *token.FileSet
+	gc   types.Importer
+	src  types.Importer
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	return &stdImporter{fset: fset, gc: importer.Default()}
+}
+
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	pkg, err := s.gc.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if s.src == nil {
+		s.src = importer.ForCompiler(s.fset, "source", nil)
+	}
+	return s.src.Import(path)
+}
+
+// moduleImporter resolves imports during a package's type check:
+// module-internal paths come from the already-checked set, everything
+// else is delegated to the standard-library importer.
+type moduleImporter struct {
+	mod     *Module
+	std     *stdImporter
+	checked map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.mod.Path || strings.HasPrefix(path, m.mod.Path+"/") {
+		if pkg, ok := m.checked[path]; ok {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("lint: internal import %q not yet checked (import cycle?)", path)
+	}
+	return m.std.Import(path)
+}
+
+// typeCheck runs go/types over one package.
+func typeCheck(mod *Module, pkg *Package, std *stdImporter, checked map[string]*types.Package) error {
+	conf := types.Config{
+		Importer: &moduleImporter{mod: mod, std: std, checked: checked},
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(pkg.Path, mod.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	return nil
+}

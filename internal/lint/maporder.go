@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map when the loop body is sensitive to
+// iteration order: Go randomizes map iteration, so a body that
+// accumulates floating-point values (addition is not associative),
+// appends results to a slice, calls into the hypervector kernels, or
+// consumes a seeded RNG stream produces run-to-run different bits. The
+// fix is to iterate a sorted key slice; collecting keys into a slice
+// (`keys = append(keys, k)`) is recognized as the first half of that
+// idiom and stays silent.
+type MapOrder struct{}
+
+// Name implements Rule.
+func (MapOrder) Name() string { return "map-order" }
+
+// Doc implements Rule.
+func (MapOrder) Doc() string {
+	return "flags range-over-map loops whose body is iteration-order sensitive " +
+		"(float accumulation, slice appends, hypervector ops, seeded RNG draws); " +
+		"iterate sorted keys instead"
+}
+
+// Check implements Rule.
+func (r MapOrder) Check(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reasons := orderSensitive(pass, rs); len(reasons) > 0 {
+				pass.Reportf(rs.For, "iteration over map is order-sensitive (%s); iterate over sorted keys instead", strings.Join(reasons, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// orderSensitive inspects a range-over-map body and collects the
+// reasons its result depends on iteration order.
+func orderSensitive(pass *Pass, rs *ast.RangeStmt) []string {
+	info := pass.Pkg.Info
+	keyObj := rangeVarObj(info, rs.Key)
+	var reasons []string
+	add := func(r string) {
+		if !contains(reasons, r) {
+			reasons = append(reasons, r)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(info.TypeOf(lhs)) {
+						add("accumulates floating-point values")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinAppend(info, n) {
+				// append(keys, k) — collecting keys for a later sort —
+				// is the sanctioned idiom; anything else appended in
+				// map order is order-sensitive.
+				if !appendsOnlyKey(info, n, keyObj) {
+					add("appends to a slice")
+				}
+			} else if callee := calleePkgPath(info, n); callee != "" && contains(pass.Cfg.HDCPackages, callee) {
+				add("calls hypervector ops")
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isRNGSource(pass, obj.Type()) {
+				add("consumes a seeded RNG stream")
+			}
+		}
+		return true
+	})
+	return reasons
+}
+
+// rangeVarObj resolves the object of a range clause variable.
+func rangeVarObj(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// scalar.
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if t == nil {
+			return false
+		}
+		b, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendsOnlyKey reports whether every appended element is exactly the
+// range key variable.
+func appendsOnlyKey(info *types.Info, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok || info.Uses[id] != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// calleePkgPath resolves the defining package of a called function or
+// method, or "" when unresolvable (builtins, function values).
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isRNGSource reports whether t (or its pointee) is one of the
+// configured seeded-RNG types.
+func isRNGSource(pass *Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return contains(pass.Cfg.RNGSourceTypes, full)
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicPolicy enforces the "no panics in error-returning layers" policy
+// established in PR 1: the hierarchy, experiment harness, wire codec,
+// cluster runtime and device models all surface failures as wrapped
+// errors, so a panic anywhere in them can crash a whole node on input
+// that should have been a recoverable error. The hdc and rng kernels
+// are allowlisted in the default Config — their index/dimension guards
+// are sanctioned programmer-error panics — and individual guard sites
+// elsewhere can carry an //hdlint:allow panic-policy directive with a
+// justification.
+type PanicPolicy struct{}
+
+// Name implements Rule.
+func (PanicPolicy) Name() string { return "panic-policy" }
+
+// Doc implements Rule.
+func (PanicPolicy) Doc() string {
+	return "forbids panic calls in error-returning layers; return wrapped errors, " +
+		"or annotate sanctioned programmer-error guards with //hdlint:allow panic-policy"
+}
+
+// Check implements Rule.
+func (r PanicPolicy) Check(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(call.Pos(), "panic in error-returning layer %s; return a wrapped error instead", pass.Pkg.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TelemetryNil keeps PR 1's disabled-path contract honest: every
+// exported method on a telemetry instrument must behave as a cheap
+// no-op on a nil receiver, so unconditionally instrumented hot paths
+// cost one nil check when telemetry is off. The rule requires a
+// nil-receiver guard (`if x == nil { ... }`) to appear before the
+// method's first receiver field access; methods that only delegate to
+// other methods of the instrument (e.g. Inc calling Add) need no guard
+// of their own.
+type TelemetryNil struct{}
+
+// Name implements Rule.
+func (TelemetryNil) Name() string { return "telemetry-nil" }
+
+// Doc implements Rule.
+func (TelemetryNil) Doc() string {
+	return "requires exported methods on telemetry instrument types to guard the nil " +
+		"receiver before touching receiver fields, preserving the nil-is-disabled no-op contract"
+}
+
+// Check implements Rule.
+func (r TelemetryNil) Check(pass *Pass) {
+	if pass.Pkg.Path != pass.Cfg.TelemetryPackage {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv, typeName := receiverInfo(pass.Pkg.Info, fd)
+			if recv == nil || !contains(pass.Cfg.InstrumentTypes, typeName) {
+				continue
+			}
+			r.checkMethod(pass, fd, recv)
+		}
+	}
+}
+
+// receiverInfo resolves the receiver variable and the base name of its
+// pointer receiver type ("" for value receivers, which cannot be nil).
+func receiverInfo(info *types.Info, fd *ast.FuncDecl) (types.Object, string) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, ""
+	}
+	id := fd.Recv.List[0].Names[0]
+	obj := info.Defs[id]
+	if obj == nil {
+		return nil, ""
+	}
+	ptr, ok := obj.Type().(*types.Pointer)
+	if !ok {
+		return nil, ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return obj, named.Obj().Name()
+}
+
+// checkMethod walks the method's top-level statements in order: a nil
+// guard satisfies the rule; a receiver field access (or dereference)
+// before any guard violates it.
+func (r TelemetryNil) checkMethod(pass *Pass, fd *ast.FuncDecl, recv types.Object) {
+	for _, stmt := range fd.Body.List {
+		if isNilGuard(pass.Pkg.Info, stmt, recv) {
+			return
+		}
+		if pos, found := receiverFieldUse(pass.Pkg.Info, stmt, recv); found {
+			pass.Reportf(pos, "exported method %s.%s touches receiver state before a nil-receiver guard; begin with `if %s == nil`", typeNameOf(recv), fd.Name.Name, recv.Name())
+			return
+		}
+	}
+}
+
+// typeNameOf renders the base type name of a pointer receiver.
+func typeNameOf(recv types.Object) string {
+	if ptr, ok := recv.Type().(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			return named.Obj().Name()
+		}
+	}
+	return recv.Type().String()
+}
+
+// isNilGuard reports whether stmt is an if statement whose condition
+// contains `recv == nil`.
+func isNilGuard(info *types.Info, stmt ast.Stmt, recv types.Object) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			return true
+		}
+		if (isRecvIdent(info, bin.X, recv) && isNilIdent(bin.Y)) ||
+			(isRecvIdent(info, bin.Y, recv) && isNilIdent(bin.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// receiverFieldUse finds the first access to a field of recv (or a
+// dereference of recv) within stmt. Method calls on recv do not count:
+// the callee carries its own guard.
+func receiverFieldUse(info *types.Info, stmt ast.Stmt, recv types.Object) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !isRecvIdent(info, n.X, recv) {
+				return true
+			}
+			if sel := info.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+				pos, found = n.Pos(), true
+				return false
+			}
+		case *ast.StarExpr:
+			if isRecvIdent(info, n.X, recv) {
+				pos, found = n.Pos(), true
+				return false
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+// isRecvIdent reports whether expr is an identifier bound to recv.
+func isRecvIdent(info *types.Info, expr ast.Expr, recv types.Object) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && info.Uses[id] == recv
+}
+
+// isNilIdent reports whether expr is the predeclared nil.
+func isNilIdent(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

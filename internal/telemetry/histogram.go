@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"sync"
+	"time"
 )
 
 // Histogram bucket layout: bucket 0 holds values ≤ histMin; bucket i>0
@@ -135,6 +136,24 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 		}
 	}
 	return h.max
+}
+
+// noopStop is the shared stop function returned by StartTimer on a
+// nil receiver, keeping the disabled path allocation-free.
+var noopStop = func() {}
+
+// StartTimer captures the current time and returns a stop function
+// that observes the elapsed seconds. On a nil receiver it returns a
+// shared no-op, so unconditionally instrumented hot paths cost one nil
+// check when telemetry is off. Deterministic packages (hdc, encoding,
+// core, hierarchy) time themselves through this helper instead of
+// importing time directly; the clock stays confined to telemetry.
+func (h *Histogram) StartTimer() func() {
+	if h == nil {
+		return noopStop
+	}
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Seconds()) }
 }
 
 // HistogramStat is a point-in-time summary of a Histogram.
