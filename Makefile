@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build lint test race fuzz bench-smoke bench clean
+.PHONY: check vet build lint test race cover fuzz bench-smoke bench bench-parallel clean
 
 # Tier-1 gate: everything CI needs to pass, plus a short instrumented
 # bench run that leaves a machine-readable metrics snapshot behind.
-check: vet build lint race bench-smoke
+check: vet build lint race cover bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,13 +22,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
-# Short fuzz passes over the wire codec and the hypervector algebra.
-# Each target runs for 10s; failures land reproducer files in testdata.
+# Coverage gate: the deterministic parallel engine must stay ≥90%
+# covered and the tree must not regress below its 80% baseline.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covergate -profile cover.out -total 80.0 \
+		-require edgehd/internal/parallel=90
+
+# Short fuzz passes over the wire codec, the hypervector algebra and
+# the chunked-reduction determinism property. Each target runs for 10s;
+# failures land reproducer files in testdata.
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzWireRoundTrip -fuzztime 10s
 	$(GO) test ./internal/hdc -fuzz FuzzBipolarOps -fuzztime 10s
+	$(GO) test ./internal/parallel -fuzz FuzzChunkedReduce -fuzztime 10s
 
 # A quick instrumented run of the routed-inference pipeline; the
 # telemetry snapshot (counters, histograms, spans) lands in
@@ -38,8 +47,14 @@ bench-smoke:
 		-epochs 3 -metrics-out BENCH_smoke.json
 
 # Full benchmark suite (one bench per table/figure plus kernels).
-bench:
+bench: bench-parallel
 	$(GO) test -bench=. -benchmem -run=XXX .
 
+# Parallel-engine speedup report: batch encode and hierarchy training
+# at workers=1 vs GOMAXPROCS, written to BENCH_parallel.json together
+# with the host's core count (≈1.0x is expected on one core).
+bench-parallel:
+	$(GO) run ./cmd/benchpar
+
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_smoke.json cover.out

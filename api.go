@@ -7,6 +7,7 @@ import (
 	"edgehd/internal/hdc"
 	"edgehd/internal/hierarchy"
 	"edgehd/internal/netsim"
+	"edgehd/internal/parallel"
 	"edgehd/internal/rng"
 	"edgehd/internal/telemetry"
 )
@@ -76,6 +77,7 @@ type classifierConfig struct {
 	lengthScale float64
 	seed        uint64
 	dense       bool
+	workers     int
 	telemetry   *telemetry.Registry
 }
 
@@ -109,6 +111,17 @@ func WithDenseEncoder() Option {
 	return func(c *classifierConfig) { c.dense = true }
 }
 
+// Workers sets the width of the classifier's parallel execution engine:
+// batch encoding, class-hypervector bundling, retraining and evaluation
+// fan over n worker goroutines. 0 (the default) selects GOMAXPROCS;
+// 1 forces the exact sequential legacy path. The engine reduces in
+// fixed chunk order (see internal/parallel), so results are
+// byte-identical for every worker count — this is purely a throughput
+// knob. Negative values are rejected by NewClassifier.
+func Workers(n int) Option {
+	return func(c *classifierConfig) { c.workers = n }
+}
+
 // WithTelemetry attaches a metrics registry to the classifier so
 // encode latency, prediction counts and training volume surface as
 // clf_* metrics. Pass nil (or omit) to disable collection.
@@ -136,6 +149,9 @@ func NewClassifier(n, k int, opts ...Option) (*Classifier, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if err := parallel.Validate(cfg.workers); err != nil {
+		return nil, err
+	}
 	var (
 		enc Encoder
 		err error
@@ -152,6 +168,9 @@ func NewClassifier(n, k int, opts ...Option) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool := parallel.New(cfg.workers)
+	pool.SetTelemetry(cfg.telemetry)
+	clf.SetPool(pool)
 	if cfg.telemetry != nil {
 		clf.SetTelemetry(cfg.telemetry)
 	}

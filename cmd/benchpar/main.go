@@ -1,0 +1,222 @@
+// Command benchpar measures the wall-clock effect of the deterministic
+// parallel engine (internal/parallel) on the two hottest EdgeHD paths —
+// batch encoding and hierarchy training — at workers=1 versus a wider
+// pool, and writes the result to a JSON file (BENCH_parallel.json by
+// default).
+//
+// Because the engine reduces in fixed chunk order, the outputs of both
+// configurations are byte-identical; each benchmark verifies that and
+// records it, so the report doubles as an end-to-end determinism check.
+// Speedups only materialize on multi-core hosts: the report carries the
+// host's CPU count and GOMAXPROCS so a ~1.0x result on a single-core
+// machine is interpretable rather than misleading.
+//
+// Usage:
+//
+//	benchpar [-dim 4096] [-samples 1500] [-reps 3] [-workers 0]
+//	         [-out BENCH_parallel.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"edgehd/internal/dataset"
+	"edgehd/internal/encoding"
+	"edgehd/internal/hierarchy"
+	"edgehd/internal/netsim"
+	"edgehd/internal/parallel"
+	"edgehd/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpar:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one benchmark's measurement pair.
+type Result struct {
+	Name      string  `json:"name"`
+	Dim       int     `json:"dim"`
+	Samples   int     `json:"samples"`
+	Workers   int     `json:"workers"`
+	SeqSecs   float64 `json:"workers_1_secs"`
+	ParSecs   float64 `json:"workers_n_secs"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"outputs_identical"`
+}
+
+// Report is the BENCH_parallel.json layout.
+type Report struct {
+	CPUs       int      `json:"cpus"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Note       string   `json:"note"`
+	Results    []Result `json:"results"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchpar", flag.ContinueOnError)
+	dim := fs.Int("dim", 4096, "hypervector dimensionality D")
+	samples := fs.Int("samples", 1500, "batch size for the encode benchmark")
+	reps := fs.Int("reps", 3, "repetitions per configuration (best time wins)")
+	workers := fs.Int("workers", 0, "wide-pool worker count (0 = GOMAXPROCS)")
+	out := fs.String("out", "BENCH_parallel.json", "output JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := parallel.Validate(*workers); err != nil {
+		return err
+	}
+	wide := *workers
+	if wide <= 0 {
+		wide = runtime.GOMAXPROCS(0)
+	}
+
+	rep := Report{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "outputs are byte-identical for every worker count by construction; " +
+			"speedup requires a multi-core host (≈1.0x is expected when GOMAXPROCS=1)",
+	}
+
+	encRes, err := benchEncode(*dim, *samples, wide, *reps)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, encRes)
+	fmt.Printf("%-16s workers 1: %.3fs  workers %d: %.3fs  speedup %.2fx  identical=%v\n",
+		encRes.Name, encRes.SeqSecs, encRes.Workers, encRes.ParSecs, encRes.Speedup, encRes.Identical)
+
+	hierRes, err := benchHierarchyTrain(*dim, wide, *reps)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, hierRes)
+	fmt.Printf("%-16s workers 1: %.3fs  workers %d: %.3fs  speedup %.2fx  identical=%v\n",
+		hierRes.Name, hierRes.SeqSecs, hierRes.Workers, hierRes.ParSecs, hierRes.Speedup, hierRes.Identical)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", *out)
+	return nil
+}
+
+// bestOf runs f reps times and returns the fastest wall-clock duration.
+func bestOf(reps int, f func() error) (float64, error) {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if secs := time.Since(start).Seconds(); i == 0 || secs < best {
+			best = secs
+		}
+	}
+	return best, nil
+}
+
+// benchEncode times EncodeBatch over synthetic rows with the sparse
+// non-linear encoder (the §V-A default) at 1 and `wide` workers.
+func benchEncode(dim, samples, wide, reps int) (Result, error) {
+	const features = 64
+	enc, err := encoding.NewSparse(features, dim, 7, encoding.SparseConfig{Sparsity: 0.8})
+	if err != nil {
+		return Result{}, err
+	}
+	r := rng.New(11)
+	rows := make([][]float64, samples)
+	for i := range rows {
+		row := make([]float64, features)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		rows[i] = row
+	}
+	seqPool, widePool := parallel.New(1), parallel.New(wide)
+	seqOut := encoding.EncodeBatch(seqPool, enc, rows)
+	wideOut := encoding.EncodeBatch(widePool, enc, rows)
+	identical := len(seqOut) == len(wideOut)
+	for i := 0; identical && i < len(seqOut); i++ {
+		identical = seqOut[i].Equal(wideOut[i])
+	}
+	res := Result{Name: "encode_batch", Dim: dim, Samples: samples, Workers: wide, Identical: identical}
+	if res.SeqSecs, err = bestOf(reps, func() error {
+		encoding.EncodeBatch(seqPool, enc, rows)
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	if res.ParSecs, err = bestOf(reps, func() error {
+		encoding.EncodeBatch(widePool, enc, rows)
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	res.Speedup = res.SeqSecs / res.ParSecs
+	return res, nil
+}
+
+// benchHierarchyTrain times a full hierarchy training pass (leaf
+// training plus aggregation) on the PDP tree at 1 and `wide` workers,
+// building a fresh system per run so no caches carry over.
+func benchHierarchyTrain(dim, wide, reps int) (Result, error) {
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		return Result{}, err
+	}
+	d := spec.Generate(42, dataset.Options{MaxTrain: 400, MaxTest: 50})
+	train := func(workers int) (*hierarchy.System, error) {
+		topo, err := netsim.Tree(spec.EndNodes, 2, netsim.Wired1G())
+		if err != nil {
+			return nil, err
+		}
+		sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{
+			TotalDim: dim, RetrainEpochs: 5, Seed: 7, Workers: workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+			return nil, err
+		}
+		return sys, nil
+	}
+	seqSys, err := train(1)
+	if err != nil {
+		return Result{}, err
+	}
+	wideSys, err := train(wide)
+	if err != nil {
+		return Result{}, err
+	}
+	// Identity spot-check: the central models must agree exactly.
+	identical := true
+	central := seqSys.Topology().Central
+	for c := 0; identical && c < spec.Classes; c++ {
+		a, b := seqSys.NodeModel(central).Class(c), wideSys.NodeModel(central).Class(c)
+		for i := 0; identical && i < a.Dim(); i++ {
+			identical = a.Get(i) == b.Get(i)
+		}
+	}
+	res := Result{Name: "hierarchy_train", Dim: dim, Samples: len(d.TrainX), Workers: wide, Identical: identical}
+	if res.SeqSecs, err = bestOf(reps, func() error { _, err := train(1); return err }); err != nil {
+		return Result{}, err
+	}
+	if res.ParSecs, err = bestOf(reps, func() error { _, err := train(wide); return err }); err != nil {
+		return Result{}, err
+	}
+	res.Speedup = res.SeqSecs / res.ParSecs
+	return res, nil
+}

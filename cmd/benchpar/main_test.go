@@ -1,0 +1,47 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-dim", "256", "-samples", "40", "-reps", "1", "-workers", "2", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPUs < 1 || rep.GOMAXPROCS < 1 {
+		t.Fatalf("host fields missing: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !r.Identical {
+			t.Fatalf("%s: parallel output diverged from sequential", r.Name)
+		}
+		if r.SeqSecs <= 0 || r.ParSecs <= 0 || r.Speedup <= 0 {
+			t.Fatalf("%s: non-positive timings: %+v", r.Name, r)
+		}
+		if r.Workers != 2 {
+			t.Fatalf("%s: workers = %d, want 2", r.Name, r.Workers)
+		}
+	}
+}
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	if err := run([]string{"-workers", "-2"}); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+}

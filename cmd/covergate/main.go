@@ -1,0 +1,193 @@
+// Command covergate enforces statement-coverage floors from a Go cover
+// profile. It parses the merged profile written by
+// `go test -coverprofile`, prints per-package and total statement
+// coverage, and exits non-zero when the total or any required package
+// falls below its floor — so coverage regressions fail `make check`
+// instead of rotting silently.
+//
+// Usage:
+//
+//	covergate -profile cover.out -total 80.0 \
+//	          -require edgehd/internal/parallel=90
+//
+// -require may repeat; its value is IMPORTPATH=MINPERCENT.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+}
+
+// requirement is one -require PKG=MIN floor.
+type requirement struct {
+	pkg string
+	min float64
+}
+
+// requireFlag accumulates repeated -require values.
+type requireFlag []requirement
+
+func (r *requireFlag) String() string {
+	parts := make([]string, len(*r))
+	for i, req := range *r {
+		parts[i] = fmt.Sprintf("%s=%g", req.pkg, req.min)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *requireFlag) Set(v string) error {
+	pkg, minStr, ok := strings.Cut(v, "=")
+	if !ok || pkg == "" {
+		return fmt.Errorf("want IMPORTPATH=MINPERCENT, got %q", v)
+	}
+	min, err := strconv.ParseFloat(minStr, 64)
+	if err != nil || min < 0 || min > 100 {
+		return fmt.Errorf("invalid minimum percentage %q", minStr)
+	}
+	*r = append(*r, requirement{pkg: pkg, min: min})
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("covergate", flag.ContinueOnError)
+	profile := fs.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+	total := fs.Float64("total", 0, "minimum total statement coverage in percent (0 = no floor)")
+	var require requireFlag
+	fs.Var(&require, "require", "per-package floor as IMPORTPATH=MINPERCENT (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sumCovered, sumStmts int
+	for _, name := range names {
+		c := pkgs[name]
+		fmt.Printf("%-40s %6.1f%%  (%d/%d statements)\n", name, c.percent(), c.covered, c.stmts)
+		sumCovered += c.covered
+		sumStmts += c.stmts
+	}
+	totalCov := coverage{covered: sumCovered, stmts: sumStmts}
+	fmt.Printf("%-40s %6.1f%%  (%d/%d statements)\n", "total", totalCov.percent(), totalCov.covered, totalCov.stmts)
+
+	var violations []string
+	for _, req := range require {
+		c, ok := pkgs[req.pkg]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("package %s absent from profile (floor %.1f%%)", req.pkg, req.min))
+			continue
+		}
+		if c.percent() < req.min {
+			violations = append(violations, fmt.Sprintf("package %s at %.1f%%, floor %.1f%%", req.pkg, c.percent(), req.min))
+		}
+	}
+	if *total > 0 && totalCov.percent() < *total {
+		violations = append(violations, fmt.Sprintf("total coverage %.1f%%, floor %.1f%%", totalCov.percent(), *total))
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("coverage below floor:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
+// coverage tallies statements for one package.
+type coverage struct {
+	covered, stmts int
+}
+
+func (c coverage) percent() float64 {
+	if c.stmts == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.stmts)
+}
+
+// parseProfile reads a cover profile and aggregates statement coverage
+// per package (the directory of each file's import path). Duplicate
+// block entries — the profile merges one run per test binary — count
+// once, covered if any run hit them.
+func parseProfile(profilePath string) (map[string]coverage, error) {
+	f, err := os.Open(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only file
+
+	type block struct {
+		file string
+		span string
+	}
+	stmts := map[block]int{}
+	hits := map[block]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// FILE:START.COL,END.COL NUMSTMTS COUNT
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", profilePath, lineNo, line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", profilePath, lineNo, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad statement count: %w", profilePath, lineNo, err)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad hit count: %w", profilePath, lineNo, err)
+		}
+		b := block{file: file, span: fields[0]}
+		stmts[b] = n
+		if count > 0 {
+			hits[b] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	pkgs := map[string]coverage{}
+	for b, n := range stmts {
+		pkg := path.Dir(b.file)
+		c := pkgs[pkg]
+		c.stmts += n
+		if hits[b] {
+			c.covered += n
+		}
+		pkgs[pkg] = c
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("%s: no coverage blocks found", profilePath)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeProfile drops a synthetic cover profile into a temp dir.
+func writeProfile(t *testing.T, lines ...string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "cover.out")
+	content := "mode: set\n" + strings.Join(lines, "\n") + "\n"
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseProfileAggregatesPerPackage(t *testing.T) {
+	p := writeProfile(t,
+		"example.com/a/x.go:1.1,2.2 3 1",
+		"example.com/a/x.go:3.1,4.2 2 0",
+		"example.com/b/y.go:1.1,2.2 5 7",
+	)
+	pkgs, err := parseProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pkgs["example.com/a"]
+	if a.stmts != 5 || a.covered != 3 {
+		t.Fatalf("package a: %+v", a)
+	}
+	b := pkgs["example.com/b"]
+	if b.stmts != 5 || b.covered != 5 {
+		t.Fatalf("package b: %+v", b)
+	}
+}
+
+func TestParseProfileDeduplicatesBlocks(t *testing.T) {
+	// The same block can appear once per test binary; a hit in any run
+	// counts, and statements count once.
+	p := writeProfile(t,
+		"example.com/a/x.go:1.1,2.2 3 0",
+		"example.com/a/x.go:1.1,2.2 3 2",
+	)
+	pkgs, err := parseProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pkgs["example.com/a"]
+	if a.stmts != 3 || a.covered != 3 {
+		t.Fatalf("dedup failed: %+v", a)
+	}
+}
+
+func TestParseProfileRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"garbage", "f.go:1.1,2.2 x 1", "f.go:1.1,2.2 3 y", "f.go:1.1,2.2 3"} {
+		p := writeProfile(t, bad)
+		if _, err := parseProfile(p); err == nil {
+			t.Fatalf("accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestRunEnforcesFloors(t *testing.T) {
+	p := writeProfile(t,
+		"example.com/a/x.go:1.1,2.2 8 1",
+		"example.com/a/x.go:3.1,4.2 2 0",
+		"example.com/b/y.go:1.1,2.2 10 1",
+	)
+	// a = 80%, b = 100%, total = 90%.
+	if err := run([]string{"-profile", p, "-total", "90", "-require", "example.com/a=80"}); err != nil {
+		t.Fatalf("floors met but gate failed: %v", err)
+	}
+	if err := run([]string{"-profile", p, "-total", "95"}); err == nil {
+		t.Fatal("total floor 95 not enforced at 90% coverage")
+	}
+	if err := run([]string{"-profile", p, "-require", "example.com/a=85"}); err == nil {
+		t.Fatal("package floor 85 not enforced at 80% coverage")
+	}
+	if err := run([]string{"-profile", p, "-require", "example.com/missing=50"}); err == nil {
+		t.Fatal("missing required package not reported")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-require", "nopercent"}); err == nil {
+		t.Fatal("malformed -require accepted")
+	}
+	if err := run([]string{"-require", "pkg=abc"}); err == nil {
+		t.Fatal("non-numeric -require minimum accepted")
+	}
+	if err := run([]string{"-profile", filepath.Join(t.TempDir(), "absent.out")}); err == nil {
+		t.Fatal("missing profile accepted")
+	}
+}
+
+func TestRequireFlagString(t *testing.T) {
+	var r requireFlag
+	if err := r.Set("a=90"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("b=80.5"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "a=90,b=80.5" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -6,7 +6,8 @@
 //
 //	edgehd -dataset PDP [-topology tree|star] [-dim 4000] [-train 600]
 //	       [-test 250] [-epochs 10] [-medium WiFi-802.11ac] [-seed 42]
-//	       [-online] [-debug-addr localhost:6060] [-metrics-out FILE]
+//	       [-workers N] [-online] [-debug-addr localhost:6060]
+//	       [-metrics-out FILE]
 //
 // With -debug-addr a debug HTTP server exposes the live metrics
 // registry (/debug/metrics), recent trace spans (/debug/spans), expvar
@@ -43,6 +44,7 @@ func run(args []string) error {
 	mediumName := fs.String("medium", "Wired-1Gbps", "link medium (see -listmediums)")
 	listMediums := fs.Bool("listmediums", false, "list available mediums and exit")
 	seed := fs.Uint64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "parallel engine width (0 = GOMAXPROCS, 1 = sequential; results identical for any value)")
 	online := fs.Bool("online", false, "stream half the data as online negative feedback")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans, expvar and pprof on this address (e.g. localhost:6060)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics+spans snapshot to this file at exit")
@@ -93,7 +95,8 @@ func run(args []string) error {
 
 	if !spec.Hierarchical() {
 		clf, err := edgehd.NewClassifier(spec.Features, spec.Classes,
-			edgehd.WithDimension(*dim), edgehd.WithSeed(*seed), edgehd.WithTelemetry(reg))
+			edgehd.WithDimension(*dim), edgehd.WithSeed(*seed),
+			edgehd.Workers(*workers), edgehd.WithTelemetry(reg))
 		if err != nil {
 			return err
 		}
@@ -133,6 +136,7 @@ func run(args []string) error {
 		TotalDim:      *dim,
 		RetrainEpochs: *epochs,
 		Seed:          *seed,
+		Workers:       *workers,
 		Telemetry:     reg,
 		Tracer:        tracer,
 	})

@@ -111,7 +111,7 @@ func run(args []string) error {
 	}
 	defer ln.Close() //nolint:errcheck // process exit closes it anyway
 	fmt.Printf("aggregator listening on %s\n", ln.Addr())
-	agg, err := cluster.NewAggregator(*dim, spec.Classes)
+	agg, err := cluster.NewAggregator(*dim, spec.Classes, *workers)
 	if err != nil {
 		return err
 	}
@@ -129,13 +129,13 @@ func run(args []string) error {
 				return
 			}
 			serveWG.Add(1)
-			go func(c net.Conn) {
+			go func(slot int, c net.Conn) {
 				defer serveWG.Done()
 				defer c.Close() //nolint:errcheck // per-connection cleanup
-				if err := agg.ServeOne(c, merged, release); err != nil {
+				if err := agg.ServeOne(c, slot, merged, release); err != nil {
 					serveErrs <- err
 				}
-			}(conn)
+			}(i, conn)
 		}
 	}()
 	go func() {

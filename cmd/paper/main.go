@@ -41,12 +41,16 @@ func run(args []string) error {
 	dim := fs.Int("dim", 0, "hypervector dimensionality D (0 = profile default)")
 	epochs := fs.Int("epochs", 0, "retraining epochs (0 = profile default)")
 	seed := fs.Uint64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "parallel engine width for EdgeHD pipelines (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	full := fs.Bool("full", false, "paper-scale profile (slower)")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans, expvar and pprof on this address")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics+spans snapshot to this file at exit")
 	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
 
 	var reg *telemetry.Registry
@@ -90,6 +94,7 @@ func run(args []string) error {
 	if *epochs > 0 {
 		opts.RetrainEpochs = *epochs
 	}
+	opts.Workers = *workers
 	opts.Telemetry = reg
 	opts.Tracer = tracer
 

@@ -1,0 +1,117 @@
+package edgehd_test
+
+import (
+	"testing"
+
+	"edgehd"
+)
+
+// equivalenceData generates a small benchmark dataset for the
+// worker-count lockdown tests.
+func equivalenceData(t *testing.T, name string, train, test int) (edgehd.DatasetSpec, *edgehd.Dataset) {
+	t.Helper()
+	spec, err := edgehd.DatasetByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, spec.Generate(42, edgehd.DatasetOptions{MaxTrain: train, MaxTest: test})
+}
+
+// TestWorkersOptionEquivalence is the public-API worker-count lockdown:
+// for both encoder families, Workers(1), Workers(2) and Workers(8) must
+// produce byte-identical class models and identical predictions. The
+// engine is a throughput knob only — never a semantics knob.
+func TestWorkersOptionEquivalence(t *testing.T) {
+	encoders := []struct {
+		name string
+		opts []edgehd.Option
+	}{
+		{"sparse", nil},
+		{"dense", []edgehd.Option{edgehd.WithDenseEncoder()}},
+	}
+	spec, d := equivalenceData(t, "APRI", 200, 80)
+	for _, enc := range encoders {
+		t.Run(enc.name, func(t *testing.T) {
+			train := func(workers int) *edgehd.Classifier {
+				opts := append([]edgehd.Option{
+					edgehd.WithDimension(1000), edgehd.WithSeed(9), edgehd.Workers(workers),
+				}, enc.opts...)
+				clf, err := edgehd.NewClassifier(spec.Features, spec.Classes, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := clf.Fit(d.TrainX, d.TrainY, 3); err != nil {
+					t.Fatal(err)
+				}
+				return clf
+			}
+			ref := train(1)
+			for _, workers := range []int{2, 8} {
+				clf := train(workers)
+				for c := 0; c < spec.Classes; c++ {
+					want, got := ref.Model().Class(c).Ints(), clf.Model().Class(c).Ints()
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("workers=%d class %d dim %d: %d != %d (sequential)",
+								workers, c, i, got[i], want[i])
+						}
+					}
+				}
+				for i, x := range d.TestX {
+					if got, want := clf.Predict(x), ref.Predict(x); got != want {
+						t.Fatalf("workers=%d sample %d: predicted %d, sequential predicted %d",
+							workers, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersOptionRejectsNegative ensures the facade validates the
+// worker count instead of silently clamping it.
+func TestWorkersOptionRejectsNegative(t *testing.T) {
+	if _, err := edgehd.NewClassifier(4, 2, edgehd.Workers(-1)); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+}
+
+// TestHierarchyWorkersEquivalence checks the same contract end to end
+// through the facade: a hierarchy built with Workers set must route
+// every inference exactly as the sequential build does.
+func TestHierarchyWorkersEquivalence(t *testing.T) {
+	spec, d := equivalenceData(t, "PDP", 150, 60)
+	run := func(workers int) []edgehd.InferResult {
+		topo, err := edgehd.Tree(spec.EndNodes, 2, edgehd.Wired1G())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := edgehd.BuildHierarchy(topo, d.Partition, spec.Classes, edgehd.HierarchyConfig{
+			TotalDim: 1500, RetrainEpochs: 2, Seed: 3, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]edgehd.InferResult, len(d.TestX))
+		for i, x := range d.TestX {
+			res, err := sys.Infer(x, i%spec.EndNodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = res
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d sample %d: %+v != sequential %+v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

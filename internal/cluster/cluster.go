@@ -22,6 +22,7 @@ import (
 	"edgehd/internal/core"
 	"edgehd/internal/encoding"
 	"edgehd/internal/hdc"
+	"edgehd/internal/parallel"
 	"edgehd/internal/wire"
 )
 
@@ -139,52 +140,113 @@ func installModel(m *core.Model, accs []hdc.Acc) error {
 	return nil
 }
 
-// Aggregator merges worker models.
+// Aggregator collects worker models into slot-indexed storage and
+// merges them in fixed slot order. Earlier versions merged each model
+// into the global accumulator the moment its connection finished, in
+// completion order guarded only by a mutex; the slot discipline (built
+// on internal/parallel's ordered reduction) makes the aggregation order
+// a pure function of the slot assignment, so run-to-run aggregate
+// models are structurally guaranteed identical — even if the merge
+// algebra ever stops being commutative (norm equalization, scaling).
 type Aggregator struct {
 	dim, classes int
+	pool         *parallel.Pool
 	mu           sync.Mutex
-	global       *core.Model
-	received     int
+	// partials[slot] is the parsed model pushed by the worker assigned
+	// to slot (nil until it reports).
+	partials []*core.Model
+	received int
+	// global is built lazily by the first Global call after collection,
+	// reducing the partials in slot order.
+	global *core.Model
 }
 
-// NewAggregator returns an empty aggregator for the given model shape.
-func NewAggregator(dim, classes int) (*Aggregator, error) {
-	global, err := core.NewModel(dim, classes)
-	if err != nil {
+// NewAggregator returns an empty aggregator for the given model shape
+// expecting one worker model per slot.
+func NewAggregator(dim, classes, slots int) (*Aggregator, error) {
+	if _, err := core.NewModel(dim, classes); err != nil {
 		return nil, fmt.Errorf("cluster: aggregator model: %w", err)
 	}
-	return &Aggregator{dim: dim, classes: classes, global: global}, nil
+	if slots < 1 {
+		return nil, fmt.Errorf("cluster: need at least one aggregation slot, got %d", slots)
+	}
+	return &Aggregator{dim: dim, classes: classes, pool: parallel.New(0), partials: make([]*core.Model, slots)}, nil
 }
 
-// Global returns the merged model (shared; callers must not mutate
-// concurrently with Serve).
-func (a *Aggregator) Global() *core.Model { return a.global }
+// SetPool replaces the pool used for the ordered merge reduction (nil
+// or one worker = sequential).
+func (a *Aggregator) SetPool(p *parallel.Pool) { a.pool = p }
 
-// Received reports how many worker models have been merged.
+// Global merges the collected partials in slot order and returns the
+// aggregate model. The reduction is an ordered tree over the slots, so
+// the result is independent of the order in which workers delivered
+// their models; it is computed once, on the first call after
+// collection, and shared afterwards.
+func (a *Aggregator) Global() *core.Model {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.global == nil {
+		a.global = a.reduceLocked()
+	}
+	return a.global
+}
+
+// reduceLocked builds the aggregate from the filled slots in slot
+// order. Every stored partial already passed the shape checks of
+// installModel, so construction cannot fail.
+func (a *Aggregator) reduceLocked() *core.Model {
+	global, err := core.NewModel(a.dim, a.classes)
+	if err != nil {
+		// Unreachable: NewAggregator validated the shape.
+		return nil
+	}
+	for c := 0; c < a.classes; c++ {
+		parts := make([]hdc.Acc, 0, len(a.partials))
+		for _, p := range a.partials {
+			if p != nil {
+				parts = append(parts, p.Class(c))
+			}
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		if err := global.SetClass(c, a.pool.SumAccs("cluster_merge", parts)); err != nil {
+			return nil
+		}
+	}
+	return global
+}
+
+// Received reports how many worker models have been collected.
 func (a *Aggregator) Received() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.received
 }
 
-// ServeOne handles one worker connection: read its model frame, merge
-// it, report the merge outcome on merged, and — after release is closed
-// (all workers have reported) — send the global model back.
-func (a *Aggregator) ServeOne(conn io.ReadWriter, merged chan<- error, release <-chan struct{}) error {
-	err := a.readAndMerge(conn)
+// ServeOne handles one worker connection: read its model frame, store
+// it in the given slot, report the outcome on merged, and — after
+// release is closed (all workers have reported) — send the slot-order
+// aggregate back.
+func (a *Aggregator) ServeOne(conn io.ReadWriter, slot int, merged chan<- error, release <-chan struct{}) error {
+	err := a.readIntoSlot(conn, slot)
 	merged <- err
 	if err != nil {
 		return err
 	}
 	<-release
+	global := a.Global()
 	accs := make([]hdc.Acc, a.classes)
 	for c := range accs {
-		accs[c] = a.global.Class(c)
+		accs[c] = global.Class(c)
 	}
 	return wire.Write(conn, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Model: accs})
 }
 
-func (a *Aggregator) readAndMerge(conn io.Reader) error {
+func (a *Aggregator) readIntoSlot(conn io.Reader, slot int) error {
+	if slot < 0 || slot >= len(a.partials) {
+		return fmt.Errorf("cluster: aggregation slot %d out of range [0,%d)", slot, len(a.partials))
+	}
 	msg, err := wire.Read(conn)
 	if err != nil {
 		return fmt.Errorf("cluster: aggregator read: %w", err)
@@ -201,9 +263,10 @@ func (a *Aggregator) readAndMerge(conn io.Reader) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if err := a.global.Merge(partial); err != nil {
-		return fmt.Errorf("cluster: merge: %w", err)
+	if a.partials[slot] != nil {
+		return fmt.Errorf("cluster: aggregation slot %d already reported", slot)
 	}
+	a.partials[slot] = partial
 	a.received++
 	return nil
 }
@@ -235,7 +298,7 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 		}
 		workers[i] = w
 	}
-	agg, err := NewAggregator(cfg.Dim, cfg.Classes)
+	agg, err := NewAggregator(cfg.Dim, cfg.Classes, len(shards))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -261,13 +324,16 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 				errs <- err
 			}
 		}(w, shards[i], workerEnd)
-		go func(conn net.Conn) {
+		// The worker's shard index is its aggregation slot, so the
+		// upward merge happens in shard order no matter which
+		// connection finishes first.
+		go func(slot int, conn net.Conn) {
 			defer wg.Done()
 			defer conn.Close() //nolint:errcheck // in-process pipe
-			if err := agg.ServeOne(conn, merged, release); err != nil {
+			if err := agg.ServeOne(conn, slot, merged, release); err != nil {
 				errs <- err
 			}
-		}(aggEnd)
+		}(i, aggEnd)
 	}
 	// Release the broadcast once every connection has reported a merge
 	// outcome (success or failure), so nobody blocks forever.

@@ -155,7 +155,7 @@ func TestFederatedOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close() //nolint:errcheck // test listener
-	agg := must(NewAggregator(cfg.Dim, cfg.Classes))
+	agg := must(NewAggregator(cfg.Dim, cfg.Classes, len(shards)))
 	release := make(chan struct{})
 	merged := make(chan error, len(shards))
 	serveErrs := make(chan error, len(shards))
@@ -166,10 +166,10 @@ func TestFederatedOverTCP(t *testing.T) {
 				serveErrs <- err
 				return
 			}
-			go func(c net.Conn) {
+			go func(slot int, c net.Conn) {
 				defer c.Close() //nolint:errcheck // test connection
-				serveErrs <- agg.ServeOne(c, merged, release)
-			}(conn)
+				serveErrs <- agg.ServeOne(c, slot, merged, release)
+			}(i, conn)
 		}
 	}()
 	go func() {
@@ -219,6 +219,55 @@ func TestFederatedOverTCP(t *testing.T) {
 	}
 }
 
+func TestFederatedAggregationRunToRunIdentical(t *testing.T) {
+	// The slot-indexed aggregator merges in shard order, never in
+	// connection-completion order, so repeated federated rounds over the
+	// same shards must produce byte-identical aggregate models even
+	// though goroutine scheduling differs between runs. Local retraining
+	// is on, making each pushed model the product of a full non-linear
+	// training pipeline.
+	spec, shards, _ := shardedDataset(t, "APRI", 4, 200)
+	cfg := federatedConfig(spec, 800)
+	cfg.LocalEpochs = 3
+	run := func() *core.Model {
+		_, global, err := Federated(cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return global
+	}
+	ref := run()
+	for trial := 0; trial < 2; trial++ {
+		got := run()
+		for c := 0; c < spec.Classes; c++ {
+			a, b := ref.Class(c), got.Class(c)
+			for i := 0; i < a.Dim(); i++ {
+				if a.Get(i) != b.Get(i) {
+					t.Fatalf("trial %d class %d dim %d: %d != %d", trial, c, i, b.Get(i), a.Get(i))
+				}
+			}
+		}
+	}
+}
+
+func TestAggregatorSlotValidation(t *testing.T) {
+	if _, err := NewAggregator(64, 2, 0); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+	agg := must(NewAggregator(64, 2, 2))
+	a, b := net.Pipe()
+	defer a.Close() //nolint:errcheck // test pipe
+	defer b.Close() //nolint:errcheck // test pipe
+	merged := make(chan error, 1)
+	release := make(chan struct{})
+	close(release)
+	done := make(chan error, 1)
+	go func() { done <- agg.ServeOne(b, 5, merged, release) }()
+	if err := <-done; err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := NewWorker(Config{Features: 0, Classes: 2}); err == nil {
 		t.Fatal("zero features accepted")
@@ -242,13 +291,13 @@ func TestAggregatorRejectsWrongShape(t *testing.T) {
 	if err := w.Train(shards[0].X, shards[0].Y); err != nil {
 		t.Fatal(err)
 	}
-	agg := must(NewAggregator(1024, spec.Classes)) // mismatched dimension
+	agg := must(NewAggregator(1024, spec.Classes, 1)) // mismatched dimension
 	a, b := net.Pipe()
 	merged := make(chan error, 1)
 	release := make(chan struct{})
 	close(release)
 	done := make(chan error, 1)
-	go func() { done <- agg.ServeOne(b, merged, release) }()
+	go func() { done <- agg.ServeOne(b, 0, merged, release) }()
 	if err := w.Push(a); err != nil {
 		t.Fatal(err)
 	}

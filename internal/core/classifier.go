@@ -5,6 +5,7 @@ import (
 
 	"edgehd/internal/encoding"
 	"edgehd/internal/hdc"
+	"edgehd/internal/parallel"
 	"edgehd/internal/telemetry"
 )
 
@@ -14,6 +15,7 @@ import (
 type Classifier struct {
 	enc   encoding.Encoder
 	model *Model
+	pool  *parallel.Pool
 	met   clfMetrics
 }
 
@@ -60,6 +62,16 @@ func NewClassifier(enc encoding.Encoder, k int) (*Classifier, error) {
 	return &Classifier{enc: enc, model: m}, nil
 }
 
+// SetPool attaches a parallel execution pool; batch encoding, initial
+// bundling, retraining and evaluation then fan over its workers. The
+// parallel engine guarantees byte-identical results for any worker
+// count, so this is purely a throughput knob. A nil pool (the default)
+// keeps the exact sequential path.
+func (c *Classifier) SetPool(p *parallel.Pool) { c.pool = p }
+
+// Pool returns the attached parallel pool (nil means sequential).
+func (c *Classifier) Pool() *parallel.Pool { return c.pool }
+
 // Model exposes the underlying model (shared, not a copy) so the
 // hierarchy can transfer and aggregate it.
 func (c *Classifier) Model() *Model { return c.model }
@@ -67,18 +79,27 @@ func (c *Classifier) Model() *Model { return c.model }
 // Encoder returns the classifier's encoder.
 func (c *Classifier) Encoder() encoding.Encoder { return c.enc }
 
-// EncodeAll encodes a feature matrix into training samples. It returns
-// an error when labels and rows disagree or a label is out of range.
+// EncodeAll encodes a feature matrix into training samples through the
+// batch path, fanning rows over the attached pool (sequential when no
+// pool is attached). It returns an error when labels and rows disagree
+// or a label is out of range; labels validate up front so no encoding
+// work is spent on a rejected batch.
 func (c *Classifier) EncodeAll(features [][]float64, labels []int) ([]Sample, error) {
 	if len(features) != len(labels) {
 		return nil, fmt.Errorf("core: %d feature rows but %d labels", len(features), len(labels))
 	}
-	samples := make([]Sample, len(features))
-	for i, f := range features {
-		if labels[i] < 0 || labels[i] >= c.model.classes {
-			return nil, fmt.Errorf("core: label %d out of range [0,%d)", labels[i], c.model.classes)
+	for i, l := range labels {
+		if l < 0 || l >= c.model.classes {
+			return nil, fmt.Errorf("core: label %d at row %d out of range [0,%d)", l, i, c.model.classes)
 		}
-		samples[i] = Sample{HV: c.encode(f), Label: labels[i]}
+	}
+	c.met.encodeTotal.Add(int64(len(features)))
+	stop := c.met.encodeSeconds.StartTimer()
+	hvs := encoding.EncodeBatch(c.pool, c.enc, features)
+	stop()
+	samples := make([]Sample, len(features))
+	for i, hv := range hvs {
+		samples[i] = Sample{HV: hv, Label: labels[i]}
 	}
 	return samples, nil
 }
@@ -86,16 +107,16 @@ func (c *Classifier) EncodeAll(features [][]float64, labels []int) ([]Sample, er
 // Fit runs the full §III-B training pipeline: encode every row, bundle
 // the initial class hypervectors, then retrain for epochs iterations
 // (0 = the paper's default of 20). It returns the retraining statistics.
+// Every stage fans over the attached pool with byte-identical results
+// for any worker count.
 func (c *Classifier) Fit(features [][]float64, labels []int, epochs int) (RetrainStats, error) {
 	samples, err := c.EncodeAll(features, labels)
 	if err != nil {
 		return RetrainStats{}, err
 	}
-	for _, s := range samples {
-		c.model.Add(s.Label, s.HV)
-	}
+	c.model.AddAll(c.pool, samples)
 	c.met.trainSamples.Add(int64(len(samples)))
-	stats := c.model.Retrain(samples, epochs)
+	stats := c.model.RetrainParallel(samples, epochs, c.pool)
 	c.met.retrainEpochs.Add(int64(stats.Epochs))
 	return stats, nil
 }
@@ -119,7 +140,9 @@ func (c *Classifier) Encode(features []float64) hdc.Bipolar {
 	return c.encode(features)
 }
 
-// Evaluate returns classification accuracy over a labelled test set.
+// Evaluate returns classification accuracy over a labelled test set,
+// fanning encode+predict over the attached pool. Per-chunk correct
+// counts sum in chunk order, matching the sequential count exactly.
 func (c *Classifier) Evaluate(features [][]float64, labels []int) (float64, error) {
 	if len(features) != len(labels) {
 		return 0, fmt.Errorf("core: %d feature rows but %d labels", len(features), len(labels))
@@ -127,11 +150,22 @@ func (c *Classifier) Evaluate(features [][]float64, labels []int) (float64, erro
 	if len(features) == 0 {
 		return 0, nil
 	}
-	correct := 0
-	for i, f := range features {
-		if c.Predict(f) == labels[i] {
-			correct++
+	c.met.predictTotal.Add(int64(len(features)))
+	c.model.normalized()
+	spans := parallel.Chunks(len(features))
+	counts := make([]int, len(spans))
+	c.pool.RunChunks("clf_evaluate", spans, func(ci int, sp parallel.Span) {
+		n := 0
+		for i := sp.Lo; i < sp.Hi; i++ {
+			if c.model.Predict(c.enc.Encode(features[i])) == labels[i] {
+				n++
+			}
 		}
+		counts[ci] = n
+	})
+	correct := 0
+	for _, n := range counts {
+		correct += n
 	}
 	return float64(correct) / float64(len(features)), nil
 }

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"edgehd/internal/hdc"
 )
@@ -27,15 +29,24 @@ type Sample struct {
 
 // Model holds k class hypervectors of a fixed dimensionality. The zero
 // value is unusable; construct with NewModel.
+//
+// Mutation (Add, SetClass, Retrain, Merge, ...) is single-writer and
+// must not overlap any other model access. Read-only classification
+// (Similarities, Classify, Predict, Confidence, Accuracy) is safe to
+// call concurrently: the lazily rebuilt normalization cache is guarded
+// by an atomic dirty flag and a mutex, which is what lets the parallel
+// engine fan predictions over worker goroutines.
 type Model struct {
 	dim     int
 	classes int
 	classHV []hdc.Acc
 	// norm caches the pre-normalized class hypervectors (§V-B: cosine →
 	// dot product against unit-norm models). It is invalidated by any
-	// model mutation and rebuilt lazily.
-	norm  [][]float64
-	dirty bool
+	// model mutation and rebuilt lazily under normMu; dirty is atomic so
+	// concurrent readers that find the cache clean skip the lock.
+	norm   [][]float64
+	normMu sync.Mutex
+	dirty  atomic.Bool
 }
 
 // NewModel returns an empty model with k classes of dimension d.
@@ -43,7 +54,8 @@ func NewModel(d, k int) (*Model, error) {
 	if d <= 0 || k <= 0 {
 		return nil, fmt.Errorf("core: non-positive model size %dx%d", d, k)
 	}
-	m := &Model{dim: d, classes: k, classHV: make([]hdc.Acc, k), dirty: true}
+	m := &Model{dim: d, classes: k, classHV: make([]hdc.Acc, k)}
+	m.dirty.Store(true)
 	for i := range m.classHV {
 		m.classHV[i] = hdc.NewAcc(d)
 	}
@@ -67,7 +79,7 @@ func (m *Model) SetClass(i int, a hdc.Acc) error {
 		return fmt.Errorf("core: class hypervector dim %d != model dim %d", a.Dim(), m.dim)
 	}
 	m.classHV[i] = a.Clone()
-	m.dirty = true
+	m.dirty.Store(true)
 	return nil
 }
 
@@ -75,27 +87,35 @@ func (m *Model) SetClass(i int, a hdc.Acc) error {
 // initial-training step C^i = Σ_j H^i_j.
 func (m *Model) Add(label int, h hdc.Bipolar) {
 	m.classHV[label].AddBipolar(h)
-	m.dirty = true
+	m.dirty.Store(true)
 }
 
 // AddAcc bundles a pre-accumulated hypervector (a batch hypervector or a
 // child's class hypervector of the same dimension) into class label.
 func (m *Model) AddAcc(label int, a hdc.Acc) {
 	m.classHV[label].AddAcc(a)
-	m.dirty = true
+	m.dirty.Store(true)
 }
 
 // normalized returns the unit-norm float views of the class
-// hypervectors, rebuilding the cache if the model changed.
+// hypervectors, rebuilding the cache if the model changed. Concurrent
+// read-only callers are safe: rebuilds are serialized by normMu with a
+// double-checked atomic dirty flag, and the atomic load/store pair
+// orders the cache writes before any reader that observes the clean
+// flag.
 func (m *Model) normalized() [][]float64 {
-	if m.dirty {
-		if m.norm == nil {
-			m.norm = make([][]float64, m.classes)
+	if m.dirty.Load() {
+		m.normMu.Lock()
+		if m.dirty.Load() {
+			if m.norm == nil {
+				m.norm = make([][]float64, m.classes)
+			}
+			for i, c := range m.classHV {
+				m.norm[i] = hdc.NormalizedAcc(c)
+			}
+			m.dirty.Store(false)
 		}
-		for i, c := range m.classHV {
-			m.norm[i] = hdc.NormalizedAcc(c)
-		}
-		m.dirty = false
+		m.normMu.Unlock()
 	}
 	return m.norm
 }
@@ -190,7 +210,7 @@ func (m *Model) Retrain(samples []Sample, epochs int) RetrainStats {
 			if pred != s.Label {
 				m.classHV[s.Label].AddBipolar(s.HV)
 				m.classHV[pred].SubBipolar(s.HV)
-				m.dirty = true
+				m.dirty.Store(true)
 				wrong++
 			}
 		}
@@ -229,13 +249,14 @@ func (m *Model) Merge(o *Model) error {
 	for i := range m.classHV {
 		m.classHV[i].AddAcc(o.classHV[i])
 	}
-	m.dirty = true
+	m.dirty.Store(true)
 	return nil
 }
 
 // Clone returns a deep copy of the model.
 func (m *Model) Clone() *Model {
-	c := &Model{dim: m.dim, classes: m.classes, classHV: make([]hdc.Acc, m.classes), dirty: true}
+	c := &Model{dim: m.dim, classes: m.classes, classHV: make([]hdc.Acc, m.classes)}
+	c.dirty.Store(true)
 	for i := range m.classHV {
 		c.classHV[i] = m.classHV[i].Clone()
 	}

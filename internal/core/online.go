@@ -98,7 +98,7 @@ func (r *Residual) ApplyTo(m *Model) error {
 	for i, a := range r.res {
 		m.classHV[i].SubAcc(a)
 	}
-	m.dirty = true
+	m.dirty.Store(true)
 	r.Reset()
 	return nil
 }

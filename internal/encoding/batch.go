@@ -1,0 +1,23 @@
+package encoding
+
+import (
+	"edgehd/internal/hdc"
+	"edgehd/internal/parallel"
+)
+
+// EncodeBatch encodes a feature matrix, fanning the rows over the pool
+// in fixed chunks. All four encoders (Nonlinear, Sparse, Linear,
+// Image2D) run through this one path. Every encoder is immutable after
+// construction and Encode is a pure function of (encoder, row), so
+// out[i] == enc.Encode(rows[i]) bit-for-bit regardless of worker
+// count; a nil pool executes the rows inline in order — the exact
+// sequential path.
+func EncodeBatch(p *parallel.Pool, enc Encoder, rows [][]float64) []hdc.Bipolar {
+	out := make([]hdc.Bipolar, len(rows))
+	p.Run("encode_batch", len(rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = enc.Encode(rows[i])
+		}
+	})
+	return out
+}

@@ -1,0 +1,88 @@
+package encoding
+
+import (
+	"testing"
+
+	"edgehd/internal/parallel"
+	"edgehd/internal/rng"
+)
+
+// Compile-time check: all four encoders sit behind the Encoder
+// interface and therefore behind the one EncodeBatch path.
+var (
+	_ Encoder = (*Nonlinear)(nil)
+	_ Encoder = (*Sparse)(nil)
+	_ Encoder = (*Linear)(nil)
+	_ Encoder = (*Image2D)(nil)
+)
+
+func TestImage2DNumFeatures(t *testing.T) {
+	e, err := NewImage2D(5, 3, 64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumFeatures() != 15 {
+		t.Fatalf("NumFeatures() = %d, want 15", e.NumFeatures())
+	}
+}
+
+// TestEncodeBatchMatchesSequential proves the batch path bit-identical
+// to per-row Encode for every encoder and several worker counts,
+// including the nil-pool sequential path.
+func TestEncodeBatchMatchesSequential(t *testing.T) {
+	const n, d = 12, 256
+	encoders := map[string]Encoder{}
+	if e, err := NewNonlinear(n, d, 3, NonlinearConfig{}); err == nil {
+		encoders["nonlinear"] = e
+	} else {
+		t.Fatal(err)
+	}
+	if e, err := NewSparse(n, d, 4, SparseConfig{}); err == nil {
+		encoders["sparse"] = e
+	} else {
+		t.Fatal(err)
+	}
+	if e, err := NewLinear(n, d, 5, LinearConfig{}); err == nil {
+		encoders["linear"] = e
+	} else {
+		t.Fatal(err)
+	}
+	if e, err := NewImage2D(4, 3, d, 6, 0); err == nil {
+		encoders["image2d"] = e
+	} else {
+		t.Fatal(err)
+	}
+
+	names := []string{"nonlinear", "sparse", "linear", "image2d"}
+	for _, name := range names {
+		enc := encoders[name]
+		r := rng.New(42)
+		rows := make([][]float64, 37)
+		for i := range rows {
+			row := make([]float64, enc.NumFeatures())
+			for j := range row {
+				row[j] = r.Float64()*2 - 1
+			}
+			rows[i] = row
+		}
+		want := make([][]uint64, len(rows))
+		for i, row := range rows {
+			want[i] = enc.Encode(row).Words()
+		}
+		pools := []*parallel.Pool{nil, parallel.New(1), parallel.New(2), parallel.New(8)}
+		for pi, p := range pools {
+			got := EncodeBatch(p, enc, rows)
+			if len(got) != len(rows) {
+				t.Fatalf("%s pool %d: %d outputs", name, pi, len(got))
+			}
+			for i := range got {
+				gw := got[i].Words()
+				for wi := range gw {
+					if gw[wi] != want[i][wi] {
+						t.Fatalf("%s workers=%d: row %d differs from sequential encode", name, p.Workers(), i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -60,6 +60,11 @@ func (e *Image2D) Dim() int { return e.d }
 // Size returns the expected image width and height.
 func (e *Image2D) Size() (w, h int) { return e.w, e.h }
 
+// NumFeatures returns the flattened pixel count w·h, making Image2D a
+// full Encoder so image pipelines ride the same EncodeBatch path as the
+// vector encoders.
+func (e *Image2D) NumFeatures() int { return e.w * e.h }
+
 // PositionSimilarity returns the empirical cosine similarity between the
 // position IDs of (x1, y1) and (x2, y2): the real part of the mean
 // conjugate product of the two phasors, which approximates the Gaussian

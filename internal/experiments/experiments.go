@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"edgehd/internal/parallel"
 	"edgehd/internal/telemetry"
 )
 
@@ -31,6 +32,12 @@ type Options struct {
 	RetrainEpochs int
 	// Seed drives dataset generation and all random structure.
 	Seed uint64
+	// Workers is the width of the parallel execution engine used by the
+	// EdgeHD classifiers and hierarchies under test. 0 selects
+	// GOMAXPROCS; 1 forces the sequential legacy path. Results are
+	// byte-identical for every value (see internal/parallel), so this is
+	// purely a throughput knob — baselines are unaffected.
+	Workers int
 	// Telemetry, when non-nil, receives every built system's metrics
 	// (hierarchy counters/histograms plus per-link network metrics) so
 	// cmd/paper can export a machine-readable snapshot of a run.
@@ -56,6 +63,15 @@ func (o Options) withDefaults() Options {
 		o.Seed = 42
 	}
 	return o
+}
+
+// pool builds the parallel pool implied by Options.Workers, with the
+// run's telemetry attached so pool stage timings land in the same
+// snapshot as the experiment metrics.
+func (o Options) pool() *parallel.Pool {
+	p := parallel.New(o.Workers)
+	p.SetTelemetry(o.Telemetry)
+	return p
 }
 
 // Table is a rendered experiment result.

@@ -57,6 +57,7 @@ func Fig13(opts Options) (*Fig13Result, error) {
 				TotalDim:      opts.Dim,
 				RetrainEpochs: opts.RetrainEpochs,
 				Seed:          opts.Seed + 7,
+				Workers:       opts.Workers,
 				Telemetry:     opts.Telemetry,
 				Tracer:        opts.Tracer,
 			})

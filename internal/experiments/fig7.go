@@ -66,6 +66,7 @@ func Fig7(opts Options) (*Fig7Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s/EdgeHD: %w", spec.Name, err)
 		}
+		clf.SetPool(opts.pool())
 		if _, err := clf.Fit(d.TrainX, d.TrainY, opts.RetrainEpochs); err != nil {
 			return nil, fmt.Errorf("fig7 %s/EdgeHD: %w", spec.Name, err)
 		}

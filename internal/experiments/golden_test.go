@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden snapshots instead of comparing:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/golden snapshots")
+
+// goldenOptions is the fixed CI-scale configuration every snapshot is
+// taken at. Changing any value here invalidates all goldens.
+func goldenOptions() Options {
+	return Options{MaxTrain: 150, MaxTest: 80, Dim: 1000, RetrainEpochs: 3, Seed: 42}
+}
+
+// checkGolden compares result against testdata/golden/<name>.json (or
+// rewrites it under -update). The whole pipeline is deterministic in
+// the seed — encoders, training, float reductions — so the comparison
+// is exact: any drift means an intended behavior change (regenerate the
+// snapshot and review the diff) or a broken determinism contract.
+func checkGolden(t *testing.T, name string, result any) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".json")
+	got, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (regenerate with -update): %v", err)
+	}
+	// Compare decoded values, not bytes, so the check is insensitive to
+	// encoder formatting churn across Go versions.
+	var gotV, wantV any
+	if err := json.Unmarshal(got, &gotV); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &wantV); err != nil {
+		t.Fatalf("corrupt golden snapshot %s: %v", path, err)
+	}
+	if !reflect.DeepEqual(gotV, wantV) {
+		t.Fatalf("%s drifted from golden snapshot.\n%s\nIf the change is intended, regenerate with -update and review the diff.",
+			name, firstDiffLines(string(want), string(got)))
+	}
+}
+
+// firstDiffLines points at the first line where two renderings diverge.
+func firstDiffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return "first difference at line " + itoa(i+1) + ":\n  golden: " + w[i] + "\n  got:    " + g[i]
+		}
+	}
+	return "outputs differ in length: golden " + itoa(len(w)) + " lines, got " + itoa(len(g))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestGoldenFig7(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("fig7 runs all nine datasets")
+	}
+	r, err := Fig7(goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7", r)
+}
+
+func TestGoldenTable2(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("table2 trains four hierarchies")
+	}
+	r, err := Table2(goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2", r)
+}
+
+func TestGoldenFig13(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("fig13 sweeps five hierarchy depths on PECAN")
+	}
+	opts := goldenOptions()
+	// PECAN's 312-leaf trees make the depth sweep the most expensive
+	// golden; a smaller sample budget keeps it CI-sized without losing
+	// the regression surface (speedups and accuracy per depth).
+	opts.MaxTrain, opts.MaxTest = 80, 40
+	r, err := Fig13(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig13", r)
+}

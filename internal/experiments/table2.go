@@ -38,6 +38,7 @@ func trainHierarchy(topo *netsim.Topology, d *dataset.Dataset, opts Options) (*h
 		TotalDim:      opts.Dim,
 		RetrainEpochs: opts.RetrainEpochs,
 		Seed:          opts.Seed + 7,
+		Workers:       opts.Workers,
 		Telemetry:     opts.Telemetry,
 		Tracer:        opts.Tracer,
 	})
@@ -61,6 +62,7 @@ func centralizedAccuracy(d *dataset.Dataset, opts Options) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	clf.SetPool(opts.pool())
 	if _, err := clf.Fit(d.TrainX, d.TrainY, opts.RetrainEpochs); err != nil {
 		return 0, err
 	}

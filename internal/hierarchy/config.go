@@ -36,6 +36,11 @@ type Config struct {
 	Holographic *bool
 	// Seed drives every random structure in the system.
 	Seed uint64
+	// Workers is the parallel execution width for training and
+	// evaluation fan-out. 0 selects GOMAXPROCS; 1 forces the exact
+	// sequential legacy path. Results are byte-identical for any value
+	// (see internal/parallel), so this is purely a throughput knob.
+	Workers int
 	// Telemetry receives the system's counters, gauges and histograms
 	// (and is attached to the topology's network for per-link metrics).
 	// Nil disables metric collection at the cost of one nil check per

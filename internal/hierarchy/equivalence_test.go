@@ -1,0 +1,95 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"edgehd/internal/dataset"
+	"edgehd/internal/netsim"
+)
+
+// nodeClasses snapshots every node's class hypervectors as raw
+// integers, keyed by node id, for byte-level comparison across runs.
+func nodeClasses(s *System) map[netsim.NodeID][][]int32 {
+	out := make(map[netsim.NodeID][][]int32, len(s.nodes))
+	for _, n := range s.nodes {
+		classes := make([][]int32, s.classes)
+		for c := range classes {
+			classes[c] = n.model.Class(c).Ints()
+		}
+		out[n.id] = classes
+	}
+	return out
+}
+
+// TestWorkerCountEquivalence locks down the parallel engine's core
+// contract at the hierarchy level: training and confidence-routed
+// inference must be byte-identical for every worker count, on STAR,
+// the three-level TREE, and a depth-3 grouped tree.
+func TestWorkerCountEquivalence(t *testing.T) {
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spec.Generate(42, dataset.Options{MaxTrain: 240, MaxTest: 80})
+	topologies := []struct {
+		name  string
+		build func() (*netsim.Topology, error)
+	}{
+		{"star", func() (*netsim.Topology, error) { return netsim.Star(spec.EndNodes, netsim.Wired1G()) }},
+		{"tree", func() (*netsim.Topology, error) { return netsim.Tree(spec.EndNodes, 2, netsim.Wired1G()) }},
+		{"depth3", func() (*netsim.Topology, error) { return netsim.Grouped(spec.EndNodes, 3, netsim.Wired1G()) }},
+	}
+	for _, tc := range topologies {
+		t.Run(tc.name, func(t *testing.T) {
+			type snapshot struct {
+				classes map[netsim.NodeID][][]int32
+				infers  []InferResult
+			}
+			run := func(workers int) snapshot {
+				topo, err := tc.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys, err := BuildForDataset(topo, d, Config{
+					TotalDim: 2000, RetrainEpochs: 3, Seed: 7, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+					t.Fatal(err)
+				}
+				infers := make([]InferResult, len(d.TestX))
+				for i, x := range d.TestX {
+					res, err := sys.Infer(x, i%spec.EndNodes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					infers[i] = res
+				}
+				return snapshot{classes: nodeClasses(sys), infers: infers}
+			}
+			ref := run(1)
+			for _, workers := range []int{2, 8} {
+				got := run(workers)
+				for id, classes := range ref.classes {
+					for c := range classes {
+						want, have := classes[c], got.classes[id][c]
+						for i := range want {
+							if want[i] != have[i] {
+								t.Fatalf("workers=%d node %d class %d dim %d: %d != %d (sequential)",
+									workers, id, c, i, have[i], want[i])
+							}
+						}
+					}
+				}
+				for i := range ref.infers {
+					if got.infers[i] != ref.infers[i] {
+						t.Fatalf("workers=%d sample %d: infer %+v != sequential %+v",
+							workers, i, got.infers[i], ref.infers[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"edgehd/internal/hdc"
 	"edgehd/internal/netsim"
+	"edgehd/internal/parallel"
 	"edgehd/internal/rng"
 )
 
@@ -56,7 +57,7 @@ func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 		}
 		wireBytes += s.InferCommBytes(cur.id)
 		class, conf := cur.model.Confidence(q)
-		cur.hvOps += int64(s.classes+1) * int64(cur.dim)
+		cur.hvOps.Add(int64(s.classes+1) * int64(cur.dim))
 		s.met.assocTotal.Add(1)
 		if sp != nil {
 			sp.SetFloat(fmt.Sprintf("confidence.%d", escal), conf)
@@ -126,16 +127,27 @@ func (s *System) PredictAtCorrupted(id netsim.NodeID, x []float64, r *rng.Source
 	return class
 }
 
-// AccuracyAt evaluates a node's model over a labelled set.
+// AccuracyAt evaluates a node's model over a labelled set, fanning the
+// per-sample predictions over the pool. Per-chunk correct counts sum in
+// chunk order, so the result matches the sequential sweep exactly.
 func (s *System) AccuracyAt(id netsim.NodeID, x [][]float64, y []int) float64 {
 	if len(x) == 0 {
 		return 0
 	}
-	correct := 0
-	for i, row := range x {
-		if s.PredictAt(id, row) == y[i] {
-			correct++
+	spans := parallel.Chunks(len(x))
+	counts := make([]int, len(spans))
+	s.pool.RunChunks("hier_accuracy", spans, func(ci int, sp parallel.Span) {
+		n := 0
+		for i := sp.Lo; i < sp.Hi; i++ {
+			if s.PredictAt(id, x[i]) == y[i] {
+				n++
+			}
 		}
+		counts[ci] = n
+	})
+	correct := 0
+	for _, n := range counts {
+		correct += n
 	}
 	return float64(correct) / float64(len(x))
 }

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"edgehd/internal/core"
 	"edgehd/internal/dataset"
 	"edgehd/internal/encoding"
 	"edgehd/internal/hdc"
 	"edgehd/internal/netsim"
+	"edgehd/internal/parallel"
 	"edgehd/internal/rng"
 	"edgehd/internal/telemetry"
 )
@@ -37,8 +39,11 @@ type node struct {
 	model    *core.Model
 	residual *core.Residual
 	// work accounting accumulated by training/inference, in op counts.
-	encodeMACs int64
-	hvOps      int64
+	// Atomic because the parallel engine fans per-leaf training and
+	// per-sample evaluation over goroutines; op-count sums are
+	// order-independent, so atomics keep them exact and race-free.
+	encodeMACs atomic.Int64
+	hvOps      atomic.Int64
 }
 
 // System is a fully built EdgeHD hierarchy over a topology: per-node
@@ -54,6 +59,9 @@ type System struct {
 	// leafIndex maps an end-node position (dataset partition index) to
 	// its node.
 	leafIndex []*node
+	// pool is the parallel execution engine (cfg.Workers wide); all
+	// fan-out is byte-identical to the sequential path by construction.
+	pool *parallel.Pool
 	// tracer records hot-path spans; met holds the pre-resolved metric
 	// instruments. Both stay nil (no-op) until telemetry is attached.
 	tracer *telemetry.Tracer
@@ -91,6 +99,7 @@ type sysMetrics struct {
 // network so per-link metrics surface alongside the hierarchy's own.
 func (s *System) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	s.tracer = tracer
+	s.pool.SetTelemetry(reg)
 	s.met = sysMetrics{
 		encodeTotal:      reg.Counter("hier_encode_total"),
 		encodeSeconds:    reg.Histogram("hier_encode_seconds"),
@@ -123,11 +132,15 @@ func Build(topo *netsim.Topology, partition [][]int, numClasses int, cfg Config)
 	if numClasses < 2 {
 		return nil, fmt.Errorf("hierarchy: need at least 2 classes, got %d", numClasses)
 	}
+	if err := parallel.Validate(cfg.Workers); err != nil {
+		return nil, fmt.Errorf("hierarchy: %w", err)
+	}
 	s := &System{
 		topo:    topo,
 		cfg:     cfg,
 		classes: numClasses,
 		nodes:   make([]*node, topo.Net.NumNodes()),
+		pool:    parallel.New(cfg.Workers),
 	}
 	for _, p := range partition {
 		if len(p) == 0 {
@@ -265,7 +278,7 @@ func (s *System) LeafDims() []int {
 // encodeLeaf encodes a full sample's feature view at leaf position i.
 func (s *System) encodeLeaf(i int, x []float64) hdc.Bipolar {
 	n := s.leafIndex[i]
-	n.encodeMACs += n.enc.MACsPerEncode()
+	n.encodeMACs.Add(n.enc.MACsPerEncode())
 	s.met.encodeTotal.Add(1)
 	stop := s.met.encodeSeconds.StartTimer()
 	hv := n.enc.Encode(dataset.Project(x, n.features))
@@ -282,7 +295,7 @@ func (s *System) combine(n *node, parts []hdc.Bipolar) (hdc.Bipolar, error) {
 	if n.proj == nil {
 		return cat, nil
 	}
-	n.hvOps += n.proj.Ops()
+	n.hvOps.Add(n.proj.Ops())
 	s.met.projOps.Add(n.proj.Ops())
 	out, err := n.proj.Bipolar(cat)
 	if err != nil {
@@ -298,7 +311,7 @@ func (s *System) combineAcc(n *node, parts []hdc.Acc) (hdc.Acc, error) {
 	if n.proj == nil {
 		return cat, nil
 	}
-	n.hvOps += n.proj.Ops()
+	n.hvOps.Add(n.proj.Ops())
 	s.met.projOps.Add(n.proj.Ops())
 	out, err := n.proj.Acc(cat)
 	if err != nil {
@@ -317,12 +330,22 @@ func (s *System) Query(id netsim.NodeID, x []float64) (hdc.Bipolar, error) {
 		return s.encodeLeaf(n.leafPos, x), nil
 	}
 	parts := make([]hdc.Bipolar, len(n.children))
-	for i, c := range n.children {
-		part, err := s.Query(c, x)
-		if err != nil {
-			return hdc.Bipolar{}, err
+	// Child subtrees are independent, so the fan-out runs over the
+	// pool: each child writes its own slot and the concatenation below
+	// consumes the slots in child order, keeping the query identical to
+	// the sequential recursion. The first error in child order wins.
+	err := s.pool.RunErr("hier_query_fanout", len(n.children), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			part, err := s.Query(n.children[i], x)
+			if err != nil {
+				return err
+			}
+			parts[i] = part
 		}
-		parts[i] = part
+		return nil
+	})
+	if err != nil {
+		return hdc.Bipolar{}, err
 	}
 	return s.combine(n, parts)
 }
@@ -372,13 +395,13 @@ func (s *System) QueryCorrupted(id netsim.NodeID, x []float64, r *rng.Source) (h
 // was built (or since ResetWork).
 func (s *System) WorkAt(id netsim.NodeID) (encodeMACs, hvOps int64) {
 	n := s.nodes[id]
-	return n.encodeMACs, n.hvOps
+	return n.encodeMACs.Load(), n.hvOps.Load()
 }
 
 // ResetWork clears all per-node op accounting.
 func (s *System) ResetWork() {
 	for _, n := range s.nodes {
-		n.encodeMACs = 0
-		n.hvOps = 0
+		n.encodeMACs.Store(0)
+		n.hvOps.Store(0)
 	}
 }

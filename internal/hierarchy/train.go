@@ -72,37 +72,44 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 	// Phase 1: end nodes encode, train and batch locally. states is a
 	// NodeID-indexed slice (nil = not yet reported), not a map, so the
 	// upward propagation below can never depend on map iteration order.
+	// Leaves are mutually independent (each touches only its own
+	// encoder, model and state slot), so the per-node partial training
+	// fans over the pool; within a leaf the sequential pipeline runs
+	// unchanged, making the fan-out trivially byte-identical.
 	states := make([]*trainState, len(s.nodes))
-	for li, leaf := range s.leafIndex {
-		st := &trainState{classHVs: make([]hdc.Acc, s.classes), batches: make([][]hdc.Bipolar, s.classes)}
-		encoded := make([]hdc.Bipolar, len(x))
-		samples := make([]core.Sample, len(x))
-		for i, row := range x {
-			encoded[i] = s.encodeLeaf(li, row)
-			samples[i] = core.Sample{HV: encoded[i], Label: y[i]}
-			leaf.model.Add(y[i], encoded[i])
-		}
-		leaf.hvOps += int64(len(x)) * int64(leaf.dim) // bundling
-		stats := leaf.model.Retrain(samples, s.cfg.RetrainEpochs)
-		leaf.hvOps += int64(stats.Epochs) * int64(len(x)) * int64(s.classes+1) * int64(leaf.dim)
-		for c := 0; c < s.classes; c++ {
-			st.classHVs[c] = leaf.model.Class(c)
-			idxs := perClass[c]
-			for start := 0; start < len(idxs); start += b {
-				end := start + b
-				if end > len(idxs) {
-					end = len(idxs)
-				}
-				batch := hdc.NewAcc(leaf.dim)
-				for _, si := range idxs[start:end] {
-					batch.AddBipolar(encoded[si])
-				}
-				leaf.hvOps += int64(end-start) * int64(leaf.dim)
-				st.batches[c] = append(st.batches[c], batch.Sign())
+	s.pool.Run("hier_leaf_train", len(s.leafIndex), func(llo, lhi int) {
+		for li := llo; li < lhi; li++ {
+			leaf := s.leafIndex[li]
+			st := &trainState{classHVs: make([]hdc.Acc, s.classes), batches: make([][]hdc.Bipolar, s.classes)}
+			encoded := make([]hdc.Bipolar, len(x))
+			samples := make([]core.Sample, len(x))
+			for i, row := range x {
+				encoded[i] = s.encodeLeaf(li, row)
+				samples[i] = core.Sample{HV: encoded[i], Label: y[i]}
+				leaf.model.Add(y[i], encoded[i])
 			}
+			leaf.hvOps.Add(int64(len(x)) * int64(leaf.dim)) // bundling
+			stats := leaf.model.Retrain(samples, s.cfg.RetrainEpochs)
+			leaf.hvOps.Add(int64(stats.Epochs) * int64(len(x)) * int64(s.classes+1) * int64(leaf.dim))
+			for c := 0; c < s.classes; c++ {
+				st.classHVs[c] = leaf.model.Class(c)
+				idxs := perClass[c]
+				for start := 0; start < len(idxs); start += b {
+					end := start + b
+					if end > len(idxs) {
+						end = len(idxs)
+					}
+					batch := hdc.NewAcc(leaf.dim)
+					for _, si := range idxs[start:end] {
+						batch.AddBipolar(encoded[si])
+					}
+					leaf.hvOps.Add(int64(end-start) * int64(leaf.dim))
+					st.batches[c] = append(st.batches[c], batch.Sign())
+				}
+			}
+			states[leaf.id] = st
 		}
-		states[leaf.id] = st
-	}
+	})
 
 	// Phase 2: propagate level by level toward the root. Transfers of
 	// one level all depart at the previous level's finish time.
@@ -131,6 +138,11 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 		}
 		// Aggregate at the parents (depth d−1 internal nodes whose
 		// children all live at depth d or below and have reported).
+		// Ready parents are independent of each other, so their
+		// aggregations fan over the pool, each writing its own NodeID
+		// slot; the first error in node order wins, matching the
+		// sequential loop's error exactly.
+		var pending []*node
 		for _, n := range order {
 			if n.depth != d-1 || n.isLeaf() {
 				continue
@@ -148,11 +160,21 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 			if !ready {
 				continue
 			}
-			st, err := s.aggregate(n, states)
-			if err != nil {
-				return nil, fmt.Errorf("hierarchy: aggregation at node %d: %w", n.id, err)
+			pending = append(pending, n)
+		}
+		aggErr := s.pool.RunErr("hier_aggregate", len(pending), func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				n := pending[i]
+				st, err := s.aggregate(n, states)
+				if err != nil {
+					return fmt.Errorf("hierarchy: aggregation at node %d: %w", n.id, err)
+				}
+				states[n.id] = st
 			}
-			states[n.id] = st
+			return nil
+		})
+		if aggErr != nil {
+			return nil, aggErr
 		}
 		depart = levelFinish
 	}
@@ -273,7 +295,7 @@ func (s *System) aggregate(n *node, states []*trainState) (*trainState, error) {
 		}
 	}
 	stats := n.model.Retrain(retrainSamples, s.cfg.RetrainEpochs)
-	n.hvOps += int64(stats.Epochs) * int64(len(retrainSamples)) * int64(s.classes+1) * int64(n.dim)
+	n.hvOps.Add(int64(stats.Epochs) * int64(len(retrainSamples)) * int64(s.classes+1) * int64(n.dim))
 	for c := 0; c < s.classes; c++ {
 		st.classHVs[c] = n.model.Class(c)
 	}

@@ -64,6 +64,7 @@ func Default(modPath string) *Config {
 			p("internal/encoding"),
 			p("internal/core"),
 			p("internal/hierarchy"),
+			p("internal/parallel"),
 			p("internal/rng"),
 		},
 		HDCPackages:      []string{p("internal/hdc")},

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"testing"
+
+	"edgehd/internal/hdc"
+)
+
+// fuzzBipolar derives a deterministic bipolar vector of the given
+// dimension from fuzz bytes, mirroring the bipolarFromBytes helper of
+// the hdc fuzz suite.
+func fuzzBipolar(dim int, data []byte, salt byte) hdc.Bipolar {
+	b := hdc.NewBipolar(dim)
+	if len(data) == 0 {
+		return b
+	}
+	for i := 0; i < dim; i++ {
+		byteIdx := (i/8 + int(salt)) % len(data)
+		bit := (data[byteIdx] ^ salt) >> (i % 8) & 1
+		b.Set(i, bit == 1)
+	}
+	return b
+}
+
+// FuzzChunkedReduce is the property test for the reduction algebra:
+// bundling is associative under any chunk split, so partial
+// accumulators over arbitrary (fuzz-chosen) chunk boundaries must
+// always tree-reduce to the accumulator the sequential left-to-right
+// bundle produces — for any worker count.
+func FuzzChunkedReduce(f *testing.F) {
+	f.Add(uint16(64), uint8(10), []byte{0x5a, 0xc3, 0x01}, []byte{3, 1, 4})
+	f.Add(uint16(1), uint8(1), []byte{0xff}, []byte{})
+	f.Add(uint16(300), uint8(40), []byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{0, 0, 0, 200, 1})
+	f.Fuzz(func(t *testing.T, dimRaw uint16, nRaw uint8, data []byte, cuts []byte) {
+		dim := int(dimRaw)%512 + 1
+		n := int(nRaw)%64 + 1
+		vecs := make([]hdc.Bipolar, n)
+		for i := range vecs {
+			vecs[i] = fuzzBipolar(dim, data, byte(i))
+		}
+
+		// Ground truth: sequential left-to-right bundling.
+		seq := hdc.NewAcc(dim)
+		for _, v := range vecs {
+			seq.AddBipolar(v)
+		}
+
+		// Fuzz-chosen chunk boundaries: each cut byte advances the
+		// previous boundary by 1..n, clamped to n. Always ends with a
+		// final chunk reaching n.
+		spans := make([]Span, 0, len(cuts)+1)
+		lo := 0
+		for _, c := range cuts {
+			if lo >= n {
+				break
+			}
+			hi := lo + int(c)%n + 1
+			if hi > n {
+				hi = n
+			}
+			spans = append(spans, Span{Lo: lo, Hi: hi})
+			lo = hi
+		}
+		if lo < n {
+			spans = append(spans, Span{Lo: lo, Hi: n})
+		}
+
+		for _, w := range []int{1, 3} {
+			p := New(w)
+			parts := make([]hdc.Acc, len(spans))
+			p.RunChunks("fuzz_partials", spans, func(ci int, s Span) {
+				acc := hdc.NewAcc(dim)
+				for i := s.Lo; i < s.Hi; i++ {
+					acc.AddBipolar(vecs[i])
+				}
+				parts[ci] = acc
+			})
+			got := p.SumAccs("fuzz_reduce", parts)
+			for i := 0; i < dim; i++ {
+				if got.Get(i) != seq.Get(i) {
+					t.Fatalf("workers=%d spans=%v: component %d = %d, want %d",
+						w, spans, i, got.Get(i), seq.Get(i))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package parallel is EdgeHD's deterministic parallel execution engine:
+// a small worker pool that fans chunked map work over goroutines while
+// guaranteeing that every output is byte-identical to the sequential
+// path, for any worker count.
+//
+// The determinism contract rests on three rules:
+//
+//  1. Chunk boundaries depend only on the input length — never on the
+//     worker count — so the same input always splits the same way
+//     ([Chunks]).
+//  2. Workers write results into chunk-indexed slots; reductions
+//     consume those slots in fixed chunk order, never in completion
+//     order ([Pool.RunChunks], [Pool.SumAccs]).
+//  3. Randomness never crosses goroutines: callers derive one seeded
+//     sub-stream per chunk up front via [SubSources] (which wraps
+//     rng.Source.Split) and hand stream i to chunk i.
+//
+// Under those rules the only parallel-order-dependent operation left is
+// integer accumulation, which is associative and commutative, so the
+// fan-out is invisible in the results. Float reductions (dot products,
+// normalization) are deliberately NOT chunked by this package — float
+// addition does not commute bitwise, so those stay inside a chunk where
+// they run in the exact sequential order.
+//
+// A nil *Pool (and a 1-worker pool) executes everything inline in chunk
+// order — the exact legacy sequential path.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edgehd/internal/telemetry"
+)
+
+// Span is a half-open index range [Lo, Hi) over a slice of work items.
+type Span struct {
+	Lo, Hi int
+}
+
+// Len returns the number of items in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// maxChunks caps how many chunks an input splits into. The cap is a
+// fixed constant — independent of GOMAXPROCS and of the pool's worker
+// count — so chunk boundaries, per-chunk sub-seeds and reduction trees
+// are identical no matter how many workers execute them. 64 keeps
+// per-chunk scheduling overhead negligible while load-balancing well
+// past any worker count the hardware offers.
+const maxChunks = 64
+
+// Chunks splits n work items into at most maxChunks near-equal spans in
+// index order. The split depends only on n: callers can derive
+// per-chunk state (partial accumulators, rng sub-streams) knowing the
+// layout is stable across worker counts and runs.
+func Chunks(n int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	c := n
+	if c > maxChunks {
+		c = maxChunks
+	}
+	spans := make([]Span, c)
+	lo := 0
+	for i := 0; i < c; i++ {
+		// Distribute the remainder over the leading chunks so sizes
+		// differ by at most one.
+		hi := lo + n/c
+		if i < n%c {
+			hi++
+		}
+		spans[i] = Span{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return spans
+}
+
+// ChunksOf splits n work items into spans of at most size items each,
+// in index order. Like Chunks, the layout depends only on the inputs.
+func ChunksOf(n, size int) []Span {
+	if n <= 0 || size <= 0 {
+		return nil
+	}
+	spans := make([]Span, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, Span{Lo: lo, Hi: hi})
+	}
+	return spans
+}
+
+// Pool executes chunked work over a fixed number of workers. A nil Pool
+// is valid and runs everything inline — the sequential path. Pools are
+// safe for concurrent use and may be shared across the whole stack.
+type Pool struct {
+	workers int
+	met     poolMetrics
+}
+
+// poolMetrics holds the pool's pre-resolved telemetry instruments. The
+// registry reference resolves per-stage histograms lazily (stage names
+// arrive at Run time); all instruments are nil, hence no-op, until
+// SetTelemetry attaches a registry.
+type poolMetrics struct {
+	reg         *telemetry.Registry
+	queueDepth  *telemetry.Gauge
+	runsTotal   *telemetry.Counter
+	chunksTotal *telemetry.Counter
+
+	mu     sync.Mutex
+	stages map[string]*telemetry.Histogram
+}
+
+// New returns a pool with the given worker count. Non-positive n
+// selects runtime.GOMAXPROCS(0); n == 1 yields a pool whose every Run
+// executes inline in chunk order — the exact legacy sequential path.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count (1 on a nil receiver, which
+// executes sequentially).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// SetTelemetry attaches a metrics registry; nil detaches it. Queue
+// depth surfaces as pool_queue_depth, per-stage wall time as
+// pool_stage_seconds{stage="..."}, and run/chunk volume as
+// pool_runs_total / pool_chunks_total. Safe on a nil pool (no-op).
+func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
+	if p == nil {
+		return
+	}
+	p.met = poolMetrics{
+		reg:         reg,
+		queueDepth:  reg.Gauge("pool_queue_depth"),
+		runsTotal:   reg.Counter("pool_runs_total"),
+		chunksTotal: reg.Counter("pool_chunks_total"),
+	}
+	if reg != nil {
+		p.met.stages = make(map[string]*telemetry.Histogram)
+	}
+}
+
+// stageHist resolves (and caches) the wall-time histogram for a stage.
+func (p *Pool) stageHist(stage string) *telemetry.Histogram {
+	if p == nil || p.met.reg == nil {
+		return nil
+	}
+	p.met.mu.Lock()
+	defer p.met.mu.Unlock()
+	h, ok := p.met.stages[stage]
+	if !ok {
+		h = p.met.reg.Histogram("pool_stage_seconds", telemetry.L("stage", stage))
+		p.met.stages[stage] = h
+	}
+	return h
+}
+
+// Run splits n items via Chunks and calls fn once per chunk with its
+// [lo, hi) range. With more than one worker the chunks execute
+// concurrently; fn must only write to item-indexed or chunk-indexed
+// slots. Run returns once every chunk completed. stage labels the
+// pool_stage_seconds telemetry series.
+func (p *Pool) Run(stage string, n int, fn func(lo, hi int)) {
+	p.RunChunks(stage, Chunks(n), func(_ int, s Span) { fn(s.Lo, s.Hi) })
+}
+
+// RunErr is Run for chunk bodies that can fail. Every chunk still
+// executes; the returned error is the first failure in chunk order
+// (never completion order), so error reporting is as deterministic as
+// the data path.
+func (p *Pool) RunErr(stage string, n int, fn func(lo, hi int) error) error {
+	spans := Chunks(n)
+	if len(spans) == 0 {
+		return nil
+	}
+	errs := make([]error, len(spans))
+	p.RunChunks(stage, spans, func(ci int, s Span) {
+		errs[ci] = fn(s.Lo, s.Hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunChunks executes fn once per span, passing the chunk index so the
+// body can address chunk-indexed state (partial accumulators, rng
+// sub-streams). Chunks are claimed from a queue in index order; with a
+// nil pool, one worker, or a single span, everything runs inline in
+// index order.
+func (p *Pool) RunChunks(stage string, spans []Span, fn func(ci int, s Span)) {
+	if len(spans) == 0 {
+		return
+	}
+	var stop func()
+	if p != nil {
+		p.met.runsTotal.Inc()
+		p.met.chunksTotal.Add(int64(len(spans)))
+		stop = p.stageHist(stage).StartTimer()
+	}
+	w := p.Workers()
+	if w > len(spans) {
+		w = len(spans)
+	}
+	if w <= 1 {
+		for ci, s := range spans {
+			fn(ci, s)
+		}
+		if stop != nil {
+			stop()
+		}
+		return
+	}
+	// Fresh goroutines per call keep nested Run calls (a parallel
+	// hierarchy query inside a parallel accuracy sweep) deadlock-free:
+	// there is no fixed worker set to exhaust.
+	jobs := make(chan int, len(spans))
+	for ci := range spans {
+		jobs <- ci
+	}
+	close(jobs)
+	p.met.queueDepth.Set(float64(len(spans)))
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				p.met.queueDepth.Add(-1)
+				fn(ci, spans[ci])
+			}
+		}()
+	}
+	wg.Wait()
+	p.met.queueDepth.Set(0)
+	if stop != nil {
+		stop()
+	}
+}
+
+// Validate reports an error for a negative worker count that a caller
+// passed through from configuration (0 means "auto" and is fine).
+func Validate(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("parallel: negative worker count %d", workers)
+	}
+	return nil
+}
