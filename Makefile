@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build lint test race cover fuzz bench-smoke bench bench-parallel clean
+.PHONY: check vet build lint test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-gate clean
 
 # Tier-1 gate: everything CI needs to pass, plus a short instrumented
-# bench run that leaves a machine-readable metrics snapshot behind.
-check: vet build lint race cover bench-smoke
+# bench run that leaves a machine-readable metrics snapshot behind, and
+# the perf-regression gate against the committed BENCH_hier.json.
+check: vet build lint race cover bench-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -47,7 +48,7 @@ bench-smoke:
 		-epochs 3 -metrics-out BENCH_smoke.json
 
 # Full benchmark suite (one bench per table/figure plus kernels).
-bench: bench-parallel
+bench: bench-parallel bench-hier
 	$(GO) test -bench=. -benchmem -run=XXX .
 
 # Parallel-engine speedup report: batch encode and hierarchy training
@@ -55,6 +56,17 @@ bench: bench-parallel
 # with the host's core count (≈1.0x is expected on one core).
 bench-parallel:
 	$(GO) run ./cmd/benchpar
+
+# Refresh the committed perf baseline: routed inference at D=4096 over
+# star/tree/depth-3 topologies (wall, bytes/query, allocs/op, p95).
+bench-hier:
+	$(GO) run ./cmd/benchdiff -emit
+
+# Perf-regression gate: re-bench and diff against the committed
+# baseline. Warns above 5% (soft), fails the build above 15% (hard);
+# timing metrics carry a 4x noise allowance — see cmd/benchdiff.
+bench-gate:
+	$(GO) run ./cmd/benchdiff -check
 
 clean:
 	rm -f BENCH_smoke.json cover.out

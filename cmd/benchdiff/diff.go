@@ -1,0 +1,129 @@
+package main
+
+import "fmt"
+
+// Schema versions the BENCH_hier.json layout; Compare refuses to diff
+// across schema versions, so a layout change forces a fresh baseline
+// instead of silently comparing incompatible numbers.
+const Schema = "edgehd.bench_hier/v1"
+
+// Report is the BENCH_hier.json layout.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Dim        int      `json:"dim"`
+	Train      int      `json:"train_samples"`
+	Queries    int      `json:"queries"`
+	Reps       int      `json:"reps"`
+	CPUs       int      `json:"cpus"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// Result is one topology's measurement.
+type Result struct {
+	Topology string `json:"topology"`
+	Levels   int    `json:"levels"`
+	// WallSecs is the best-of-reps wall time for the full query sweep.
+	WallSecs float64 `json:"wall_secs"`
+	// BytesPerQuery is deterministic (InferCommBytes over the routed
+	// path), so any drift here is a real protocol change, not noise.
+	BytesPerQuery float64 `json:"bytes_per_query"`
+	// AllocsPerOp is heap allocations per query at Workers=1.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// P95InferSeconds is the 95th-percentile infer-span latency from the
+	// telemetry histogram over the measured queries.
+	P95InferSeconds float64 `json:"p95_infer_seconds"`
+}
+
+// Verdict classifies one metric comparison.
+const (
+	VerdictOK   = "ok"
+	VerdictWarn = "warn"
+	VerdictFail = "fail"
+)
+
+// Delta is one compared metric.
+type Delta struct {
+	Topology string
+	Metric   string
+	Base     float64
+	Cand     float64
+	// Pct is the relative change in percent; positive means the
+	// candidate is worse (higher).
+	Pct     float64
+	Verdict string
+}
+
+// metrics lists the gated fields of a Result. All four are
+// higher-is-worse. noise scales the warn/fail thresholds for the
+// metric: bytes_per_query and allocs_per_op are deterministic (any
+// drift is a real code change) so they gate at the configured
+// thresholds, while the wall-clock metrics swing ±35% run-to-run on a
+// shared single-CPU host even with best-of-reps sampling, so their
+// thresholds are widened 4x — still catching order-of-magnitude
+// slowdowns without flaking on scheduler noise.
+var metrics = []struct {
+	name  string
+	noise float64
+	get   func(Result) float64
+}{
+	{"wall_secs", 4, func(r Result) float64 { return r.WallSecs }},
+	{"bytes_per_query", 1, func(r Result) float64 { return r.BytesPerQuery }},
+	{"allocs_per_op", 1, func(r Result) float64 { return r.AllocsPerOp }},
+	{"p95_infer_seconds", 4, func(r Result) float64 { return r.P95InferSeconds }},
+}
+
+// Compare diffs a candidate report against a baseline: every topology
+// present in the baseline must appear in the candidate, and each gated
+// metric is classified ok/warn/fail by its relative regression.
+// Improvements are always ok, whatever their size.
+func Compare(base, cand *Report, warnPct, failPct float64) ([]Delta, error) {
+	if base.Schema != Schema {
+		return nil, fmt.Errorf("baseline schema %q, tool speaks %q — regenerate with `make bench`", base.Schema, Schema)
+	}
+	if cand.Schema != Schema {
+		return nil, fmt.Errorf("candidate schema %q, tool speaks %q", cand.Schema, Schema)
+	}
+	if base.Dim != cand.Dim || base.Queries != cand.Queries {
+		return nil, fmt.Errorf("shape mismatch: baseline dim=%d queries=%d vs candidate dim=%d queries=%d",
+			base.Dim, base.Queries, cand.Dim, cand.Queries)
+	}
+	candByTopo := make(map[string]Result, len(cand.Results))
+	for _, r := range cand.Results {
+		candByTopo[r.Topology] = r
+	}
+	var deltas []Delta
+	for _, b := range base.Results {
+		c, ok := candByTopo[b.Topology]
+		if !ok {
+			return nil, fmt.Errorf("candidate is missing topology %q", b.Topology)
+		}
+		for _, m := range metrics {
+			deltas = append(deltas, compareMetric(b.Topology, m.name, m.get(b), m.get(c), warnPct*m.noise, failPct*m.noise))
+		}
+	}
+	return deltas, nil
+}
+
+// compareMetric classifies one base/candidate pair.
+func compareMetric(topo, name string, base, cand, warnPct, failPct float64) Delta {
+	d := Delta{Topology: topo, Metric: name, Base: base, Cand: cand, Verdict: VerdictOK}
+	switch {
+	case base == 0 && cand == 0:
+		return d
+	case base == 0:
+		// A metric appearing from nothing cannot be expressed as a
+		// percentage; treat it as a hard regression.
+		d.Pct = 100
+		d.Verdict = VerdictFail
+		return d
+	}
+	d.Pct = (cand - base) / base * 100
+	switch {
+	case d.Pct > failPct:
+		d.Verdict = VerdictFail
+	case d.Pct > warnPct:
+		d.Verdict = VerdictWarn
+	}
+	return d
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineReport() *Report {
+	return &Report{
+		Schema: Schema, Dim: 4096, Queries: 100, Reps: 3,
+		Results: []Result{
+			{Topology: "star", Levels: 2, WallSecs: 1.0, BytesPerQuery: 2048, AllocsPerOp: 300, P95InferSeconds: 0.012},
+			{Topology: "tree", Levels: 3, WallSecs: 1.4, BytesPerQuery: 3072, AllocsPerOp: 340, P95InferSeconds: 0.015},
+		},
+	}
+}
+
+// scale returns a copy of the report with one topology mutated — the
+// synthetic-regression injector.
+func scale(rep *Report, topo string, mutate func(*Result)) *Report {
+	out := *rep
+	out.Results = append([]Result(nil), rep.Results...)
+	for i := range out.Results {
+		if out.Results[i].Topology == topo {
+			mutate(&out.Results[i])
+		}
+	}
+	return &out
+}
+
+func verdictOf(t *testing.T, deltas []Delta, topo, metric string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Topology == topo && d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s/%s", topo, metric)
+	return Delta{}
+}
+
+func TestCompareIdenticalReportsPass(t *testing.T) {
+	base := baselineReport()
+	deltas, err := Compare(base, base, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 8 { // 2 topologies x 4 metrics
+		t.Fatalf("got %d deltas, want 8", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.Verdict != VerdictOK {
+			t.Fatalf("identical reports produced %s on %s/%s", d.Verdict, d.Topology, d.Metric)
+		}
+	}
+}
+
+func TestCompareInjectedRegressionFails(t *testing.T) {
+	base := baselineReport()
+	// 20% more wire bytes on tree: bytes_per_query is a deterministic
+	// metric gated at the raw 15% fail threshold.
+	cand := scale(base, "tree", func(r *Result) { r.BytesPerQuery *= 1.20 })
+	deltas, err := Compare(base, cand, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := verdictOf(t, deltas, "tree", "bytes_per_query")
+	if d.Verdict != VerdictFail {
+		t.Fatalf("20%% regression classified %s (pct %.1f), want fail", d.Verdict, d.Pct)
+	}
+	// Exactly the acceptance scenario: the gate must exit non-zero.
+	if err := reportDeltas(base, cand, 5, 15); err == nil {
+		t.Fatal("reportDeltas accepted a 20% regression")
+	}
+}
+
+func TestCompareWarnBand(t *testing.T) {
+	base := baselineReport()
+	// 8% more allocations: above warn, below fail.
+	cand := scale(base, "star", func(r *Result) { r.AllocsPerOp *= 1.08 })
+	deltas, err := Compare(base, cand, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := verdictOf(t, deltas, "star", "allocs_per_op"); d.Verdict != VerdictWarn {
+		t.Fatalf("8%% regression classified %s, want warn", d.Verdict)
+	}
+	// Warnings are soft: the gate still passes.
+	if err := reportDeltas(base, cand, 5, 15); err != nil {
+		t.Fatalf("warn-band regression failed the gate: %v", err)
+	}
+}
+
+func TestCompareTimingNoiseTolerance(t *testing.T) {
+	base := baselineReport()
+	// Timing metrics carry a 4x noise multiplier: a 35% wall-time swing
+	// (ordinary scheduler noise on a shared single-CPU host) must not
+	// fail the gate, but a 2x slowdown must.
+	noisy := scale(base, "tree", func(r *Result) { r.WallSecs *= 1.35 })
+	deltas, err := Compare(base, noisy, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := verdictOf(t, deltas, "tree", "wall_secs"); d.Verdict == VerdictFail {
+		t.Fatalf("35%% wall swing classified fail (pct %.1f); timing noise must not flake the gate", d.Pct)
+	}
+	if err := reportDeltas(base, noisy, 5, 15); err != nil {
+		t.Fatalf("timing noise failed the gate: %v", err)
+	}
+	slow := scale(base, "tree", func(r *Result) { r.P95InferSeconds *= 2.0 })
+	deltas, err = Compare(base, slow, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := verdictOf(t, deltas, "tree", "p95_infer_seconds"); d.Verdict != VerdictFail {
+		t.Fatalf("2x p95 slowdown classified %s, want fail", d.Verdict)
+	}
+}
+
+func TestCompareImprovementAlwaysOK(t *testing.T) {
+	base := baselineReport()
+	cand := scale(base, "tree", func(r *Result) { r.WallSecs *= 0.5 }) // 2x faster
+	deltas, err := Compare(base, cand, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := verdictOf(t, deltas, "tree", "wall_secs"); d.Verdict != VerdictOK || d.Pct >= 0 {
+		t.Fatalf("improvement classified %s pct=%.1f", d.Verdict, d.Pct)
+	}
+}
+
+func TestCompareSchemaAndShapeGuards(t *testing.T) {
+	base := baselineReport()
+	wrongSchema := *base
+	wrongSchema.Schema = "edgehd.bench_hier/v0"
+	if _, err := Compare(&wrongSchema, base, 5, 15); err == nil {
+		t.Fatal("baseline schema mismatch accepted")
+	}
+	if _, err := Compare(base, &wrongSchema, 5, 15); err == nil {
+		t.Fatal("candidate schema mismatch accepted")
+	}
+	wrongDim := *base
+	wrongDim.Dim = 2048
+	if _, err := Compare(base, &wrongDim, 5, 15); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	missing := *base
+	missing.Results = base.Results[:1]
+	if _, err := Compare(base, &missing, 5, 15); err == nil {
+		t.Fatal("missing topology accepted")
+	}
+}
+
+func TestCompareMetricAppearingFromZeroFails(t *testing.T) {
+	d := compareMetric("star", "allocs_per_op", 0, 10, 5, 15)
+	if d.Verdict != VerdictFail {
+		t.Fatalf("0 -> 10 classified %s, want fail", d.Verdict)
+	}
+	if d := compareMetric("star", "allocs_per_op", 0, 0, 5, 15); d.Verdict != VerdictOK {
+		t.Fatalf("0 -> 0 classified %s, want ok", d.Verdict)
+	}
+}
+
+func TestReportFileRoundTrip(t *testing.T) {
+	base := baselineReport()
+	path := filepath.Join(t.TempDir(), "BENCH_hier.json")
+	if err := writeReport(path, base); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Results) != 2 || got.Results[1].WallSecs != 1.4 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if _, err := readReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing report accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReport(bad); err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("corrupt report error = %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+// Command benchdiff is the repo's perf-regression gate. It benchmarks
+// the routed-inference pipeline (hierarchy.Infer) at D=4096 over three
+// topologies — star, tree, and a depth-3 grouped hierarchy — recording
+// wall time, wire bytes per query, allocations per query, and the p95
+// infer latency from the telemetry histogram, and writes the result as
+// a schema-versioned BENCH_hier.json. In diff mode it compares two such
+// reports with noise-aware thresholds: a metric more than -fail percent
+// worse than baseline fails the gate (exit 1), more than -warn percent
+// worse prints a warning (exit 0). Deterministic metrics
+// (bytes_per_query, allocs_per_op) gate at the raw thresholds; the
+// wall-clock metrics (wall_secs, p95_infer_seconds) gate at 4x the
+// thresholds to absorb shared-host scheduler noise.
+//
+// Usage:
+//
+//	benchdiff -emit [-out BENCH_hier.json]      # run benches, write report
+//	benchdiff -baseline a.json -candidate b.json # diff two reports
+//	benchdiff -check [-baseline BENCH_hier.json] # fresh run vs committed baseline
+//
+// `make bench` emits the committed baseline; `make check` runs -check
+// so every PR is judged against the trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"edgehd/internal/dataset"
+	"edgehd/internal/hierarchy"
+	"edgehd/internal/netsim"
+	"edgehd/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	emit := fs.Bool("emit", false, "run the benchmarks and write the report to -out")
+	check := fs.Bool("check", false, "run the benchmarks and diff against -baseline")
+	out := fs.String("out", "BENCH_hier.json", "report path for -emit")
+	baseline := fs.String("baseline", "BENCH_hier.json", "baseline report to diff against")
+	candidate := fs.String("candidate", "", "candidate report to diff (instead of a fresh run)")
+	dim := fs.Int("dim", 4096, "central hypervector dimensionality D")
+	train := fs.Int("train", 240, "training samples")
+	queries := fs.Int("queries", 100, "inference queries per topology")
+	reps := fs.Int("reps", 5, "measurement repetitions (best rep wins)")
+	warnPct := fs.Float64("warn", 5, "warn when a metric regresses more than this percent")
+	failPct := fs.Float64("fail", 15, "fail when a metric regresses more than this percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := benchConfig{Dim: *dim, Train: *train, Queries: *queries, Reps: *reps}
+	switch {
+	case *emit:
+		rep, err := runBenchmarks(cfg)
+		if err != nil {
+			return err
+		}
+		if err := writeReport(*out, rep); err != nil {
+			return err
+		}
+		fmt.Printf("benchdiff: wrote %s (%d topologies, dim %d)\n", *out, len(rep.Results), rep.Dim)
+		return nil
+	case *candidate != "":
+		base, err := readReport(*baseline)
+		if err != nil {
+			return err
+		}
+		cand, err := readReport(*candidate)
+		if err != nil {
+			return err
+		}
+		return reportDeltas(base, cand, *warnPct, *failPct)
+	case *check:
+		base, err := readReport(*baseline)
+		if err != nil {
+			return fmt.Errorf("reading committed baseline (run `make bench` to create it): %w", err)
+		}
+		// Benchmark at the baseline's own shape so the comparison is
+		// apples to apples even if flags drift.
+		cfg = benchConfig{Dim: base.Dim, Train: base.Train, Queries: base.Queries, Reps: *reps}
+		cand, err := runBenchmarks(cfg)
+		if err != nil {
+			return err
+		}
+		return reportDeltas(base, cand, *warnPct, *failPct)
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -emit, -check or -candidate is required")
+	}
+}
+
+// reportDeltas prints the comparison table and returns an error (non-
+// zero exit) when any metric crosses the fail threshold.
+func reportDeltas(base, cand *Report, warnPct, failPct float64) error {
+	deltas, err := Compare(base, cand, warnPct, failPct)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, d := range deltas {
+		marker := " "
+		switch d.Verdict {
+		case VerdictWarn:
+			marker = "~"
+		case VerdictFail:
+			marker = "!"
+			failed++
+		}
+		fmt.Printf("%s %-8s %-20s base=%-12.6g cand=%-12.6g %+.1f%%\n",
+			marker, d.Topology, d.Metric, d.Base, d.Cand, d.Pct)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", failed, failPct)
+	}
+	fmt.Printf("benchdiff: %d metrics within thresholds (warn %.0f%%, fail %.0f%%)\n", len(deltas), warnPct, failPct)
+	return nil
+}
+
+// benchConfig shapes one benchmark sweep.
+type benchConfig struct {
+	Dim     int
+	Train   int
+	Queries int
+	Reps    int
+}
+
+// runBenchmarks measures every topology and assembles the report.
+func runBenchmarks(cfg benchConfig) (*Report, error) {
+	spec, err := dataset.ByName("PDP")
+	if err != nil {
+		return nil, err
+	}
+	d := spec.Generate(42, dataset.Options{MaxTrain: cfg.Train, MaxTest: cfg.Queries})
+	topos := []struct {
+		name  string
+		build func() (*netsim.Topology, error)
+	}{
+		{"star", func() (*netsim.Topology, error) { return netsim.Star(spec.EndNodes, netsim.Wired1G()) }},
+		{"tree", func() (*netsim.Topology, error) { return netsim.Tree(spec.EndNodes, 2, netsim.Wired1G()) }},
+		{"depth3", func() (*netsim.Topology, error) { return netsim.Grouped(spec.EndNodes, 4, netsim.Wired1G()) }},
+	}
+	rep := &Report{
+		Schema:     Schema,
+		Dim:        cfg.Dim,
+		Train:      cfg.Train,
+		Queries:    cfg.Queries,
+		Reps:       cfg.Reps,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, tp := range topos {
+		topo, err := tp.build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := benchTopology(tp.name, topo, d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("topology %s: %w", tp.name, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// benchTopology trains one hierarchy and measures the inference path.
+// Workers is pinned to 1 so allocation counts are not polluted by
+// scheduler goroutines and wall times are comparable across hosts.
+func benchTopology(name string, topo *netsim.Topology, d *dataset.Dataset, cfg benchConfig) (Result, error) {
+	sys, err := hierarchy.BuildForDataset(topo, d, hierarchy.Config{
+		TotalDim: cfg.Dim, Seed: 7, RetrainEpochs: 2, Workers: 1,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := sys.Train(d.TrainX, d.TrainY); err != nil {
+		return Result{}, err
+	}
+	entries := len(topo.EndNodes)
+	queries := d.TestX
+	if len(queries) == 0 {
+		return Result{}, fmt.Errorf("no test queries generated")
+	}
+	// Warm up untimed and untraced: fills encoder caches and page-faults.
+	for i := 0; i < entries && i < len(queries); i++ {
+		if _, err := sys.Infer(queries[i], i%entries); err != nil {
+			return Result{}, err
+		}
+	}
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	best := 0.0
+	bestP95 := 0.0
+	var wireBytes int64
+	var allocsPerOp float64
+	for rep := 0; rep < reps; rep++ {
+		// A fresh registry per rep so the p95, like the wall time, is a
+		// best-of-reps figure — scheduling noise in one rep cannot
+		// contaminate the others' quantiles.
+		reg := telemetry.New()
+		sys.SetTelemetry(reg, telemetry.NewTracer(16, reg))
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		wireBytes = 0
+		start := time.Now()
+		for i, x := range queries {
+			res, err := sys.Infer(x, i%entries)
+			if err != nil {
+				return Result{}, err
+			}
+			wireBytes += res.WireBytes
+		}
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		p95 := reg.Histogram("span_seconds", telemetry.L("span", "infer")).Stat().P95
+		if rep == 0 || wall < best {
+			best = wall
+			allocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(len(queries))
+		}
+		if rep == 0 || p95 < bestP95 {
+			bestP95 = p95
+		}
+	}
+	return Result{
+		Topology:        name,
+		Levels:          topo.NumLevels(),
+		WallSecs:        best,
+		BytesPerQuery:   float64(wireBytes) / float64(len(queries)),
+		AllocsPerOp:     allocsPerOp,
+		P95InferSeconds: bestP95,
+	}, nil
+}
+
+func writeReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing report: %w", err)
+	}
+	return nil
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -9,11 +9,15 @@
 //	       [-workers N] [-online] [-debug-addr localhost:6060]
 //	       [-metrics-out FILE]
 //
-// With -debug-addr a debug HTTP server exposes the live metrics
-// registry (/debug/metrics), recent trace spans (/debug/spans), expvar
-// (/debug/vars) and pprof (/debug/pprof/). With -metrics-out a JSON
-// snapshot of all metrics and retained spans is written at exit, so
-// benchmark runs produce machine-readable BENCH_*.json trajectories.
+// With -debug-addr a debug HTTP server exposes the OpenMetrics
+// exposition (/metrics, scrapeable by Prometheus), the live metrics
+// registry (/debug/metrics), recent trace spans (/debug/spans),
+// assembled trace trees (/debug/trace/{id}), expvar (/debug/vars) and
+// pprof (/debug/pprof/); a runtime collector samples process health
+// (heap, GC pauses, goroutines, CPU) into the registry once a second
+// while the server is up. With -metrics-out a JSON snapshot of all
+// metrics and retained spans is written at exit, so benchmark runs
+// produce machine-readable BENCH_*.json trajectories.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"edgehd"
 	"edgehd/internal/telemetry"
@@ -67,7 +72,11 @@ func run(args []string) error {
 		}
 		defer srv.Close()
 		reg.Publish("edgehd")
-		fmt.Printf("debug server listening on http://%s/ (metrics, spans, expvar, pprof)\n", srv.Addr())
+		// Runtime health (heap, GC, goroutines, CPU) rides along in the
+		// same registry while the server is scrapeable.
+		stopCollector := telemetry.NewCollector(reg).Start(time.Second)
+		defer stopCollector()
+		fmt.Printf("debug server listening on http://%s/ (OpenMetrics at /metrics; spans, traces, expvar, pprof under /debug/)\n", srv.Addr())
 	}
 	if *metricsOut != "" {
 		defer func() {

@@ -9,9 +9,13 @@
 //	fedlearn [-dataset APRI] [-workers 4] [-dim 4000] [-train 600]
 //	         [-test 250] [-seed 42] [-debug-addr ADDR] [-metrics-out FILE]
 //
-// -debug-addr serves live metrics, expvar and pprof while the round
-// runs; -metrics-out writes a JSON telemetry snapshot (per-worker
-// encode/predict/training counters) at exit.
+// -debug-addr serves the OpenMetrics exposition (/metrics), live
+// metrics, trace trees (/debug/trace/{id}), expvar and pprof while the
+// round runs; -metrics-out writes a JSON telemetry snapshot (per-worker
+// encode/predict/training counters) at exit. Every round shares one
+// distributed trace: push/aggregate/broadcast/pull spans from all
+// workers and the aggregator link to a common trace id, printed at the
+// end of the round.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"edgehd/internal/cluster"
 	"edgehd/internal/dataset"
@@ -42,8 +47,9 @@ func run(args []string) error {
 	train := fs.Int("train", 600, "total training samples (split across workers)")
 	test := fs.Int("test", 250, "test samples")
 	seed := fs.Uint64("seed", 42, "random seed")
-	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, expvar and pprof on this address")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/metrics, trace trees, expvar and pprof on this address")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
+	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,21 +58,25 @@ func run(args []string) error {
 	}
 
 	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
 	if *debugAddr != "" || *metricsOut != "" {
 		reg = telemetry.New()
+		tracer = telemetry.NewTracer(*traceCap, reg)
 	}
 	if *debugAddr != "" {
-		srv, err := telemetry.ServeDebug(*debugAddr, reg, nil)
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		reg.Publish("fedlearn")
-		fmt.Printf("debug server listening on http://%s/\n", srv.Addr())
+		stopCollector := telemetry.NewCollector(reg).Start(time.Second)
+		defer stopCollector()
+		fmt.Printf("debug server listening on http://%s/ (OpenMetrics at /metrics)\n", srv.Addr())
 	}
 	if *metricsOut != "" {
 		defer func() {
-			if err := telemetry.WriteSnapshotFile(*metricsOut, reg, nil); err != nil {
+			if err := telemetry.WriteSnapshotFile(*metricsOut, reg, tracer); err != nil {
 				fmt.Fprintln(os.Stderr, "fedlearn:", err)
 			} else {
 				fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
@@ -84,7 +94,14 @@ func run(args []string) error {
 		Classes:     spec.Classes,
 		Dim:         *dim,
 		EncoderSeed: *seed + 1,
+		Tracer:      tracer,
 	}
+
+	// One distributed trace spans the whole round: every worker's push
+	// and pull, and the aggregator's merges and broadcasts, link back to
+	// this root via the trace blocks on the wire frames.
+	round := tracer.NewTrace()
+	roundSpan := tracer.StartSpan("federated_round", round)
 
 	// Shard the training data round-robin.
 	shards := make([]cluster.Shard, *workers)
@@ -115,6 +132,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	agg.SetTracer(tracer)
 	release := make(chan struct{})
 	merged := make(chan error, *workers)
 	var serveWG sync.WaitGroup
@@ -159,6 +177,7 @@ func run(args []string) error {
 				return
 			}
 			w.Classifier().SetTelemetry(reg)
+			w.SetTrace(round)
 			if err := w.Train(shard.X, shard.Y); err != nil {
 				workerErrs <- err
 				return
@@ -194,6 +213,10 @@ func run(args []string) error {
 		return err
 	default:
 	}
+	roundSpan.SetInt("workers", int64(*workers)).End()
 	fmt.Printf("aggregator merged %d models\n", agg.Received())
+	if round.Valid() {
+		fmt.Printf("round trace %016x (inspect at /debug/trace/%016x)\n", round.TraceID, round.TraceID)
+	}
 	return nil
 }

@@ -43,7 +43,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 42, "random seed")
 	workers := fs.Int("workers", 0, "parallel engine width for EdgeHD pipelines (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	full := fs.Bool("full", false, "paper-scale profile (slower)")
-	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans, expvar and pprof on this address")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/metrics, /debug/spans, trace trees, expvar and pprof on this address")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics+spans snapshot to this file at exit")
 	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
 	if err := fs.Parse(args); err != nil {
@@ -66,7 +66,9 @@ func run(args []string) error {
 		}
 		defer srv.Close()
 		reg.Publish("paper")
-		fmt.Printf("debug server listening on http://%s/\n", srv.Addr())
+		stopCollector := telemetry.NewCollector(reg).Start(time.Second)
+		defer stopCollector()
+		fmt.Printf("debug server listening on http://%s/ (OpenMetrics at /metrics)\n", srv.Addr())
 	}
 	if *metricsOut != "" {
 		defer func() {

@@ -23,6 +23,7 @@ import (
 	"edgehd/internal/encoding"
 	"edgehd/internal/hdc"
 	"edgehd/internal/parallel"
+	"edgehd/internal/telemetry"
 	"edgehd/internal/wire"
 )
 
@@ -43,6 +44,10 @@ type Config struct {
 	// Default 0 (initial bundling only — retraining before merging
 	// breaks the merge-equals-joint-training identity).
 	LocalEpochs int
+	// Tracer records distributed-trace spans for every push, merge, and
+	// broadcast, stitched across connections by the wire trace header.
+	// Nil disables tracing (zero overhead: no trace block is emitted).
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -62,6 +67,10 @@ func (c Config) withDefaults() (Config, error) {
 type Worker struct {
 	cfg Config
 	clf *core.Classifier
+	// trace is the round's trace context; Push/Pull open child spans of
+	// it and attach their contexts to the frames they write. Zero when
+	// tracing is off.
+	trace telemetry.TraceContext
 }
 
 // NewWorker constructs a worker for the shared configuration.
@@ -106,21 +115,73 @@ func (w *Worker) Model() *core.Model { return w.clf.Model() }
 // Classifier exposes the worker's classifier (for evaluation).
 func (w *Worker) Classifier() *core.Classifier { return w.clf }
 
+// SetTrace binds the worker to a round trace: subsequent Push/Pull
+// calls open child spans and stamp their frames with the context.
+func (w *Worker) SetTrace(tc telemetry.TraceContext) { w.trace = tc }
+
+// frameTrace returns the pointer wire.Write expects: nil for the zero
+// context so untraced frames stay byte-identical to pre-trace encoding.
+func frameTrace(tc telemetry.TraceContext) *telemetry.TraceContext {
+	if !tc.Valid() {
+		return nil
+	}
+	return &tc
+}
+
+// countWriter counts bytes passing through to the underlying writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// countReader counts bytes read from the underlying reader.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
 // Push writes the worker's model to the connection as a MsgModel frame.
+// With a round trace bound (SetTrace), the frame carries a child trace
+// context and the hop is recorded as a cluster_push span with the
+// frame's wire bytes.
 func (w *Worker) Push(conn io.Writer) error {
 	m := w.clf.Model()
 	accs := make([]hdc.Acc, m.Classes())
 	for c := range accs {
 		accs[c] = m.Class(c)
 	}
-	return wire.Write(conn, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Model: accs})
+	tc := w.trace.Child()
+	sp := w.cfg.Tracer.StartSpan("cluster_push", tc)
+	cw := &countWriter{w: conn}
+	err := wire.Write(cw, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Trace: frameTrace(tc), Model: accs})
+	sp.SetInt("wire_bytes", cw.n).End()
+	return err
 }
 
-// Pull reads a global model frame and installs it locally.
+// Pull reads a global model frame and installs it locally. A trace
+// context on the frame is recorded as a cluster_pull child span with
+// the hop's wire bytes.
 func (w *Worker) Pull(conn io.Reader) error {
-	msg, err := wire.Read(conn)
+	cr := &countReader{r: conn}
+	msg, err := wire.Read(cr)
 	if err != nil {
 		return err
+	}
+	if msg.Trace != nil {
+		w.cfg.Tracer.StartSpan("cluster_pull", msg.Trace.Child()).
+			SetInt("wire_bytes", cr.n).End()
 	}
 	if msg.Header.Type != wire.MsgModel {
 		return fmt.Errorf("cluster: expected model frame, got type %d", msg.Header.Type)
@@ -151,10 +212,15 @@ func installModel(m *core.Model, accs []hdc.Acc) error {
 type Aggregator struct {
 	dim, classes int
 	pool         *parallel.Pool
+	tracer       *telemetry.Tracer
 	mu           sync.Mutex
 	// partials[slot] is the parsed model pushed by the worker assigned
 	// to slot (nil until it reports).
 	partials []*core.Model
+	// traces[slot] is the trace context received with slot's model frame
+	// (zero when the frame was untraced), so the broadcast reply can
+	// continue the same trace back down.
+	traces   []telemetry.TraceContext
 	received int
 	// global is built lazily by the first Global call after collection,
 	// reducing the partials in slot order.
@@ -170,12 +236,21 @@ func NewAggregator(dim, classes, slots int) (*Aggregator, error) {
 	if slots < 1 {
 		return nil, fmt.Errorf("cluster: need at least one aggregation slot, got %d", slots)
 	}
-	return &Aggregator{dim: dim, classes: classes, pool: parallel.New(0), partials: make([]*core.Model, slots)}, nil
+	return &Aggregator{
+		dim: dim, classes: classes, pool: parallel.New(0),
+		partials: make([]*core.Model, slots),
+		traces:   make([]telemetry.TraceContext, slots),
+	}, nil
 }
 
 // SetPool replaces the pool used for the ordered merge reduction (nil
 // or one worker = sequential).
 func (a *Aggregator) SetPool(p *parallel.Pool) { a.pool = p }
+
+// SetTracer records aggregator-side spans (cluster_aggregate,
+// cluster_broadcast) on tr; frames received with a trace context join
+// the sender's trace. Nil disables aggregator-side spans.
+func (a *Aggregator) SetTracer(tr *telemetry.Tracer) { a.tracer = tr }
 
 // Global merges the collected partials in slot order and returns the
 // aggregate model. The reduction is an ordered tree over the slots, so
@@ -240,16 +315,28 @@ func (a *Aggregator) ServeOne(conn io.ReadWriter, slot int, merged chan<- error,
 	for c := range accs {
 		accs[c] = global.Class(c)
 	}
-	return wire.Write(conn, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Model: accs})
+	a.mu.Lock()
+	tc := a.traces[slot].Child()
+	a.mu.Unlock()
+	sp := a.tracer.StartSpan("cluster_broadcast", tc)
+	cw := &countWriter{w: conn}
+	err = wire.Write(cw, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Trace: frameTrace(tc), Model: accs})
+	sp.SetInt("slot", int64(slot)).SetInt("wire_bytes", cw.n).End()
+	return err
 }
 
 func (a *Aggregator) readIntoSlot(conn io.Reader, slot int) error {
 	if slot < 0 || slot >= len(a.partials) {
 		return fmt.Errorf("cluster: aggregation slot %d out of range [0,%d)", slot, len(a.partials))
 	}
-	msg, err := wire.Read(conn)
+	cr := &countReader{r: conn}
+	msg, err := wire.Read(cr)
 	if err != nil {
 		return fmt.Errorf("cluster: aggregator read: %w", err)
+	}
+	if msg.Trace != nil {
+		a.tracer.StartSpan("cluster_aggregate", msg.Trace.Child()).
+			SetInt("slot", int64(slot)).SetInt("wire_bytes", cr.n).End()
 	}
 	if msg.Header.Type != wire.MsgModel {
 		return fmt.Errorf("cluster: aggregator expected model frame, got type %d", msg.Header.Type)
@@ -267,6 +354,9 @@ func (a *Aggregator) readIntoSlot(conn io.Reader, slot int) error {
 		return fmt.Errorf("cluster: aggregation slot %d already reported", slot)
 	}
 	a.partials[slot] = partial
+	if msg.Trace != nil {
+		a.traces[slot] = *msg.Trace
+	}
 	a.received++
 	return nil
 }
@@ -290,18 +380,24 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 	if len(shards) == 0 {
 		return nil, nil, fmt.Errorf("cluster: no shards")
 	}
+	// One trace spans the whole round: every worker's push, the
+	// aggregator's merges, and the broadcast all parent back to it.
+	root := cfg.Tracer.NewTrace()
+	rootSpan := cfg.Tracer.StartSpan("federated_round", root)
 	workers := make([]*Worker, len(shards))
 	for i := range workers {
 		w, err := NewWorker(cfg)
 		if err != nil {
 			return nil, nil, err
 		}
+		w.SetTrace(root)
 		workers[i] = w
 	}
 	agg, err := NewAggregator(cfg.Dim, cfg.Classes, len(shards))
 	if err != nil {
 		return nil, nil, err
 	}
+	agg.SetTracer(cfg.Tracer)
 	release := make(chan struct{})
 	merged := make(chan error, len(shards))
 	errs := make(chan error, 2*len(shards))
@@ -345,6 +441,7 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 	}
 	close(release)
 	wg.Wait()
+	rootSpan.SetInt("workers", int64(len(shards))).End()
 	if mergeErr != nil {
 		return nil, nil, mergeErr
 	}

@@ -27,6 +27,11 @@ type InferResult struct {
 	// assemble the query hypervectors at every node visited: the sum of
 	// InferCommBytes over the escalation path.
 	WireBytes int64
+	// TraceID identifies the distributed trace this inference recorded
+	// (0 when no tracer is attached). The assembled trace — one root
+	// "infer" span with a chained "infer_hop" span per visited node — is
+	// retrievable via Tracer.TraceTree and /debug/trace/{id}.
+	TraceID uint64
 }
 
 // Infer runs the §IV-C confidence-routed inference for sample x,
@@ -36,34 +41,51 @@ type InferResult struct {
 // parent, which combines the query hypervectors of all its children and
 // tries again, up to the central node (which always answers).
 //
-// When telemetry is attached, each call records an "infer" span
-// (entry/resolve node, resolve level, escalations, per-hop confidence,
-// wire bytes) and updates the infer_* metrics; the traced wire bytes
-// agree with InferCommBytes by construction.
+// When telemetry is attached, each call opens one distributed trace: a
+// root "infer" span (entry/resolve node, resolve level, escalations,
+// per-hop confidence, wire bytes) with one "infer_hop" child per node
+// visited, each hop chained to the previous one and annotated with that
+// node's share of the wire bytes — the hops' wire_bytes sum to the
+// result's WireBytes (and so to InferCommBytes) by construction. The
+// trace id is returned in InferResult.TraceID and the assembled tree is
+// served at /debug/trace/{id}.
 func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 	if entry < 0 || entry >= len(s.leafIndex) {
 		return InferResult{}, fmt.Errorf("hierarchy: entry end node %d out of range", entry)
 	}
 	cur := s.leafIndex[entry]
-	sp := s.tracer.Start("infer")
+	root := s.tracer.NewTrace()
+	sp := s.tracer.StartSpan("infer", root)
 	sp.SetInt("entry_node", int64(cur.id))
 	level := 1
 	escal := 0
 	var wireBytes int64
+	// Each hop's span parents on the previous hop, so the trace tree
+	// mirrors the escalation path leaf → gateway → central.
+	hopParent := root
 	for {
+		hopCtx := hopParent.Child()
+		hop := s.tracer.StartSpan("infer_hop", hopCtx)
 		q, err := s.Query(cur.id, x)
 		if err != nil {
 			return InferResult{}, err
 		}
-		wireBytes += s.InferCommBytes(cur.id)
+		hopBytes := s.InferCommBytes(cur.id)
+		wireBytes += hopBytes
 		class, conf := cur.model.Confidence(q)
 		cur.hvOps.Add(int64(s.classes+1) * int64(cur.dim))
 		s.met.assocTotal.Add(1)
+		hop.SetInt("node", int64(cur.id)).
+			SetInt("level", int64(level)).
+			SetInt("wire_bytes", hopBytes).
+			SetFloat("confidence", conf).
+			End()
+		hopParent = hopCtx
 		if sp != nil {
 			sp.SetFloat(fmt.Sprintf("confidence.%d", escal), conf)
 		}
 		if conf >= s.cfg.ConfidenceThreshold || s.topo.Net.Parent(cur.id) == netsim.InvalidNode {
-			res := InferResult{Class: class, Node: cur.id, Level: level, Confidence: conf, Escalations: escal, WireBytes: wireBytes}
+			res := InferResult{Class: class, Node: cur.id, Level: level, Confidence: conf, Escalations: escal, WireBytes: wireBytes, TraceID: root.TraceID}
 			s.met.inferTotal.Add(1)
 			if escal == 0 {
 				s.met.inferLocal.Add(1)

@@ -1,0 +1,99 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"edgehd/internal/telemetry"
+)
+
+// TestInferTraceCoversEscalationPath forces a query entering at a leaf
+// of the 3-level tree all the way to the central node and checks the
+// recorded distributed trace: one trace id, one hop span per visited
+// node, hop wire bytes summing exactly to the result's WireBytes.
+func TestInferTraceCoversEscalationPath(t *testing.T) {
+	sys, d := trainedPDP(t, Config{TotalDim: 1000, Seed: 31, RetrainEpochs: 1, ConfidenceThreshold: 1.01})
+	reg := telemetry.New()
+	tr := telemetry.NewTracer(64, reg)
+	sys.SetTelemetry(reg, tr)
+	res, err := sys.Infer(d.testX[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == 0 {
+		t.Fatal("traced inference returned no trace id")
+	}
+	if res.Node != sys.Topology().Central {
+		t.Fatalf("threshold > 1 did not reach central: %+v", res)
+	}
+	spans := tr.Trace(res.TraceID)
+	var hops []telemetry.Span
+	for _, s := range spans {
+		if s.Name == "infer_hop" {
+			hops = append(hops, s)
+		}
+	}
+	levels := sys.Topology().NumLevels()
+	if levels < 3 {
+		t.Fatalf("test topology has %d levels, want >= 3", levels)
+	}
+	if len(hops) != levels {
+		t.Fatalf("trace has %d hops, want one per level (%d)", len(hops), levels)
+	}
+	var hopBytes int64
+	for _, h := range hops {
+		b, ok := h.Int64Attr("wire_bytes")
+		if !ok {
+			t.Fatalf("hop span missing wire_bytes: %+v", h)
+		}
+		hopBytes += b
+	}
+	if hopBytes != res.WireBytes {
+		t.Fatalf("per-hop wire bytes sum %d != InferResult.WireBytes %d", hopBytes, res.WireBytes)
+	}
+	if want := sys.InferCommBytes(sys.Topology().Central) + sys.InferCommBytes(sys.Topology().Net.Parent(sys.Topology().EndNodes[0])); hopBytes != want {
+		t.Fatalf("hop bytes %d != path InferCommBytes %d", hopBytes, want)
+	}
+}
+
+// TestInferTraceTreeMirrorsEscalation checks the assembled tree shape:
+// the root "infer" span, then a chain of hop spans, one nested per
+// escalation.
+func TestInferTraceTreeMirrorsEscalation(t *testing.T) {
+	sys, d := trainedPDP(t, Config{TotalDim: 1000, Seed: 32, RetrainEpochs: 1, ConfidenceThreshold: 1.01})
+	tr := telemetry.NewTracer(64, nil)
+	sys.SetTelemetry(nil, tr)
+	res, err := sys.Infer(d.testX[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := tr.TraceTree(res.TraceID)
+	if len(tree) != 1 || tree[0].Name != "infer" {
+		t.Fatalf("trace tree should have the single infer root, got %d roots", len(tree))
+	}
+	depth := 0
+	for n := tree[0]; len(n.Children) > 0; n = n.Children[0] {
+		if len(n.Children) != 1 {
+			t.Fatalf("escalation chain must be linear, node %s has %d children", n.Name, len(n.Children))
+		}
+		if n.Children[0].Name != "infer_hop" {
+			t.Fatalf("unexpected child span %q", n.Children[0].Name)
+		}
+		depth++
+	}
+	if depth != res.Escalations+1 {
+		t.Fatalf("trace chain depth %d != visited nodes %d", depth, res.Escalations+1)
+	}
+}
+
+// TestInferUntracedHasZeroTraceID checks the disabled path: with no
+// tracer attached Infer must not allocate trace ids.
+func TestInferUntracedHasZeroTraceID(t *testing.T) {
+	sys, d := trainedPDP(t, Config{TotalDim: 500, Seed: 33, RetrainEpochs: 1})
+	res, err := sys.Infer(d.testX[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != 0 {
+		t.Fatalf("untraced inference invented trace id %016x", res.TraceID)
+	}
+}

@@ -72,6 +72,7 @@ func Default(modPath string) *Config {
 		TelemetryPackage: p("internal/telemetry"),
 		InstrumentTypes: []string{
 			"Registry", "Counter", "Gauge", "Histogram", "Tracer", "SpanHandle",
+			"Collector",
 		},
 	}
 }

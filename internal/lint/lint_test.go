@@ -331,6 +331,32 @@ func (c *Counter) Inc() { c.Add(1) }
 	}
 }
 
+func TestTelemetryNilCoversCollector(t *testing.T) {
+	// The runtime collector is an instrument type too: exported methods
+	// touching receiver fields without a nil guard must be flagged.
+	diags := byRule(checkFixture(t, map[string]string{
+		"internal/telemetry/collector.go": `package telemetry
+
+type Collector struct{ n int }
+
+func (c *Collector) Collect() { c.n++ }
+
+func (c *Collector) Guarded() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+`,
+	}), "telemetry-nil")
+	if len(diags) != 1 {
+		t.Fatalf("telemetry-nil diagnostics = %d, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "Collector.Collect") {
+		t.Errorf("diagnostic should name Collector.Collect, got %q", diags[0].Message)
+	}
+}
+
 func TestLoaderSkipsTestFiles(t *testing.T) {
 	// _test.go files are outside hdlint's scope (test helpers may panic
 	// freely), matching the loader's non-test package model.

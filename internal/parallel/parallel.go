@@ -102,18 +102,25 @@ type Pool struct {
 	met     poolMetrics
 }
 
-// poolMetrics holds the pool's pre-resolved telemetry instruments. The
-// registry reference resolves per-stage histograms lazily (stage names
-// arrive at Run time); all instruments are nil, hence no-op, until
-// SetTelemetry attaches a registry.
+// poolMetrics holds the pool's telemetry state. Every pool series is
+// labeled by stage — run/chunk volume, queue depth, and wall time all
+// resolve lazily per stage name at Run time — so the exposition breaks
+// pool load down by pipeline stage instead of one process-wide blob.
+// Everything is nil, hence no-op, until SetTelemetry attaches a
+// registry.
 type poolMetrics struct {
-	reg         *telemetry.Registry
-	queueDepth  *telemetry.Gauge
-	runsTotal   *telemetry.Counter
-	chunksTotal *telemetry.Counter
+	reg *telemetry.Registry
 
 	mu     sync.Mutex
-	stages map[string]*telemetry.Histogram
+	stages map[string]*stageInstruments
+}
+
+// stageInstruments is one stage's resolved label set.
+type stageInstruments struct {
+	runs   *telemetry.Counter
+	chunks *telemetry.Counter
+	queue  *telemetry.Gauge
+	hist   *telemetry.Histogram
 }
 
 // New returns a pool with the given worker count. Non-positive n
@@ -135,38 +142,46 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
-// SetTelemetry attaches a metrics registry; nil detaches it. Queue
-// depth surfaces as pool_queue_depth, per-stage wall time as
-// pool_stage_seconds{stage="..."}, and run/chunk volume as
-// pool_runs_total / pool_chunks_total. Safe on a nil pool (no-op).
+// SetTelemetry attaches a metrics registry; nil detaches it. Every
+// series is labeled per stage: run volume as
+// pool_runs_total{stage="..."}, chunk volume as
+// pool_chunks_total{stage="..."}, queue depth as
+// pool_queue_depth{stage="..."}, and wall time as
+// pool_stage_seconds{stage="..."}. Safe on a nil pool (no-op).
 func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
 	if p == nil {
 		return
 	}
-	p.met = poolMetrics{
-		reg:         reg,
-		queueDepth:  reg.Gauge("pool_queue_depth"),
-		runsTotal:   reg.Counter("pool_runs_total"),
-		chunksTotal: reg.Counter("pool_chunks_total"),
-	}
+	p.met = poolMetrics{reg: reg}
 	if reg != nil {
-		p.met.stages = make(map[string]*telemetry.Histogram)
+		p.met.stages = make(map[string]*stageInstruments)
+		reg.SetHelp("pool_runs_total", "pool Run invocations by pipeline stage")
+		reg.SetHelp("pool_chunks_total", "work chunks executed by pipeline stage")
+		reg.SetHelp("pool_queue_depth", "chunks waiting for a worker, by stage")
+		reg.SetHelp("pool_stage_seconds", "wall time of one pool run, by stage")
 	}
 }
 
-// stageHist resolves (and caches) the wall-time histogram for a stage.
-func (p *Pool) stageHist(stage string) *telemetry.Histogram {
+// stageMet resolves (and caches) the labeled instrument set for a
+// stage. Nil while telemetry is detached.
+func (p *Pool) stageMet(stage string) *stageInstruments {
 	if p == nil || p.met.reg == nil {
 		return nil
 	}
 	p.met.mu.Lock()
 	defer p.met.mu.Unlock()
-	h, ok := p.met.stages[stage]
+	si, ok := p.met.stages[stage]
 	if !ok {
-		h = p.met.reg.Histogram("pool_stage_seconds", telemetry.L("stage", stage))
-		p.met.stages[stage] = h
+		l := telemetry.L("stage", stage)
+		si = &stageInstruments{
+			runs:   p.met.reg.Counter("pool_runs_total", l),
+			chunks: p.met.reg.Counter("pool_chunks_total", l),
+			queue:  p.met.reg.Gauge("pool_queue_depth", l),
+			hist:   p.met.reg.Histogram("pool_stage_seconds", l),
+		}
+		p.met.stages[stage] = si
 	}
-	return h
+	return si
 }
 
 // Run splits n items via Chunks and calls fn once per chunk with its
@@ -208,11 +223,12 @@ func (p *Pool) RunChunks(stage string, spans []Span, fn func(ci int, s Span)) {
 	if len(spans) == 0 {
 		return
 	}
+	sm := p.stageMet(stage)
 	var stop func()
-	if p != nil {
-		p.met.runsTotal.Inc()
-		p.met.chunksTotal.Add(int64(len(spans)))
-		stop = p.stageHist(stage).StartTimer()
+	if sm != nil {
+		sm.runs.Inc()
+		sm.chunks.Add(int64(len(spans)))
+		stop = sm.hist.StartTimer()
 	}
 	w := p.Workers()
 	if w > len(spans) {
@@ -235,20 +251,26 @@ func (p *Pool) RunChunks(stage string, spans []Span, fn func(ci int, s Span)) {
 		jobs <- ci
 	}
 	close(jobs)
-	p.met.queueDepth.Set(float64(len(spans)))
+	if sm != nil {
+		sm.queue.Set(float64(len(spans)))
+	}
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ci := range jobs {
-				p.met.queueDepth.Add(-1)
+				if sm != nil {
+					sm.queue.Add(-1)
+				}
 				fn(ci, spans[ci])
 			}
 		}()
 	}
 	wg.Wait()
-	p.met.queueDepth.Set(0)
+	if sm != nil {
+		sm.queue.Set(0)
+	}
 	if stop != nil {
 		stop()
 	}

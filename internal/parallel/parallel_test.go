@@ -212,18 +212,25 @@ func TestTelemetryInstrumentation(t *testing.T) {
 	p.Run("stage_a", 100, func(lo, hi int) {})
 	p.Run("stage_a", 100, func(lo, hi int) {})
 	p.Run("stage_b", 5, func(lo, hi int) {})
-	if got := reg.Counter("pool_runs_total").Value(); got != 3 {
-		t.Fatalf("pool_runs_total = %d, want 3", got)
+	la := telemetry.L("stage", "stage_a")
+	lb := telemetry.L("stage", "stage_b")
+	if got := reg.Counter("pool_runs_total", la).Value(); got != 2 {
+		t.Fatalf("pool_runs_total{stage_a} = %d, want 2", got)
 	}
-	wantChunks := int64(2*len(Chunks(100)) + len(Chunks(5)))
-	if got := reg.Counter("pool_chunks_total").Value(); got != wantChunks {
-		t.Fatalf("pool_chunks_total = %d, want %d", got, wantChunks)
+	if got := reg.Counter("pool_runs_total", lb).Value(); got != 1 {
+		t.Fatalf("pool_runs_total{stage_b} = %d, want 1", got)
 	}
-	h := reg.Histogram("pool_stage_seconds", telemetry.L("stage", "stage_a"))
+	if got := reg.Counter("pool_chunks_total", la).Value(); got != int64(2*len(Chunks(100))) {
+		t.Fatalf("pool_chunks_total{stage_a} = %d, want %d", got, 2*len(Chunks(100)))
+	}
+	if got := reg.Counter("pool_chunks_total", lb).Value(); got != int64(len(Chunks(5))) {
+		t.Fatalf("pool_chunks_total{stage_b} = %d, want %d", got, len(Chunks(5)))
+	}
+	h := reg.Histogram("pool_stage_seconds", la)
 	if h.Count() != 2 {
 		t.Fatalf("stage_a observations = %d, want 2", h.Count())
 	}
-	if d := reg.Gauge("pool_queue_depth").Value(); d != 0 {
+	if d := reg.Gauge("pool_queue_depth", la).Value(); d != 0 {
 		t.Fatalf("queue depth after drain = %v", d)
 	}
 	p.SetTelemetry(nil) // detach must not panic

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// Collector periodically samples the Go runtime (via runtime/metrics)
+// into a Registry, so the /metrics exposition carries process health —
+// heap size, GC pauses, goroutine count, scheduler latency, CPU time,
+// uptime — alongside the application's own series. A nil *Collector is
+// a valid "collection disabled" collector: every method no-ops.
+//
+// All runtime series are gauges holding the most recent sample: the
+// collector reads absolute values from the runtime, so re-sampling is
+// idempotent and a scrape between two collections simply sees the last
+// sample.
+type Collector struct {
+	reg     *Registry
+	start   time.Time
+	samples []metrics.Sample
+}
+
+// The runtime/metrics names the collector samples, paired with the
+// registry series they feed.
+const (
+	rmHeapBytes    = "/memory/classes/heap/objects:bytes"
+	rmTotalBytes   = "/memory/classes/total:bytes"
+	rmGoroutines   = "/sched/goroutines:goroutines"
+	rmGCCycles     = "/gc/cycles/total:gc-cycles"
+	rmGCPauses     = "/gc/pauses:seconds"
+	rmSchedLatency = "/sched/latencies:seconds"
+	rmCPUTotalSecs = "/cpu/classes/total:cpu-seconds"
+	rmCPUUserSecs  = "/cpu/classes/user:cpu-seconds"
+	rmCPUGCSecs    = "/cpu/classes/gc/total:cpu-seconds"
+	rmAllocBytes   = "/gc/heap/allocs:bytes"
+)
+
+// NewCollector returns a collector feeding reg. The process start time
+// (for runtime_uptime_seconds) is captured here, so construct the
+// collector early. Returns nil on a nil registry — collection stays
+// disabled end to end.
+func NewCollector(reg *Registry) *Collector {
+	if reg == nil {
+		return nil
+	}
+	names := []string{
+		rmHeapBytes, rmTotalBytes, rmGoroutines, rmGCCycles,
+		rmGCPauses, rmSchedLatency, rmCPUTotalSecs, rmCPUUserSecs,
+		rmCPUGCSecs, rmAllocBytes,
+	}
+	samples := make([]metrics.Sample, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+	}
+	reg.SetHelp("runtime_heap_bytes", "bytes of live heap objects (runtime/metrics "+rmHeapBytes+")")
+	reg.SetHelp("runtime_mem_bytes", "total bytes of memory mapped by the Go runtime")
+	reg.SetHelp("runtime_alloc_bytes", "cumulative bytes allocated on the heap")
+	reg.SetHelp("runtime_goroutines", "live goroutine count")
+	reg.SetHelp("runtime_gc_cycles", "completed GC cycles since process start")
+	reg.SetHelp("runtime_gc_pause_seconds", "stop-the-world GC pause quantiles since process start")
+	reg.SetHelp("runtime_sched_latency_seconds", "goroutine scheduling latency quantiles since process start")
+	reg.SetHelp("runtime_cpu_seconds", "estimated CPU time by usage class since process start")
+	reg.SetHelp("runtime_uptime_seconds", "seconds since the collector was constructed")
+	reg.SetHelp("runtime_gomaxprocs", "current GOMAXPROCS setting")
+	return &Collector{reg: reg, start: time.Now(), samples: samples}
+}
+
+// Collect performs one sampling pass. Safe on a nil receiver and for
+// concurrent use (the underlying instruments are concurrency-safe; the
+// sample buffer is only touched by the caller's goroutine — callers
+// running Collect concurrently should each own a Collector or use
+// Start's single background goroutine).
+func (c *Collector) Collect() {
+	if c == nil {
+		return
+	}
+	metrics.Read(c.samples)
+	for i := range c.samples {
+		s := &c.samples[i]
+		switch s.Name {
+		case rmHeapBytes:
+			c.setGauge("runtime_heap_bytes", sampleFloat(s))
+		case rmTotalBytes:
+			c.setGauge("runtime_mem_bytes", sampleFloat(s))
+		case rmAllocBytes:
+			c.setGauge("runtime_alloc_bytes", sampleFloat(s))
+		case rmGoroutines:
+			c.setGauge("runtime_goroutines", sampleFloat(s))
+		case rmGCCycles:
+			c.setGauge("runtime_gc_cycles", sampleFloat(s))
+		case rmGCPauses:
+			c.setQuantiles("runtime_gc_pause_seconds", s)
+		case rmSchedLatency:
+			c.setQuantiles("runtime_sched_latency_seconds", s)
+		case rmCPUTotalSecs:
+			c.setGaugeL("runtime_cpu_seconds", L("class", "total"), sampleFloat(s))
+		case rmCPUUserSecs:
+			c.setGaugeL("runtime_cpu_seconds", L("class", "user"), sampleFloat(s))
+		case rmCPUGCSecs:
+			c.setGaugeL("runtime_cpu_seconds", L("class", "gc"), sampleFloat(s))
+		}
+	}
+	c.setGauge("runtime_uptime_seconds", time.Since(c.start).Seconds())
+	c.setGauge("runtime_gomaxprocs", float64(runtime.GOMAXPROCS(0)))
+}
+
+// Start launches a background goroutine collecting every interval
+// (minimum 100ms) and returns a stop function. On a nil receiver it
+// returns a no-op stop.
+func (c *Collector) Start(interval time.Duration) func() {
+	if c == nil {
+		return noopStop
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	c.Collect() // one synchronous pass so scrapes see data immediately
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.Collect()
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// setGauge writes one unlabeled runtime gauge.
+func (c *Collector) setGauge(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.reg.Gauge(name).Set(v)
+}
+
+// setGaugeL writes one labeled runtime gauge.
+func (c *Collector) setGaugeL(name string, l Label, v float64) {
+	if c == nil {
+		return
+	}
+	c.reg.Gauge(name, l).Set(v)
+}
+
+// setQuantiles summarizes a runtime histogram sample into p50/p99
+// gauges plus an event-count gauge.
+func (c *Collector) setQuantiles(name string, s *metrics.Sample) {
+	if c == nil {
+		return
+	}
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil {
+		return
+	}
+	total := int64(0)
+	for _, n := range h.Counts {
+		total += int64(n)
+	}
+	c.reg.Gauge(name, L("q", "p50")).Set(runtimeHistQuantile(h, 0.50))
+	c.reg.Gauge(name, L("q", "p99")).Set(runtimeHistQuantile(h, 0.99))
+	c.reg.Gauge(name + "_events").Set(float64(total))
+}
+
+// sampleFloat converts a runtime/metrics sample value to float64 (0 for
+// kinds the local runtime does not support).
+func sampleFloat(s *metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// runtimeHistQuantile estimates the q-quantile of a runtime/metrics
+// histogram: the upper edge of the bucket containing the rank, with
+// infinite edges clamped to the nearest finite neighbor.
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, n := range h.Counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, n := range h.Counts {
+		cum += n
+		if cum >= rank {
+			// Bucket i spans h.Buckets[i] to h.Buckets[i+1].
+			edge := h.Buckets[i+1]
+			if math.IsInf(edge, 1) {
+				edge = h.Buckets[i]
+			}
+			if math.IsInf(edge, -1) {
+				edge = 0
+			}
+			return edge
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

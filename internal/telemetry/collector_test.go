@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestCollectorSamplesRuntimeSeries(t *testing.T) {
+	reg := New()
+	c := NewCollector(reg)
+	if c == nil {
+		t.Fatal("collector nil for live registry")
+	}
+	c.Collect()
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"runtime_heap_bytes", "runtime_mem_bytes", "runtime_goroutines",
+		"runtime_uptime_seconds", "runtime_gomaxprocs",
+	} {
+		v, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("collector did not record %s (gauges: %v)", name, snap.Gauges)
+		}
+		if name != "runtime_uptime_seconds" && v <= 0 {
+			t.Fatalf("%s = %v, want > 0", name, v)
+		}
+	}
+	if _, ok := snap.Gauges[`runtime_cpu_seconds{class="total"}`]; !ok {
+		t.Fatal("collector did not record labeled CPU series")
+	}
+	if _, ok := snap.Gauges[`runtime_gc_pause_seconds{q="p99"}`]; !ok {
+		t.Fatal("collector did not record GC pause quantiles")
+	}
+}
+
+func TestCollectorSeriesReachExposition(t *testing.T) {
+	reg := New()
+	NewCollector(reg).Collect()
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseOpenMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Terminated {
+		t.Fatal("exposition not terminated")
+	}
+	if _, ok := exp.Value("runtime_goroutines"); !ok {
+		t.Fatal("runtime_goroutines missing from /metrics exposition")
+	}
+	if _, ok := exp.Value("runtime_sched_latency_seconds", L("q", "p50")); !ok {
+		t.Fatal("sched latency quantiles missing from exposition")
+	}
+	fam := exp.Families["runtime_goroutines"]
+	if fam == nil || fam.Type != "gauge" || fam.Help == "" {
+		t.Fatalf("runtime_goroutines family missing type/help: %+v", fam)
+	}
+}
+
+func TestCollectorStartStop(t *testing.T) {
+	reg := New()
+	c := NewCollector(reg)
+	stop := c.Start(time.Millisecond) // clamped to the 100ms floor
+	// Start performs one synchronous pass, so data is visible at once.
+	if _, ok := reg.Snapshot().Gauges["runtime_goroutines"]; !ok {
+		t.Fatal("Start did not collect synchronously")
+	}
+	stop()
+	// Uptime only moves forward.
+	u1 := reg.Gauge("runtime_uptime_seconds").Value()
+	c.Collect()
+	if u2 := reg.Gauge("runtime_uptime_seconds").Value(); u2 < u1 {
+		t.Fatalf("uptime went backwards: %v -> %v", u1, u2)
+	}
+}
+
+func TestCollectorNilSafety(t *testing.T) {
+	if c := NewCollector(nil); c != nil {
+		t.Fatal("NewCollector(nil) must return nil")
+	}
+	var c *Collector
+	c.Collect() // must not panic
+	stop := c.Start(time.Second)
+	stop()
+}

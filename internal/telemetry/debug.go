@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -107,11 +109,39 @@ func (r *Registry) Publish(name string) {
 	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
 }
 
-// NewDebugMux builds the debug-server handler: expvar at /debug/vars,
-// pprof under /debug/pprof/, the registry snapshot at /debug/metrics,
-// and the retained trace spans at /debug/spans.
+// NewDebugMux builds the debug-server handler: the OpenMetrics
+// exposition at /metrics, expvar at /debug/vars, pprof under
+// /debug/pprof/, the registry snapshot at /debug/metrics, the retained
+// trace spans at /debug/spans, and assembled per-trace span trees at
+// /debug/trace/{trace-id} (hex or decimal id).
 func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+		_ = reg.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, req *http.Request) {
+		idStr := strings.TrimPrefix(req.URL.Path, "/debug/trace/")
+		id, err := strconv.ParseUint(idStr, 16, 64)
+		if err != nil {
+			if id, err = strconv.ParseUint(idStr, 10, 64); err != nil {
+				http.Error(w, "telemetry: trace id must be hex or decimal", http.StatusBadRequest)
+				return
+			}
+		}
+		tree := tr.TraceTree(id)
+		if tree == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			TraceID string       `json:"trace_id"`
+			Spans   []*TraceNode `json:"spans"`
+		}{TraceID: fmt.Sprintf("%016x", id), Spans: tree})
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -137,10 +167,12 @@ func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 			return
 		}
 		fmt.Fprint(w, "edgehd debug server\n\n"+
-			"/debug/metrics  JSON metrics snapshot\n"+
-			"/debug/spans    recent trace spans\n"+
-			"/debug/vars     expvar\n"+
-			"/debug/pprof/   pprof profiles\n")
+			"/metrics           OpenMetrics exposition\n"+
+			"/debug/metrics     JSON metrics snapshot\n"+
+			"/debug/spans       recent trace spans\n"+
+			"/debug/trace/{id}  assembled trace tree (hex id)\n"+
+			"/debug/vars        expvar\n"+
+			"/debug/pprof/      pprof profiles\n")
 	})
 	return mux
 }

@@ -138,6 +138,57 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	return h.max
 }
 
+// ExportBounds are the canonical `le` upper bounds the OpenMetrics
+// exporter publishes: one decade per bucket from 1 ns (durations in
+// seconds) up to 1e12 (byte counts of very large transfers), plus the
+// implicit +Inf bucket. The internal log-bucket resolution (growth
+// 1.15) is much finer, so folding it onto decades keeps the exposition
+// compact while staying monotone and consistent with _count.
+func ExportBounds() []float64 {
+	out := make([]float64, 0, 22)
+	for e := -9; e <= 12; e++ {
+		out = append(out, math.Pow(10, float64(e)))
+	}
+	return out
+}
+
+// Cumulative returns, for each upper bound in `bounds` (which must be
+// sorted ascending), the number of observations recorded in internal
+// buckets whose upper edge does not exceed the bound — a monotone
+// under-approximation of count(v ≤ bound) with at most one internal
+// bucket (≤7.5% relative) of error. Returns nil on a nil receiver.
+func (h *Histogram) Cumulative(bounds []float64) []int64 {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int64, len(bounds))
+	var cum int64
+	bi := 0 // next internal bucket to fold in
+	for i, bound := range bounds {
+		for bi < histBuckets && bucketUpper(bi) <= bound {
+			cum += h.buckets[bi]
+			bi++
+		}
+		out[i] = cum
+	}
+	return out
+}
+
+// bucketUpper returns the upper edge of internal bucket i. The last
+// bucket is a catch-all whose edge is +Inf, so every observation folds
+// into some finite cumulative count only at the implicit +Inf bound.
+func bucketUpper(i int) float64 {
+	if i == 0 {
+		return histMin
+	}
+	if i == histBuckets-1 {
+		return math.Inf(1)
+	}
+	return histMin * math.Pow(histGrowth, float64(i))
+}
+
 // noopStop is the shared stop function returned by StartTimer on a
 // nil receiver, keeping the disabled path allocation-free.
 var noopStop = func() {}

@@ -1,0 +1,451 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics exposition (the Prometheus text format as standardized by
+// OpenMetrics): every metric in a registry renders as a family with a
+// `# TYPE` line (and a `# HELP` line when SetHelp registered one),
+// followed by its samples in a deterministic order — families sorted by
+// name, samples sorted by label set. Counters expose `<family>_total`,
+// gauges their plain value, histograms cumulative `_bucket{le="..."}`
+// series over ExportBounds plus `_sum` and `_count`. The exposition
+// terminates with `# EOF`.
+
+// ContentTypeOpenMetrics is the Content-Type of the /metrics endpoint.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// omFamily is one metric family being assembled for exposition.
+type omFamily struct {
+	name string // family name (counter names have _total stripped)
+	typ  string // "counter", "gauge" or "histogram"
+	help string
+	rows []omRow
+}
+
+// omRow is one instrument of a family: its sorted labels plus the
+// already-rendered sample lines (one for scalars, bucket+sum+count for
+// histograms).
+type omRow struct {
+	sortKey string
+	lines   []string
+}
+
+// WriteOpenMetrics renders the registry in OpenMetrics text format. The
+// output is byte-stable for a given set of metric values: families and
+// samples appear in sorted order. A nil registry renders an empty
+// exposition (just the # EOF terminator).
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# EOF\n")
+		return err
+	}
+	fams := r.gatherFamilies()
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fam := fams[name]
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		sort.Slice(fam.rows, func(i, j int) bool { return fam.rows[i].sortKey < fam.rows[j].sortKey })
+		for _, row := range fam.rows {
+			for _, line := range row.lines {
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// gatherFamilies snapshots the registry into renderable families.
+func (r *Registry) gatherFamilies() map[string]*omFamily {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.meta))
+	for k := range r.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type entry struct {
+		meta metricKey
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	entries := make([]entry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, entry{meta: r.meta[k], c: r.counters[k], g: r.gauges[k], h: r.hists[k]})
+	}
+	help := make(map[string]string, len(r.help))
+	hkeys := make([]string, 0, len(r.help))
+	for k := range r.help {
+		hkeys = append(hkeys, k)
+	}
+	for _, k := range hkeys {
+		help[k] = r.help[k]
+	}
+	r.mu.Unlock()
+
+	fams := make(map[string]*omFamily)
+	family := func(name, typ string) *omFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &omFamily{name: name, typ: typ, help: help[name]}
+			fams[name] = f
+		}
+		return f
+	}
+	for _, e := range entries {
+		labels := renderLabels(e.meta.labels)
+		switch {
+		case e.c != nil:
+			famName := strings.TrimSuffix(e.meta.name, "_total")
+			f := family(famName, "counter")
+			// Help registered under the sample name (with _total, the
+			// repo's counter naming convention) belongs to the family.
+			if f.help == "" {
+				f.help = help[e.meta.name]
+			}
+			f.rows = append(f.rows, omRow{sortKey: labels, lines: []string{
+				famName + "_total" + wrapLabels(labels) + " " + formatValue(float64(e.c.Value())),
+			}})
+		case e.g != nil:
+			f := family(e.meta.name, "gauge")
+			f.rows = append(f.rows, omRow{sortKey: labels, lines: []string{
+				e.meta.name + wrapLabels(labels) + " " + formatValue(e.g.Value()),
+			}})
+		case e.h != nil:
+			f := family(e.meta.name, "histogram")
+			f.rows = append(f.rows, omRow{sortKey: labels, lines: histogramLines(e.meta.name, labels, e.h)})
+		}
+	}
+	return fams
+}
+
+// histogramLines renders one histogram instrument: cumulative buckets
+// over ExportBounds, the implicit +Inf bucket, then _sum and _count.
+func histogramLines(name, labels string, h *Histogram) []string {
+	bounds := ExportBounds()
+	cums := h.Cumulative(bounds)
+	count := h.Count()
+	sum := h.Sum()
+	lines := make([]string, 0, len(bounds)+3)
+	bucketName := name + "_bucket"
+	for i, bound := range bounds {
+		lines = append(lines, bucketName+wrapLabels(joinLabels(labels, `le="`+formatValue(bound)+`"`))+" "+formatValue(float64(cums[i])))
+	}
+	lines = append(lines,
+		bucketName+wrapLabels(joinLabels(labels, `le="+Inf"`))+" "+formatValue(float64(count)),
+		name+"_sum"+wrapLabels(labels)+" "+formatValue(sum),
+		name+"_count"+wrapLabels(labels)+" "+formatValue(float64(count)),
+	)
+	return lines
+}
+
+// renderLabels renders sorted labels as `k1="v1",k2="v2"` (no braces),
+// escaping values.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+// joinLabels appends an extra rendered label to an existing rendering.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// wrapLabels surrounds a non-empty label rendering with braces.
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// escapeLabelValue escapes backslash, double quote and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// unescapeHelp reverses escapeHelp.
+func unescapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\n`, "\n")
+	return strings.ReplaceAll(v, `\\`, `\`)
+}
+
+// formatValue renders a sample value: integers without an exponent,
+// everything else in Go's shortest round-trippable form.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Exposition is a parsed OpenMetrics scrape: families keyed by name
+// plus a flat sample lookup keyed by canonicalName.
+type Exposition struct {
+	// Families maps family name to its parsed type, help and samples.
+	Families map[string]*ExpositionFamily
+	// Samples maps canonicalName(sampleName, labels) to the value, for
+	// direct point lookups.
+	Samples map[string]float64
+	// Terminated reports whether the # EOF terminator was seen.
+	Terminated bool
+}
+
+// ExpositionFamily is one parsed metric family.
+type ExpositionFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []ExpositionSample
+}
+
+// ExpositionSample is one parsed sample line.
+type ExpositionSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Value looks up a sample by name and labels (canonicalized), returning
+// the value and whether it was present.
+func (e *Exposition) Value(name string, labels ...Label) (float64, bool) {
+	v, ok := e.Samples[canonicalName(name, labels)]
+	return v, ok
+}
+
+// ParseOpenMetrics parses an OpenMetrics/Prometheus text exposition —
+// the inverse of WriteOpenMetrics, used by the round-trip tests and by
+// tooling that scrapes the /metrics endpoint. It understands # TYPE,
+// # HELP and # EOF comments, quoted label values with escapes, and
+// assigns _total/_bucket/_sum/_count samples to their declared family.
+func ParseOpenMetrics(rd io.Reader) (*Exposition, error) {
+	e := &Exposition{
+		Families: make(map[string]*ExpositionFamily),
+		Samples:  make(map[string]float64),
+	}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "# EOF" {
+			e.Terminated = true
+			break
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := e.parseComment(line); err != nil {
+				return nil, fmt.Errorf("telemetry: openmetrics line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := e.parseSample(line); err != nil {
+			return nil, fmt.Errorf("telemetry: openmetrics line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: openmetrics scan: %w", err)
+	}
+	return e, nil
+}
+
+// parseComment handles # TYPE and # HELP lines (other comments are
+// ignored).
+func (e *Exposition) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		fam := e.family(fields[2])
+		if len(fields) == 4 {
+			fam.Type = fields[3]
+		}
+	case "HELP":
+		fam := e.family(fields[2])
+		if len(fields) == 4 {
+			fam.Help = unescapeHelp(fields[3])
+		}
+	}
+	return nil
+}
+
+// family returns (creating if needed) the family with the given name.
+func (e *Exposition) family(name string) *ExpositionFamily {
+	f, ok := e.Families[name]
+	if !ok {
+		f = &ExpositionFamily{Name: name, Type: "untyped"}
+		e.Families[name] = f
+	}
+	return f
+}
+
+// parseSample parses one `name{labels} value` line.
+func (e *Exposition) parseSample(line string) error {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return fmt.Errorf("telemetry: malformed sample %q", line)
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+	var labels []Label
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return err
+		}
+	}
+	valStr := strings.TrimSpace(rest)
+	// A trailing timestamp (exposition-format optional field) would be a
+	// second token; take the first.
+	if sp := strings.IndexByte(valStr, ' '); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	val, err := parseValue(valStr)
+	if err != nil {
+		return fmt.Errorf("telemetry: sample %q: %w", name, err)
+	}
+	sample := ExpositionSample{Name: name, Labels: labels, Value: val}
+	e.familyFor(name).Samples = append(e.familyFor(name).Samples, sample)
+	e.Samples[canonicalName(name, labels)] = val
+	return nil
+}
+
+// familyFor resolves the family a sample belongs to: the declared
+// family whose name plus a known suffix matches, else the bare name.
+func (e *Exposition) familyFor(sample string) *ExpositionFamily {
+	if f, ok := e.Families[sample]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_total", "_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if f, ok := e.Families[base]; ok {
+			return f
+		}
+	}
+	return e.family(sample)
+}
+
+// parseLabels parses a `{k="v",...}` block, returning the labels and
+// the remainder of the line after the closing brace.
+func parseLabels(s string) ([]Label, string, error) {
+	s = s[1:] // consume '{'
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " ,")
+		if s == "" {
+			return nil, "", fmt.Errorf("telemetry: unterminated label block")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return nil, "", fmt.Errorf("telemetry: malformed label in %q", s)
+		}
+		key := s[:eq]
+		value, rest, err := parseQuoted(s[eq+1:])
+		if err != nil {
+			return nil, "", err
+		}
+		labels = append(labels, Label{Key: key, Value: value})
+		s = rest
+	}
+}
+
+// parseQuoted parses a double-quoted string with \\, \" and \n escapes,
+// returning the unescaped value and the remainder.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("telemetry: dangling escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("telemetry: unterminated quoted string in %q", s)
+}
+
+// parseValue parses a sample value, accepting +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: parsing value %q: %w", s, err)
+	}
+	return v, nil
+}

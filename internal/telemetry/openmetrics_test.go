@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with every instrument kind, label
+// shapes, escaping hazards and help text, with fully deterministic
+// values — the fixture behind the golden exposition.
+func goldenRegistry() *Registry {
+	reg := New()
+	reg.SetHelp("infer_total", "total hierarchical inferences")
+	reg.SetHelp("net_link_bytes_total", `bytes per link; path "leaf->gw" uses \ nothing`)
+	reg.SetHelp("span_seconds", "span wall time by name")
+	reg.Counter("infer_total").Add(42)
+	reg.Counter("net_link_bytes_total", L("link", "n1->n0"), L("medium", "wired-1g")).Add(4096)
+	reg.Counter("net_link_bytes_total", L("link", "n2->n0"), L("medium", "wired-1g")).Add(8192)
+	reg.Gauge("net_energy_j").Set(0.125)
+	reg.Gauge("pool_queue_depth", L("stage", "encode")).Set(3)
+	reg.Gauge("weird_label", L("v", "a\\b\"c\nd")).Set(1)
+	h := reg.Histogram("span_seconds", L("span", "infer"))
+	for _, v := range []float64{0.0001, 0.0005, 0.002, 0.002, 0.75} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestOpenMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestOpenMetricsStableAcrossRenders(t *testing.T) {
+	reg := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := reg.WriteOpenMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+func TestOpenMetricsHistogramCumulativity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseOpenMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Terminated {
+		t.Fatal("exposition missing # EOF terminator")
+	}
+	span := L("span", "infer")
+	prev := -1.0
+	for _, bound := range ExportBounds() {
+		v, ok := exp.Value("span_seconds_bucket", span, L("le", formatValue(bound)))
+		if !ok {
+			t.Fatalf("missing bucket le=%v", bound)
+		}
+		if v < prev {
+			t.Fatalf("bucket le=%v value %v below previous %v — not cumulative", bound, v, prev)
+		}
+		prev = v
+	}
+	inf, ok := exp.Value("span_seconds_bucket", span, L("le", "+Inf"))
+	if !ok {
+		t.Fatal("missing +Inf bucket")
+	}
+	count, _ := exp.Value("span_seconds_count", span)
+	if inf != count || count != 5 {
+		t.Fatalf("+Inf bucket %v != count %v (want 5)", inf, count)
+	}
+	sum, _ := exp.Value("span_seconds_sum", span)
+	if math.Abs(sum-0.7546) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.7546", sum)
+	}
+}
+
+func TestOpenMetricsRoundTrip(t *testing.T) {
+	// Every scalar value written must parse back identically, and the
+	// parsed families must carry the declared types and help text.
+	reg := goldenRegistry()
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseOpenMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for key, v := range snap.Counters {
+		// Fixture counters are registered with the _total suffix, so the
+		// snapshot key and the exposition sample key coincide.
+		got, ok := exp.Samples[key]
+		if !ok || got != float64(v) {
+			t.Fatalf("counter %s: parsed %v (present %v), want %d", key, got, ok, v)
+		}
+	}
+	for key, v := range snap.Gauges {
+		got, ok := exp.Samples[key]
+		if !ok || got != v {
+			t.Fatalf("gauge %s: parsed %v (present %v), want %v", key, got, ok, v)
+		}
+	}
+	// OpenMetrics counter families drop the _total suffix: the family is
+	// "infer", its sample "infer_total".
+	fam, ok := exp.Families["infer"]
+	if !ok || fam.Type != "counter" || fam.Help != "total hierarchical inferences" {
+		t.Fatalf("infer family parsed wrong: %+v", fam)
+	}
+	if fam := exp.Families["span_seconds"]; fam == nil || fam.Type != "histogram" {
+		t.Fatalf("span_seconds family parsed wrong: %+v", fam)
+	}
+	// The escaped label value survives the round trip.
+	if v, ok := exp.Value("weird_label", L("v", "a\\b\"c\nd")); !ok || v != 1 {
+		t.Fatalf("escaped label lost in round trip (present %v, v=%v)", ok, v)
+	}
+	hf := exp.Families["net_link_bytes"]
+	if hf == nil || hf.Help != `bytes per link; path "leaf->gw" uses \ nothing` {
+		t.Fatalf("escaped help lost: %+v", hf)
+	}
+}
+
+func TestOpenMetricsNilRegistry(t *testing.T) {
+	var reg *Registry
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "# EOF\n" {
+		t.Fatalf("nil registry exposition = %q", buf.String())
+	}
+	exp, err := ParseOpenMetrics(&buf)
+	if err != nil || !exp.Terminated {
+		t.Fatalf("empty exposition must parse terminated, got %v %v", exp, err)
+	}
+}
+
+func TestParseOpenMetricsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"metric{unterminated 1\n",
+		`metric{l="dangling\` + "\n",
+		"metric notanumber\n",
+	} {
+		if _, err := ParseOpenMetrics(strings.NewReader(bad)); err == nil {
+			t.Fatalf("garbage accepted: %q", bad)
+		}
+	}
+}

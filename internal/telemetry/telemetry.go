@@ -54,6 +54,16 @@ func canonicalName(name string, labels []Label) string {
 	return b.String()
 }
 
+// metricKey is the structured identity behind a canonical map key: the
+// bare metric name plus its sorted labels. The OpenMetrics exporter
+// needs the parts separately (family name, label rendering with
+// escaping), so the registry records them at instrument creation
+// instead of re-parsing canonical strings.
+type metricKey struct {
+	name   string
+	labels []Label
+}
+
 // Registry holds named metrics. The zero value is not usable; construct
 // with New. A nil *Registry is a valid "telemetry disabled" registry:
 // every lookup returns a nil instrument whose methods no-op.
@@ -62,6 +72,8 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	meta     map[string]metricKey
+	help     map[string]string
 }
 
 // New returns an empty registry.
@@ -70,7 +82,32 @@ func New() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		meta:     make(map[string]metricKey),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp attaches a one-line description to a metric name (the bare
+// name, without labels). The OpenMetrics exporter renders it as the
+// family's # HELP line. No-op on a nil registry.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// recordMeta remembers the structured identity of a canonical key.
+// Caller holds r.mu.
+func (r *Registry) recordMeta(key, name string, labels []Label) {
+	if _, ok := r.meta[key]; ok {
+		return
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	r.meta[key] = metricKey{name: name, labels: ls}
 }
 
 // Counter returns (creating on first use) the counter with the given
@@ -86,6 +123,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[key] = c
+		r.recordMeta(key, name, labels)
 	}
 	return c
 }
@@ -103,6 +141,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[key] = g
+		r.recordMeta(key, name, labels)
 	}
 	return g
 }
@@ -120,6 +159,7 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	if !ok {
 		h = newHistogram()
 		r.hists[key] = h
+		r.recordMeta(key, name, labels)
 	}
 	return h
 }

@@ -233,3 +233,70 @@ func TestDebugServerEndpoints(t *testing.T) {
 		t.Error("index empty")
 	}
 }
+
+func TestDebugServerMetricsAndTraceEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("hits_total").Add(7)
+	tr := NewTracer(8, r)
+	root := tr.NewTrace()
+	tr.StartSpan("hop", root.Child()).SetInt("wire_bytes", 512).End()
+	tr.StartSpan("infer", root).End()
+	srv, err := ServeDebug("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeOpenMetrics {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	exp, err := ParseOpenMetrics(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics is not parseable OpenMetrics: %v", err)
+	}
+	if v, ok := exp.Value("hits_total"); !ok || v != 7 {
+		t.Fatalf("hits_total = %v (present %v)", v, ok)
+	}
+	if !exp.Terminated {
+		t.Fatal("/metrics missing # EOF")
+	}
+
+	treeResp, err := http.Get(fmt.Sprintf("http://%s/debug/trace/%016x", srv.Addr(), root.TraceID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer treeResp.Body.Close()
+	if treeResp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", treeResp.StatusCode)
+	}
+	var tree struct {
+		TraceID string       `json:"trace_id"`
+		Spans   []*TraceNode `json:"spans"`
+	}
+	if err := json.NewDecoder(treeResp.Body).Decode(&tree); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	if len(tree.Spans) != 1 || tree.Spans[0].Name != "infer" || len(tree.Spans[0].Children) != 1 {
+		t.Fatalf("trace tree = %+v", tree.Spans)
+	}
+	if tree.Spans[0].Children[0].Name != "hop" {
+		t.Fatalf("child span = %+v", tree.Spans[0].Children[0])
+	}
+
+	// Unknown trace → 404; malformed id → 400.
+	if resp, err := http.Get("http://" + srv.Addr() + "/debug/trace/feedfeedfeedfeed"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get("http://" + srv.Addr() + "/debug/trace/not-an-id"); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed trace id: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+}

@@ -24,8 +24,18 @@ type Span struct {
 	Start time.Time `json:"start"`
 	// DurationNS is the span's wall-clock duration in nanoseconds.
 	DurationNS int64 `json:"duration_ns"`
+	// TraceID/SpanID/ParentID place the span in a distributed trace
+	// (all zero for spans opened with Start instead of StartSpan).
+	TraceID  uint64 `json:"trace_id,omitempty"`
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
 	// Attrs are the recorded annotations, in recording order.
 	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Context returns the span's trace context (zero for untraced spans).
+func (s *Span) Context() TraceContext {
+	return TraceContext{TraceID: s.TraceID, SpanID: s.SpanID, ParentID: s.ParentID}
 }
 
 // Attr returns the value of the first attribute with the given key, or

@@ -82,6 +82,145 @@ func TestTracerFeedsRegistryHistogram(t *testing.T) {
 	}
 }
 
+func TestTracerWraparoundBoundary(t *testing.T) {
+	// Exactly at capacity the ring must hold everything un-rotated;
+	// one more span must evict exactly the oldest.
+	const capacity = 4
+	tr := NewTracer(capacity, nil)
+	for i := 0; i < capacity; i++ {
+		tr.Start("op").SetInt("i", int64(i)).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("retained %d spans at capacity, want %d", len(spans), capacity)
+	}
+	for k, s := range spans {
+		if v, _ := s.Int64Attr("i"); v != int64(k) {
+			t.Fatalf("span %d has i=%v before wraparound", k, v)
+		}
+	}
+	tr.Start("op").SetInt("i", int64(capacity)).End()
+	spans = tr.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("retained %d spans after wraparound, want %d", len(spans), capacity)
+	}
+	if v, _ := spans[0].Int64Attr("i"); v != 1 {
+		t.Fatalf("oldest span after wraparound has i=%v, want 1", v)
+	}
+	if v, _ := spans[capacity-1].Int64Attr("i"); v != int64(capacity) {
+		t.Fatalf("newest span after wraparound has i=%v, want %d", v, capacity)
+	}
+	for k := 1; k < len(spans); k++ {
+		if spans[k].Seq != spans[k-1].Seq+1 {
+			t.Fatalf("Seq not contiguous across wraparound: %d then %d", spans[k-1].Seq, spans[k].Seq)
+		}
+	}
+}
+
+func TestTracerConcurrentStartSpanSnapshot(t *testing.T) {
+	// StartSpan writers racing Spans/Trace/TraceTree/Snapshot readers:
+	// the -race suite turns any unguarded ring access into a failure.
+	reg := New()
+	tr := NewTracer(32, reg)
+	tc := NewTraceContext()
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 300; i++ {
+				child := tc.Child()
+				tr.StartSpan("op", child).SetInt("w", int64(w)).End()
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = tr.Spans()
+				_ = tr.Trace(tc.TraceID)
+				_ = tr.TraceTree(tc.TraceID)
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if tr.Total() != 1200 {
+		t.Fatalf("total = %d, want 1200", tr.Total())
+	}
+	for _, s := range tr.Trace(tc.TraceID) {
+		if s.TraceID != tc.TraceID || s.ParentID != tc.SpanID {
+			t.Fatalf("span lost its context under concurrency: %+v", s)
+		}
+	}
+}
+
+func TestTraceContextLifecycle(t *testing.T) {
+	var zero TraceContext
+	if zero.Valid() {
+		t.Fatal("zero context must be invalid")
+	}
+	if child := zero.Child(); child != (TraceContext{}) {
+		t.Fatalf("child of zero context = %+v, want zero", child)
+	}
+	root := NewTraceContext()
+	if !root.Valid() || root.ParentID != 0 {
+		t.Fatalf("bad root context %+v", root)
+	}
+	child := root.Child()
+	if child.TraceID != root.TraceID || child.ParentID != root.SpanID || child.SpanID == root.SpanID {
+		t.Fatalf("bad child derivation %+v from %+v", child, root)
+	}
+	var tr *Tracer
+	if tr.NewTrace() != (TraceContext{}) {
+		t.Fatal("nil tracer must hand out zero contexts")
+	}
+	tr.StartSpan("x", root).End() // must not panic
+	if tr.Trace(root.TraceID) != nil || tr.TraceTree(root.TraceID) != nil {
+		t.Fatal("nil tracer must read empty traces")
+	}
+}
+
+func TestTraceTreeAssembly(t *testing.T) {
+	tr := NewTracer(16, nil)
+	root := NewTraceContext()
+	hop1 := root.Child()
+	hop2 := hop1.Child()
+	// End in leaf-first order, as real nested spans do.
+	tr.StartSpan("hop", hop2).SetInt("n", 2).End()
+	tr.StartSpan("hop", hop1).SetInt("n", 1).End()
+	tr.StartSpan("infer", root).End()
+	tr.Start("unrelated").End()
+	tree := tr.TraceTree(root.TraceID)
+	if len(tree) != 1 || tree[0].Name != "infer" {
+		t.Fatalf("tree roots = %+v", tree)
+	}
+	if len(tree[0].Children) != 1 || len(tree[0].Children[0].Children) != 1 {
+		t.Fatalf("chain not assembled: %+v", tree[0])
+	}
+	if v, _ := tree[0].Children[0].Children[0].Int64Attr("n"); v != 2 {
+		t.Fatalf("deepest hop n=%v, want 2", v)
+	}
+	// Orphan: parent rotated out of the ring → becomes a root.
+	orphan := hop2.Child()
+	small := NewTracer(1, nil)
+	small.StartSpan("late", orphan).End()
+	roots := small.TraceTree(orphan.TraceID)
+	if len(roots) != 1 || roots[0].Name != "late" {
+		t.Fatalf("orphan span should root the tree, got %+v", roots)
+	}
+}
+
 func TestTracerConcurrent(t *testing.T) {
 	tr := NewTracer(16, New())
 	var wg sync.WaitGroup

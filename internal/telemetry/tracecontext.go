@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// TraceContext identifies one operation's position in a distributed
+// trace: the trace it belongs to, its own span id, and its parent's
+// span id (0 for a root). Contexts are small values designed to cross
+// process and wire boundaries — internal/wire carries them in an
+// optional frame header so a query entering a leaf node keeps one
+// trace id through every gateway and central hop.
+type TraceContext struct {
+	TraceID  uint64 `json:"trace_id"`
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+}
+
+// Valid reports whether the context carries a live trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 && tc.SpanID != 0 }
+
+// String renders the context as traceID/spanID hex, the form the debug
+// endpoints use.
+func (tc TraceContext) String() string {
+	return fmt.Sprintf("%016x/%016x", tc.TraceID, tc.SpanID)
+}
+
+// idCounter hands out process-unique ids: a random 64-bit base drawn
+// once at startup plus an atomic increment, so ids never repeat within
+// a process and almost surely never collide across nodes.
+var idCounter atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idCounter.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		idCounter.Store(0x9e3779b97f4a7c15) // fixed fallback; ids stay unique in-process
+	}
+}
+
+// newID returns a fresh non-zero id.
+func newID() uint64 {
+	for {
+		if id := idCounter.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewTraceContext opens a fresh root trace context.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: newID(), SpanID: newID()}
+}
+
+// Child derives a context for a sub-operation: same trace, fresh span
+// id, parented on tc. A child of the zero context is another zero
+// context, so disabled tracing propagates as "no trace".
+func (tc TraceContext) Child() TraceContext {
+	if !tc.Valid() {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: tc.TraceID, SpanID: newID(), ParentID: tc.SpanID}
+}
+
+// StartSpan opens a span bound to a trace context: the span records the
+// context's trace/span/parent ids and is retrievable via Trace and the
+// /debug/trace/{id} endpoint. Returns nil (a no-op handle) on a nil
+// tracer; a zero context degrades to a plain un-traced span.
+func (t *Tracer) StartSpan(name string, tc TraceContext) *SpanHandle {
+	if t == nil {
+		return nil
+	}
+	h := t.Start(name)
+	h.span.TraceID = tc.TraceID
+	h.span.SpanID = tc.SpanID
+	h.span.ParentID = tc.ParentID
+	return h
+}
+
+// NewTrace opens a root context. On a nil tracer it returns the zero
+// context, so callers can thread the result through Child/StartSpan
+// unconditionally without consuming ids while tracing is disabled.
+func (t *Tracer) NewTrace() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	return NewTraceContext()
+}
+
+// Trace returns every retained span with the given trace id, ordered by
+// completion sequence. Nil on a nil tracer or when no spans match.
+func (t *Tracer) Trace(traceID uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TraceNode is one span in an assembled trace tree.
+type TraceNode struct {
+	Span
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// TraceTree assembles the retained spans of a trace into parent/child
+// trees. Spans whose parent rotated out of the ring (or started the
+// trace) become roots. Roots and children are ordered by completion
+// sequence. Nil on a nil tracer or an unknown trace id.
+func (t *Tracer) TraceTree(traceID uint64) []*TraceNode {
+	spans := t.Trace(traceID)
+	if len(spans) == 0 {
+		return nil
+	}
+	nodes := make([]*TraceNode, len(spans))
+	byID := make(map[uint64]*TraceNode, len(spans))
+	for i := range spans {
+		nodes[i] = &TraceNode{Span: spans[i]}
+		if id := spans[i].SpanID; id != 0 {
+			byID[id] = nodes[i]
+		}
+	}
+	var roots []*TraceNode
+	for _, n := range nodes {
+		if parent, ok := byID[n.ParentID]; ok && n.ParentID != 0 && parent != n {
+			parent.Children = append(parent.Children, n)
+			continue
+		}
+		roots = append(roots, n)
+	}
+	for _, n := range nodes {
+		sort.SliceStable(n.Children, func(i, j int) bool { return n.Children[i].Seq < n.Children[j].Seq })
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].Seq < roots[j].Seq })
+	return roots
+}

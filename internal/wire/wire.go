@@ -12,6 +12,15 @@
 //
 // followed by the type-specific payload. Hypervector payloads carry
 // their dimensionality so receivers can validate before use.
+//
+// Frames optionally carry a trace context for cross-node tracing: when
+// the high bit of the type byte (TraceFlag) is set, a fixed 24-byte
+// trace block — trace id, span id, parent span id, little-endian
+// uint64 each — follows the fixed header, before the payload. The
+// payload length field never includes the trace block. Old frames
+// (flag clear) decode exactly as before, and encoders only set the
+// flag when a trace is attached, so the extension is fully backward
+// compatible with pre-trace peers on untraced traffic.
 package wire
 
 import (
@@ -20,6 +29,7 @@ import (
 	"io"
 
 	"edgehd/internal/hdc"
+	"edgehd/internal/telemetry"
 )
 
 // MsgType tags a frame.
@@ -46,6 +56,15 @@ const (
 // hypervector message).
 const maxPayload = 64 << 20
 
+// TraceFlag marks a frame that carries a trace block after its fixed
+// header. It occupies the high bit of the type byte, leaving 127 usable
+// message types.
+const TraceFlag = 0x80
+
+// traceBytes is the size of the optional trace block: trace id, span
+// id, parent span id.
+const traceBytes = 3 * 8
+
 // Header is the per-message metadata.
 type Header struct {
 	Type MsgType
@@ -58,6 +77,10 @@ type Header struct {
 // Message is one framed unit.
 type Message struct {
 	Header Header
+	// Trace is the optional distributed-trace context. When non-nil the
+	// encoded frame sets TraceFlag and carries the 24-byte trace block,
+	// so one trace id follows a query or model across node boundaries.
+	Trace *telemetry.TraceContext
 	// Bipolar payload (MsgBatchHV, MsgQuery).
 	Bipolar hdc.Bipolar
 	// Acc payload (MsgClassHV, MsgResidual).
@@ -150,8 +173,16 @@ func Write(w io.Writer, m Message) error {
 	default:
 		return fmt.Errorf("wire: unknown message type %d", m.Header.Type)
 	}
-	head := make([]byte, headerBytes)
+	head := make([]byte, headerBytes, headerBytes+traceBytes)
 	head[0] = byte(m.Header.Type)
+	if m.Trace != nil {
+		head[0] |= TraceFlag
+		var tb [traceBytes]byte
+		binary.LittleEndian.PutUint64(tb[0:], m.Trace.TraceID)
+		binary.LittleEndian.PutUint64(tb[8:], m.Trace.SpanID)
+		binary.LittleEndian.PutUint64(tb[16:], m.Trace.ParentID)
+		head = append(head, tb[:]...)
+	}
 	binary.LittleEndian.PutUint32(head[1:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(head[5:], uint32(m.Header.Class))
 	binary.LittleEndian.PutUint32(head[9:], uint32(m.Header.Batch))
@@ -173,10 +204,21 @@ func Read(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("wire: reading header: %w", err)
 	}
 	m := Message{Header: Header{
-		Type:  MsgType(head[0]),
+		Type:  MsgType(head[0] &^ TraceFlag),
 		Class: int32(binary.LittleEndian.Uint32(head[5:])),
 		Batch: int32(binary.LittleEndian.Uint32(head[9:])),
 	}}
+	if head[0]&TraceFlag != 0 {
+		var tb [traceBytes]byte
+		if _, err := io.ReadFull(r, tb[:]); err != nil {
+			return Message{}, fmt.Errorf("wire: reading trace block: %w", err)
+		}
+		m.Trace = &telemetry.TraceContext{
+			TraceID:  binary.LittleEndian.Uint64(tb[0:]),
+			SpanID:   binary.LittleEndian.Uint64(tb[8:]),
+			ParentID: binary.LittleEndian.Uint64(tb[16:]),
+		}
+	}
 	n := binary.LittleEndian.Uint32(head[1:])
 	if n > maxPayload {
 		return Message{}, fmt.Errorf("wire: payload of %d bytes exceeds limit", n)

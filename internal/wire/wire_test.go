@@ -9,6 +9,7 @@ import (
 
 	"edgehd/internal/hdc"
 	"edgehd/internal/rng"
+	"edgehd/internal/telemetry"
 )
 
 func TestBipolarRoundTrip(t *testing.T) {
@@ -96,6 +97,68 @@ func TestMessageRoundTrips(t *testing.T) {
 	}
 	if _, err := Read(&buf); err == nil {
 		t.Fatal("read past end succeeded")
+	}
+}
+
+func TestTraceBlockRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	tc := &telemetry.TraceContext{TraceID: 0xdeadbeefcafe0001, SpanID: 0x42, ParentID: 0x7fffffffffffffff}
+	m := Message{Header: Header{Type: MsgQuery, Class: 5}, Trace: tc, Bipolar: hdc.RandomBipolar(128, r)}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[0]&TraceFlag == 0 {
+		t.Fatal("trace flag not set on encoded frame")
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != m.Header {
+		t.Fatalf("header %+v != %+v", got.Header, m.Header)
+	}
+	if got.Trace == nil || *got.Trace != *tc {
+		t.Fatalf("trace context %+v != %+v", got.Trace, tc)
+	}
+	if !got.Bipolar.Equal(m.Bipolar) {
+		t.Fatal("payload corrupted by trace block")
+	}
+}
+
+func TestUntracedFrameBytesUnchanged(t *testing.T) {
+	// A frame without a trace context must encode exactly as it did
+	// before the trace extension existed: clear flag, no extra bytes.
+	r := rng.New(4)
+	m := Message{Header: Header{Type: MsgQuery}, Bipolar: hdc.RandomBipolar(64, r)}
+	var plain, traced bytes.Buffer
+	if err := Write(&plain, m); err != nil {
+		t.Fatal(err)
+	}
+	m.Trace = &telemetry.TraceContext{TraceID: 1, SpanID: 2}
+	if err := Write(&traced, m); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Bytes()[0]&TraceFlag != 0 {
+		t.Fatal("untraced frame has trace flag set")
+	}
+	if traced.Len() != plain.Len()+traceBytes {
+		t.Fatalf("traced frame %d bytes, want untraced %d + %d", traced.Len(), plain.Len(), traceBytes)
+	}
+	got, err := Read(&plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != nil {
+		t.Fatal("untraced frame decoded with a trace context")
+	}
+}
+
+func TestTruncatedTraceBlockRejected(t *testing.T) {
+	frame := make([]byte, headerBytes+5) // flag promises 24 trace bytes, only 5 follow
+	frame[0] = byte(MsgDone) | TraceFlag
+	if _, err := Read(bytes.NewReader(frame)); err == nil {
+		t.Fatal("truncated trace block accepted")
 	}
 }
 
