@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build lint test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-gate clean
+.PHONY: check vet build lint test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-gate soak-smoke soak clean
 
 # Tier-1 gate: everything CI needs to pass, plus a short instrumented
-# bench run that leaves a machine-readable metrics snapshot behind, and
-# the perf-regression gate against the committed BENCH_hier.json.
-check: vet build lint race cover bench-smoke bench-gate
+# bench run that leaves a machine-readable metrics snapshot behind, a
+# short leak-checked soak, and the perf-regression gate against the
+# committed BENCH_hier.json.
+check: vet build lint race cover bench-smoke soak-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +63,20 @@ bench-parallel:
 bench-hier:
 	$(GO) run ./cmd/benchdiff -emit
 
+# Short leak-checked soak (~10s): cycles federated rounds and routed
+# inferences, reconciles every cycle's traced wire bytes, and fails on
+# any goroutine or heap drift between the baseline and recent sample
+# windows. The telemetry snapshot lands in BENCH_soak.json.
+soak-smoke:
+	$(GO) run ./cmd/soak -duration 8s -train 120 -dim 1000 -infer 8 \
+		-metrics-out BENCH_soak.json
+
+# Full soak: paper-sized workload per cycle for 30s (lengthen with
+# `make soak SOAK_DURATION=10m` for an overnight leak hunt).
+SOAK_DURATION ?= 30s
+soak:
+	$(GO) run ./cmd/soak -duration $(SOAK_DURATION) -metrics-out BENCH_soak.json
+
 # Perf-regression gate: re-bench and diff against the committed
 # baseline. Warns above 5% (soft), fails the build above 15% (hard);
 # timing metrics carry a 4x noise allowance — see cmd/benchdiff.
@@ -69,4 +84,4 @@ bench-gate:
 	$(GO) run ./cmd/benchdiff -check
 
 clean:
-	rm -f BENCH_smoke.json cover.out
+	rm -f BENCH_smoke.json BENCH_soak.json cover.out

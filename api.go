@@ -64,6 +64,10 @@ type (
 	Tracer = telemetry.Tracer
 	// TraceSpan is one completed traced operation with its attributes.
 	TraceSpan = telemetry.Span
+	// Logger is the structured JSON logger of the observability plane;
+	// records carry component/node attributes and, via WithTrace, the
+	// active trace identity. A nil *Logger disables logging.
+	Logger = telemetry.Logger
 )
 
 // InvalidNode is returned by failed node lookups (e.g. the parent of a
@@ -138,6 +142,15 @@ func NewTelemetry() *Telemetry { return telemetry.New() }
 func NewTracer(capacity int, reg *Telemetry) *Tracer {
 	return telemetry.NewTracer(capacity, reg)
 }
+
+// NewLogger returns a structured JSON logger writing to w (nil w
+// disables logging), tagged with the given component and filtered to
+// records at or above level.
+var NewLogger = telemetry.NewLogger
+
+// ParseLogLevel maps "debug"/"info"/"warn"/"error" (the conventional
+// -log-level flag values) onto slog levels.
+var ParseLogLevel = telemetry.ParseLogLevel
 
 // NewClassifier builds a centralized EdgeHD classifier for feature
 // vectors of length n and k classes, using the paper's defaults

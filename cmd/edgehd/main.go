@@ -21,10 +21,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"edgehd"
@@ -54,9 +56,23 @@ func run(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /debug/metrics, /debug/spans, expvar and pprof on this address (e.g. localhost:6060)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics+spans snapshot to this file at exit")
 	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
+	logLevel := fs.String("log-level", "info", "structured-log level on stderr: debug, info, warn or error")
+	profileDir := fs.String("profile-dir", "", "capture periodic heap/goroutine pprof profiles into this bounded on-disk ring")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	log := telemetry.NewLogger(os.Stderr, "edgehd", level)
+
+	// Teardown — stop the collector, flush the snapshot, close the debug
+	// server — runs through one lifecycle, on the normal exit path and on
+	// SIGINT/SIGTERM alike.
+	life := telemetry.NewLifecycle()
+	defer life.Close()
+	defer life.HandleSignals(log)()
 
 	// Telemetry is collected whenever there is somewhere for it to go.
 	var reg *edgehd.Telemetry
@@ -65,27 +81,57 @@ func run(args []string) error {
 		reg = edgehd.NewTelemetry()
 		tracer = edgehd.NewTracer(*traceCap, reg)
 	}
+	health := telemetry.NewHealth()
+	var trained atomic.Bool
 	if *debugAddr != "" {
-		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer)
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer, health)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		life.Defer(func() { _ = srv.Close() })
 		reg.Publish("edgehd")
 		// Runtime health (heap, GC, goroutines, CPU) rides along in the
-		// same registry while the server is scrapeable.
-		stopCollector := telemetry.NewCollector(reg).Start(time.Second)
-		defer stopCollector()
-		fmt.Printf("debug server listening on http://%s/ (OpenMetrics at /metrics; spans, traces, expvar, pprof under /debug/)\n", srv.Addr())
+		// same registry while the server is scrapeable; a heartbeat on the
+		// collection cadence backs the /healthz liveness probe, and
+		// readiness flips once a model is trained.
+		collector := telemetry.NewCollector(reg)
+		beat := telemetry.NewHeartbeat(5 * time.Second)
+		collector.OnCollect(beat.Beat)
+		health.Liveness("collector", beat.Check)
+		health.Readiness("model", func() error {
+			if !trained.Load() {
+				return errors.New("model not yet trained")
+			}
+			return nil
+		})
+		// Routed-inference latency objective (95% of queries within
+		// 50ms), recomputed into slo_* gauges on the collection cadence.
+		slo, err := telemetry.NewSLO(reg, "infer_latency",
+			reg.Histogram("span_seconds", telemetry.L("span", "infer")), 0.05, 0.95)
+		if err != nil {
+			return err
+		}
+		collector.OnCollect(slo.Collect)
+		life.Defer(collector.Start(time.Second))
+		log.Info("debug server listening", "addr", srv.Addr(), "url", "http://"+srv.Addr()+"/")
 	}
 	if *metricsOut != "" {
-		defer func() {
-			if err := telemetry.WriteSnapshotFile(*metricsOut, reg, tracer); err != nil {
-				fmt.Fprintln(os.Stderr, "edgehd:", err)
+		out := *metricsOut
+		life.Defer(func() {
+			if err := telemetry.WriteSnapshotFile(out, reg, tracer); err != nil {
+				log.Error("metrics snapshot failed", "error", err.Error())
 			} else {
-				fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+				log.Info("metrics snapshot written", "path", out)
 			}
-		}()
+		})
+	}
+	if *profileDir != "" {
+		ring, err := telemetry.NewProfileRing(*profileDir, 8, reg, log)
+		if err != nil {
+			return err
+		}
+		life.Defer(ring.Start(10*time.Second, 0))
+		log.Info("profile ring capturing", "dir", *profileDir)
 	}
 	if *listMediums {
 		for _, m := range edgehd.Mediums() {
@@ -99,8 +145,9 @@ func run(args []string) error {
 		return err
 	}
 	d := spec.Generate(*seed, edgehd.DatasetOptions{MaxTrain: *train, MaxTest: *test})
-	fmt.Printf("dataset %s: %d features, %d classes, %d end nodes, %d train / %d test samples\n",
-		spec.Name, spec.Features, spec.Classes, spec.EndNodes, len(d.TrainX), len(d.TestX))
+	log.Info("dataset loaded", "dataset", spec.Name, "features", spec.Features,
+		"classes", spec.Classes, "end_nodes", spec.EndNodes,
+		"train_samples", len(d.TrainX), "test_samples", len(d.TestX))
 
 	if !spec.Hierarchical() {
 		clf, err := edgehd.NewClassifier(spec.Features, spec.Classes,
@@ -112,6 +159,7 @@ func run(args []string) error {
 		if _, err := clf.Fit(d.TrainX, d.TrainY, *epochs); err != nil {
 			return err
 		}
+		trained.Store(true)
 		acc, err := clf.Evaluate(d.TestX, d.TestY)
 		if err != nil {
 			return err
@@ -148,6 +196,7 @@ func run(args []string) error {
 		Workers:       *workers,
 		Telemetry:     reg,
 		Tracer:        tracer,
+		Logger:        log,
 	})
 	if err != nil {
 		return err
@@ -166,6 +215,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	trained.Store(true)
 	fmt.Printf("distributed training: %d bytes moved, comm finished at %.3gs, %d batch hypervectors\n",
 		rep.Bytes, rep.CommFinish, rep.BatchCount)
 
@@ -181,11 +231,11 @@ func run(args []string) error {
 			fmt.Printf("  %s accuracy: %.1f%%\n", label, 100*sys.LevelAccuracy(depth, d.TestX, d.TestY))
 		}
 	}
-	fmt.Println("per-level accuracy:")
+	fmt.Printf("per-level accuracy:\n")
 	printLevels()
 
 	if *online {
-		fmt.Printf("streaming %d online samples with negative feedback...\n", len(onlineX))
+		log.Info("streaming online samples with negative feedback", "samples", len(onlineX))
 		for i, x := range onlineX {
 			res, err := sys.Infer(x, i%len(topo.EndNodes))
 			if err != nil {
@@ -201,11 +251,11 @@ func run(args []string) error {
 				if err != nil {
 					return err
 				}
-				fmt.Printf("  propagated residuals after %d samples (%d bytes, %d feedback events)\n",
-					i+1, orep.Bytes, orep.FeedbackApplied)
+				log.Info("propagated residuals", "samples", i+1,
+					"bytes", orep.Bytes, "feedback_events", orep.FeedbackApplied)
 			}
 		}
-		fmt.Println("per-level accuracy after online learning:")
+		fmt.Printf("per-level accuracy after online learning:\n")
 		printLevels()
 	}
 

@@ -19,12 +19,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"edgehd/internal/cluster"
@@ -50,12 +52,24 @@ func run(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/metrics, trace trees, expvar and pprof on this address")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
 	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
+	logLevel := fs.String("log-level", "info", "structured-log level on stderr: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 1 {
 		return fmt.Errorf("need at least one worker")
 	}
+	level, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	log := telemetry.NewLogger(os.Stderr, "fedlearn", level)
+
+	// One lifecycle owns teardown — collector stop, snapshot flush, debug
+	// server close — on the normal exit path and on SIGINT/SIGTERM alike.
+	life := telemetry.NewLifecycle()
+	defer life.Close()
+	defer life.HandleSignals(log)()
 
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
@@ -63,25 +77,45 @@ func run(args []string) error {
 		reg = telemetry.New()
 		tracer = telemetry.NewTracer(*traceCap, reg)
 	}
+	health := telemetry.NewHealth()
+	var aggregatorUp atomic.Bool
 	if *debugAddr != "" {
-		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer)
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer, health)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		life.Defer(func() { _ = srv.Close() })
 		reg.Publish("fedlearn")
-		stopCollector := telemetry.NewCollector(reg).Start(time.Second)
-		defer stopCollector()
-		fmt.Printf("debug server listening on http://%s/ (OpenMetrics at /metrics)\n", srv.Addr())
+		collector := telemetry.NewCollector(reg)
+		beat := telemetry.NewHeartbeat(5 * time.Second)
+		collector.OnCollect(beat.Beat)
+		health.Liveness("collector", beat.Check)
+		health.Readiness("aggregator", func() error {
+			if !aggregatorUp.Load() {
+				return errors.New("aggregator not yet listening")
+			}
+			return nil
+		})
+		// Round-latency objective (95% of federated rounds within 2s),
+		// recomputed into slo_* gauges on the collection cadence.
+		slo, err := telemetry.NewSLO(reg, "round_latency",
+			reg.Histogram("span_seconds", telemetry.L("span", "federated_round")), 2, 0.95)
+		if err != nil {
+			return err
+		}
+		collector.OnCollect(slo.Collect)
+		life.Defer(collector.Start(time.Second))
+		log.Info("debug server listening", "addr", srv.Addr(), "url", "http://"+srv.Addr()+"/")
 	}
 	if *metricsOut != "" {
-		defer func() {
-			if err := telemetry.WriteSnapshotFile(*metricsOut, reg, tracer); err != nil {
-				fmt.Fprintln(os.Stderr, "fedlearn:", err)
+		out := *metricsOut
+		life.Defer(func() {
+			if err := telemetry.WriteSnapshotFile(out, reg, tracer); err != nil {
+				log.Error("metrics snapshot failed", "error", err.Error())
 			} else {
-				fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+				log.Info("metrics snapshot written", "path", out)
 			}
-		}()
+		})
 	}
 
 	spec, err := dataset.ByName(strings.ToUpper(*name))
@@ -95,6 +129,7 @@ func run(args []string) error {
 		Dim:         *dim,
 		EncoderSeed: *seed + 1,
 		Tracer:      tracer,
+		Logger:      log,
 	}
 
 	// One distributed trace spans the whole round: every worker's push
@@ -127,12 +162,14 @@ func run(args []string) error {
 		return err
 	}
 	defer ln.Close() //nolint:errcheck // process exit closes it anyway
-	fmt.Printf("aggregator listening on %s\n", ln.Addr())
+	aggregatorUp.Store(true)
+	log.Info("aggregator listening", "addr", ln.Addr().String(), "workers", *workers)
 	agg, err := cluster.NewAggregator(*dim, spec.Classes, *workers)
 	if err != nil {
 		return err
 	}
 	agg.SetTracer(tracer)
+	agg.SetLogger(log)
 	release := make(chan struct{})
 	merged := make(chan error, *workers)
 	var serveWG sync.WaitGroup
@@ -216,7 +253,8 @@ func run(args []string) error {
 	roundSpan.SetInt("workers", int64(*workers)).End()
 	fmt.Printf("aggregator merged %d models\n", agg.Received())
 	if round.Valid() {
-		fmt.Printf("round trace %016x (inspect at /debug/trace/%016x)\n", round.TraceID, round.TraceID)
+		log.WithTrace(round).Info("round trace recorded",
+			"inspect", fmt.Sprintf("/debug/trace/%016x", round.TraceID))
 	}
 	return nil
 }

@@ -46,12 +46,22 @@ func run(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/metrics, /debug/spans, trace trees, expvar and pprof on this address")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics+spans snapshot to this file at exit")
 	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
+	logLevel := fs.String("log-level", "info", "structured-log level on stderr: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
+	level, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	log := telemetry.NewLogger(os.Stderr, "paper", level)
+
+	life := telemetry.NewLifecycle()
+	defer life.Close()
+	defer life.HandleSignals(log)()
 
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
@@ -60,24 +70,29 @@ func run(args []string) error {
 		tracer = telemetry.NewTracer(*traceCap, reg)
 	}
 	if *debugAddr != "" {
-		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer)
+		health := telemetry.NewHealth()
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer, health)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		life.Defer(func() { _ = srv.Close() })
 		reg.Publish("paper")
-		stopCollector := telemetry.NewCollector(reg).Start(time.Second)
-		defer stopCollector()
-		fmt.Printf("debug server listening on http://%s/ (OpenMetrics at /metrics)\n", srv.Addr())
+		collector := telemetry.NewCollector(reg)
+		beat := telemetry.NewHeartbeat(5 * time.Second)
+		collector.OnCollect(beat.Beat)
+		health.Liveness("collector", beat.Check)
+		life.Defer(collector.Start(time.Second))
+		log.Info("debug server listening", "addr", srv.Addr(), "url", "http://"+srv.Addr()+"/")
 	}
 	if *metricsOut != "" {
-		defer func() {
-			if err := telemetry.WriteSnapshotFile(*metricsOut, reg, tracer); err != nil {
-				fmt.Fprintln(os.Stderr, "paper:", err)
+		out := *metricsOut
+		life.Defer(func() {
+			if err := telemetry.WriteSnapshotFile(out, reg, tracer); err != nil {
+				log.Error("metrics snapshot failed", "error", err.Error())
 			} else {
-				fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+				log.Info("metrics snapshot written", "path", out)
 			}
-		}()
+		})
 	}
 
 	opts := experiments.Options{MaxTrain: 600, MaxTest: 250, Dim: 4000, RetrainEpochs: 10, Seed: *seed}
@@ -197,9 +212,10 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", j.name, err)
 		}
 		for _, t := range tables {
-			fmt.Println(t.Render())
+			fmt.Printf("%s\n", t.Render())
 		}
-		fmt.Printf("[%s completed in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+		log.Info("experiment completed", "experiment", j.name,
+			"duration", time.Since(start).Round(time.Millisecond).String())
 	}
 	if !matched {
 		return fmt.Errorf("unknown experiment %q", *exp)

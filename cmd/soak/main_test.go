@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgehd/internal/hierarchy"
+	"edgehd/internal/telemetry"
+)
+
+func TestSoakRunSmoke(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "soak.json")
+	err := run([]string{
+		"-cycles", "5", "-warmup", "1",
+		"-train", "80", "-dim", "500", "-infer", "4", "-workers", "2",
+		"-metrics-out", snap, "-log-level", "error",
+	})
+	if err != nil {
+		t.Fatalf("soak run failed: %v", err)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("metrics snapshot not written: %v", err)
+	}
+	for _, want := range []string{"soak_cycles_total", "soak_wire_reconciliations_total", "leak_samples", "slo_attainment_ratio"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("snapshot missing %s", want)
+		}
+	}
+}
+
+func TestSoakRejectsBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no workers":        {"-cycles", "1", "-workers", "0"},
+		"no bound":          {"-duration", "0s"},
+		"bad level":         {"-cycles", "1", "-log-level", "loud"},
+		"flat hierarchy":    {"-cycles", "1", "-hier-dataset", "APRI"},
+		"unknown dataset":   {"-cycles", "1", "-dataset", "NOPE"},
+		"insufficient data": {"-cycles", "1", "-warmup", "99", "-train", "40", "-dim", "200", "-infer", "1", "-log-level", "error"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", name, args)
+		}
+	}
+}
+
+func TestReconcileRound(t *testing.T) {
+	balanced := func(push, agg, bcast, pull int64) []telemetry.Span {
+		tr := telemetry.NewTracer(16, nil)
+		tc := tr.NewTrace()
+		tr.StartSpan("cluster_push", tc).SetInt("wire_bytes", push).End()
+		tr.StartSpan("cluster_aggregate", tc).SetInt("wire_bytes", agg).End()
+		tr.StartSpan("cluster_broadcast", tc).SetInt("wire_bytes", bcast).End()
+		tr.StartSpan("cluster_pull", tc).SetInt("wire_bytes", pull).End()
+		return tr.Spans()
+	}
+	if err := reconcileRound(balanced(100, 100, 60, 60)); err != nil {
+		t.Errorf("balanced round failed: %v", err)
+	}
+	if err := reconcileRound(balanced(100, 90, 60, 60)); err == nil {
+		t.Error("push/aggregate mismatch not detected")
+	}
+	if err := reconcileRound(balanced(100, 100, 60, 50)); err == nil {
+		t.Error("broadcast/pull mismatch not detected")
+	}
+	if err := reconcileRound(nil); err == nil {
+		t.Error("empty cycle (no cluster_push spans) not detected")
+	}
+}
+
+func TestReconcileInfer(t *testing.T) {
+	tr := telemetry.NewTracer(16, nil)
+	if err := reconcileInfer(tr, hierarchy.InferResult{}); err == nil {
+		t.Error("untraced inference not detected")
+	}
+
+	tc := tr.NewTrace()
+	tr.StartSpan("infer_hop", tc).SetInt("wire_bytes", 40).End()
+	tr.StartSpan("infer_hop", tc).SetInt("wire_bytes", 24).End()
+	res := hierarchy.InferResult{TraceID: tc.TraceID, WireBytes: 64, Escalations: 1}
+	if err := reconcileInfer(tr, res); err != nil {
+		t.Errorf("consistent inference failed: %v", err)
+	}
+	res.WireBytes = 63
+	if err := reconcileInfer(tr, res); err == nil {
+		t.Error("wire-byte mismatch not detected")
+	}
+	res.WireBytes = 64
+	res.Escalations = 2
+	if err := reconcileInfer(tr, res); err == nil {
+		t.Error("hop-count mismatch not detected")
+	}
+}
+
+func TestSpansSince(t *testing.T) {
+	tr := telemetry.NewTracer(16, nil)
+	tc := tr.NewTrace()
+	tr.StartSpan("a", tc).End()
+	_, seq := spansSince(tr, 0)
+	tr.StartSpan("b", tc).End()
+	tr.StartSpan("c", tc).End()
+	spans, next := spansSince(tr, seq)
+	if len(spans) != 2 || spans[0].Name != "b" || spans[1].Name != "c" {
+		t.Fatalf("spans after seq %d = %v", seq, spans)
+	}
+	if next != seq+2 {
+		t.Fatalf("next seq = %d, want %d", next, seq+2)
+	}
+}

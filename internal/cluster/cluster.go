@@ -48,6 +48,9 @@ type Config struct {
 	// broadcast, stitched across connections by the wire trace header.
 	// Nil disables tracing (zero overhead: no trace block is emitted).
 	Tracer *telemetry.Tracer
+	// Logger receives structured records of pushes, pulls and merges,
+	// trace-correlated with the spans above. Nil disables logging.
+	Logger *telemetry.Logger
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -67,6 +70,7 @@ func (c Config) withDefaults() (Config, error) {
 type Worker struct {
 	cfg Config
 	clf *core.Classifier
+	log *telemetry.Logger
 	// trace is the round's trace context; Push/Pull open child spans of
 	// it and attach their contexts to the frames they write. Zero when
 	// tracing is off.
@@ -87,7 +91,7 @@ func NewWorker(cfg Config) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: worker classifier: %w", err)
 	}
-	return &Worker{cfg: cfg, clf: clf}, nil
+	return &Worker{cfg: cfg, clf: clf, log: cfg.Logger.WithComponent("cluster")}, nil
 }
 
 // Train fits the worker's local model on its shard. With LocalEpochs
@@ -167,6 +171,11 @@ func (w *Worker) Push(conn io.Writer) error {
 	cw := &countWriter{w: conn}
 	err := wire.Write(cw, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Trace: frameTrace(tc), Model: accs})
 	sp.SetInt("wire_bytes", cw.n).End()
+	if err != nil {
+		w.log.WithTrace(tc).Warn("model push failed", "error", err.Error())
+	} else {
+		w.log.WithTrace(tc).Debug("model pushed", "wire_bytes", cw.n, "classes", len(accs))
+	}
 	return err
 }
 
@@ -179,13 +188,17 @@ func (w *Worker) Pull(conn io.Reader) error {
 	if err != nil {
 		return err
 	}
+	pullLog := w.log
 	if msg.Trace != nil {
-		w.cfg.Tracer.StartSpan("cluster_pull", msg.Trace.Child()).
+		tc := msg.Trace.Child()
+		w.cfg.Tracer.StartSpan("cluster_pull", tc).
 			SetInt("wire_bytes", cr.n).End()
+		pullLog = pullLog.WithTrace(tc)
 	}
 	if msg.Header.Type != wire.MsgModel {
 		return fmt.Errorf("cluster: expected model frame, got type %d", msg.Header.Type)
 	}
+	pullLog.Debug("global model pulled", "wire_bytes", cr.n, "classes", len(msg.Model))
 	return installModel(w.clf.Model(), msg.Model)
 }
 
@@ -213,6 +226,7 @@ type Aggregator struct {
 	dim, classes int
 	pool         *parallel.Pool
 	tracer       *telemetry.Tracer
+	log          *telemetry.Logger
 	mu           sync.Mutex
 	// partials[slot] is the parsed model pushed by the worker assigned
 	// to slot (nil until it reports).
@@ -251,6 +265,10 @@ func (a *Aggregator) SetPool(p *parallel.Pool) { a.pool = p }
 // cluster_broadcast) on tr; frames received with a trace context join
 // the sender's trace. Nil disables aggregator-side spans.
 func (a *Aggregator) SetTracer(tr *telemetry.Tracer) { a.tracer = tr }
+
+// SetLogger attaches (or with nil, detaches) a structured logger;
+// records emit under component "cluster".
+func (a *Aggregator) SetLogger(log *telemetry.Logger) { a.log = log.WithComponent("cluster") }
 
 // Global merges the collected partials in slot order and returns the
 // aggregate model. The reduction is an ordered tree over the slots, so
@@ -322,6 +340,11 @@ func (a *Aggregator) ServeOne(conn io.ReadWriter, slot int, merged chan<- error,
 	cw := &countWriter{w: conn}
 	err = wire.Write(cw, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Trace: frameTrace(tc), Model: accs})
 	sp.SetInt("slot", int64(slot)).SetInt("wire_bytes", cw.n).End()
+	if err != nil {
+		a.log.WithTrace(tc).Warn("global model broadcast failed", "slot", slot, "error", err.Error())
+	} else {
+		a.log.WithTrace(tc).Debug("global model broadcast", "slot", slot, "wire_bytes", cw.n)
+	}
 	return err
 }
 
@@ -334,10 +357,14 @@ func (a *Aggregator) readIntoSlot(conn io.Reader, slot int) error {
 	if err != nil {
 		return fmt.Errorf("cluster: aggregator read: %w", err)
 	}
+	slotLog := a.log
 	if msg.Trace != nil {
-		a.tracer.StartSpan("cluster_aggregate", msg.Trace.Child()).
+		tc := msg.Trace.Child()
+		a.tracer.StartSpan("cluster_aggregate", tc).
 			SetInt("slot", int64(slot)).SetInt("wire_bytes", cr.n).End()
+		slotLog = slotLog.WithTrace(tc)
 	}
+	slotLog.Debug("worker model received", "slot", slot, "wire_bytes", cr.n)
 	if msg.Header.Type != wire.MsgModel {
 		return fmt.Errorf("cluster: aggregator expected model frame, got type %d", msg.Header.Type)
 	}
@@ -398,6 +425,7 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 		return nil, nil, err
 	}
 	agg.SetTracer(cfg.Tracer)
+	agg.SetLogger(cfg.Logger)
 	release := make(chan struct{})
 	merged := make(chan error, len(shards))
 	errs := make(chan error, 2*len(shards))
@@ -442,6 +470,8 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 	close(release)
 	wg.Wait()
 	rootSpan.SetInt("workers", int64(len(shards))).End()
+	cfg.Logger.WithComponent("cluster").WithTrace(root).
+		Debug("federated round complete", "workers", len(shards), "merged", agg.Received())
 	if mergeErr != nil {
 		return nil, nil, mergeErr
 	}

@@ -49,6 +49,11 @@ type Config struct {
 	// Tracer records spans of the training/inference hot paths. Nil
 	// disables tracing.
 	Tracer *telemetry.Tracer
+	// Logger receives structured operational records (training runs,
+	// residual sweeps, per-inference debug lines), trace-correlated with
+	// the spans the Tracer records. Nil disables logging at the cost of
+	// one nil check per site.
+	Logger *telemetry.Logger
 }
 
 func (c Config) withDefaults() Config {

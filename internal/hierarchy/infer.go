@@ -2,6 +2,7 @@ package hierarchy
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 
 	"edgehd/internal/hdc"
@@ -102,6 +103,14 @@ func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 					SetFloat("confidence", conf).
 					SetInt("class", int64(class))
 				sp.End()
+			}
+			// Per-inference records are debug-level and guarded, so the
+			// hot path skips attribute assembly entirely at info and above.
+			if s.log.Enabled(slog.LevelDebug) {
+				s.log.WithTrace(root).Debug("inference resolved",
+					"entry", entry, "node", int(cur.id), "level", level,
+					"class", class, "confidence", conf,
+					"escalations", escal, "wire_bytes", wireBytes)
 			}
 			return res, nil
 		}

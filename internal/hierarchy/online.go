@@ -76,7 +76,8 @@ type OnlineReport struct {
 func (s *System) PropagateResiduals() (*OnlineReport, error) {
 	report := &OnlineReport{}
 	before := s.topo.Net.Stats()
-	sp := s.tracer.Start("residual_sweep")
+	tc := s.tracer.NewTrace()
+	sp := s.tracer.StartSpan("residual_sweep", tc)
 	order := s.depthOrder() // deepest first: children before parents
 	// snapshots holds each node's residual at the moment of its update,
 	// so parents combine exactly what the children applied. Both tables
@@ -170,5 +171,8 @@ func (s *System) PropagateResiduals() (*OnlineReport, error) {
 			SetFloat("comm_energy_j", report.CommEnergyJ)
 		sp.End()
 	}
+	s.log.WithTrace(tc).Info("residual sweep complete",
+		"bytes", report.Bytes, "feedback_applied", report.FeedbackApplied,
+		"comm_finish_s", report.CommFinish, "comm_energy_j", report.CommEnergyJ)
 	return report, nil
 }

@@ -66,6 +66,9 @@ type System struct {
 	// instruments. Both stay nil (no-op) until telemetry is attached.
 	tracer *telemetry.Tracer
 	met    sysMetrics
+	// log receives structured operational records (nil = logging
+	// disabled); hot paths derive trace-correlated children from it.
+	log *telemetry.Logger
 }
 
 // sysMetrics caches the registry instruments the hierarchy hot paths
@@ -119,6 +122,14 @@ func (s *System) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer)
 		feedbackApplied:  reg.Counter("online_feedback_applied_total"),
 	}
 	s.topo.Net.SetTelemetry(reg)
+}
+
+// SetLogger attaches (or with nil, detaches) a structured logger to the
+// system and the topology's network. Records emit under component
+// "hierarchy" (and "netsim" for link events).
+func (s *System) SetLogger(log *telemetry.Logger) {
+	s.log = log.WithComponent("hierarchy")
+	s.topo.Net.SetLogger(log)
 }
 
 // Build constructs the hierarchy for a topology whose end nodes observe
@@ -217,6 +228,7 @@ func Build(topo *netsim.Topology, partition [][]int, numClasses int, cfg Config)
 		n.residual = residual
 	}
 	s.SetTelemetry(cfg.Telemetry, cfg.Tracer)
+	s.SetLogger(cfg.Logger)
 	return s, nil
 }
 

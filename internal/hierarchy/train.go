@@ -55,8 +55,13 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 	}
 	report := &TrainReport{}
 	before := s.topo.Net.Stats()
-	sp := s.tracer.Start("train")
+	// The run opens its own distributed trace, so log records and span
+	// trees of one training pass join on a common trace id.
+	tc := s.tracer.NewTrace()
+	sp := s.tracer.StartSpan("train", tc)
 	sp.SetInt("samples", int64(len(x)))
+	log := s.log.WithTrace(tc)
+	log.Debug("distributed training started", "samples", len(x), "leaves", len(s.leafIndex))
 
 	// Per-class sample index lists define batch membership identically
 	// on every node (batches must align across feature views).
@@ -192,6 +197,9 @@ func (s *System) Train(x [][]float64, y []int) (*TrainReport, error) {
 			SetFloat("comm_energy_j", report.CommEnergyJ)
 		sp.End()
 	}
+	log.Info("distributed training complete", "samples", len(x),
+		"bytes", report.Bytes, "batch_hvs", report.BatchCount,
+		"comm_finish_s", report.CommFinish, "comm_energy_j", report.CommEnergyJ)
 	return report, nil
 }
 

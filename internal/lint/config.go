@@ -31,6 +31,12 @@ type Config struct {
 	// InstrumentTypes are the receiver type names the telemetry-nil
 	// rule checks within TelemetryPackage.
 	InstrumentTypes []string
+
+	// LogStylePackages are the instrumented packages where operational
+	// output must flow through the structured telemetry Logger: bare
+	// stdlib log calls and fmt.Print/Println are forbidden there
+	// (fmt.Printf remains the channel for human-readable result tables).
+	LogStylePackages []string
 }
 
 // Default returns the EdgeHD policy for a module rooted at modPath:
@@ -41,7 +47,9 @@ type Config struct {
 //   - panic-policy everywhere except the hdc and rng kernels, whose
 //     index/size guards are sanctioned programmer-error panics;
 //   - err-style everywhere (main packages are skipped by the rule);
-//   - telemetry-nil over the telemetry instrument types.
+//   - telemetry-nil over the telemetry instrument types;
+//   - log-style over the instrumented packages (the telemetry layers
+//     and the observability-aware cmd binaries).
 func Default(modPath string) *Config {
 	p := func(rel string) string { return modPath + "/" + rel }
 	return &Config{
@@ -51,6 +59,7 @@ func Default(modPath string) *Config {
 			PanicPolicy{},
 			ErrStyle{},
 			TelemetryNil{},
+			LogStyle{},
 		},
 		Allow: map[string][]string{
 			// Guard panics (negative dimension, slice out of range,
@@ -72,7 +81,18 @@ func Default(modPath string) *Config {
 		TelemetryPackage: p("internal/telemetry"),
 		InstrumentTypes: []string{
 			"Registry", "Counter", "Gauge", "Histogram", "Tracer", "SpanHandle",
-			"Collector",
+			"Collector", "Logger", "Health", "Heartbeat", "SLO", "ProfileRing",
+			"LeakDetector", "Lifecycle",
+		},
+		LogStylePackages: []string{
+			p("internal/telemetry"),
+			p("internal/cluster"),
+			p("internal/hierarchy"),
+			p("internal/netsim"),
+			p("cmd/edgehd"),
+			p("cmd/fedlearn"),
+			p("cmd/paper"),
+			p("cmd/soak"),
 		},
 	}
 }

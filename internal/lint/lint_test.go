@@ -357,6 +357,88 @@ func (c *Collector) Guarded() {
 	}
 }
 
+func TestLogStyleFiresInInstrumentedPackage(t *testing.T) {
+	diags := byRule(checkFixture(t, map[string]string{
+		"internal/cluster/noise.go": `package cluster
+
+import (
+	"fmt"
+	"log"
+)
+
+func Noisy(acc float64) {
+	log.Printf("round done")
+	fmt.Println("round done")
+	fmt.Printf("accuracy: %.1f%%\n", 100*acc)
+}
+`,
+	}), "log-style")
+	if len(diags) != 2 {
+		t.Fatalf("log-style diagnostics = %d, want 2 (log.Printf + fmt.Println, not fmt.Printf): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "log.Printf") {
+		t.Errorf("first diagnostic should flag log.Printf, got %q", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "fmt.Println") {
+		t.Errorf("second diagnostic should flag fmt.Println, got %q", diags[1].Message)
+	}
+}
+
+func TestLogStyleCoversCmdBinaries(t *testing.T) {
+	// The observability-aware cmd binaries are instrumented packages
+	// too: their operational output must be structured.
+	diags := byRule(checkFixture(t, map[string]string{
+		"cmd/edgehd/main.go": `package main
+
+import "log"
+
+func main() {
+	log.Println("starting")
+}
+`,
+	}), "log-style")
+	if len(diags) != 1 {
+		t.Fatalf("log-style diagnostics = %d, want 1: %v", len(diags), diags)
+	}
+}
+
+func TestLogStyleSilentOutsideInstrumentedPackages(t *testing.T) {
+	// Examples, tools and un-instrumented packages may print freely.
+	diags := byRule(checkFixture(t, map[string]string{
+		"internal/util/print.go": `package util
+
+import (
+	"fmt"
+	"log"
+)
+
+func Shout() {
+	log.Printf("free-form")
+	fmt.Println("free-form")
+}
+`,
+	}), "log-style")
+	if len(diags) != 0 {
+		t.Fatalf("log-style fired outside the instrumented packages: %v", diags)
+	}
+}
+
+func TestLogStyleDirectiveSuppresses(t *testing.T) {
+	diags := byRule(checkFixture(t, map[string]string{
+		"internal/cluster/boot.go": `package cluster
+
+import "fmt"
+
+func Banner() {
+	fmt.Println("edgehd cluster") //hdlint:allow log-style banner precedes logger construction
+}
+`,
+	}), "log-style")
+	if len(diags) != 0 {
+		t.Fatalf("log-style ignored the allow directive: %v", diags)
+	}
+}
+
 func TestLoaderSkipsTestFiles(t *testing.T) {
 	// _test.go files are outside hdlint's scope (test helpers may panic
 	// freely), matching the loader's non-test package model.
@@ -419,7 +501,7 @@ func TestRulesHaveNamesAndDocs(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	for _, want := range []string{"det-rand", "map-order", "panic-policy", "err-style", "telemetry-nil"} {
+	for _, want := range []string{"det-rand", "map-order", "panic-policy", "err-style", "telemetry-nil", "log-style"} {
 		if !seen[want] {
 			t.Errorf("default config missing rule %q", want)
 		}

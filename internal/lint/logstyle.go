@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LogStyle enforces the structured-logging contract of the
+// observability plane: inside the instrumented packages every line of
+// operational output must be one JSON record emitted through the
+// telemetry Logger (which stamps component, node and trace identity),
+// never a bare stdlib log call or an unformatted fmt print. Result
+// tables — accuracies, per-level breakdowns, experiment renders — stay
+// on stdout via fmt.Printf / fmt.Fprintf, which the rule deliberately
+// leaves alone; the line it draws is "records a pipeline must parse"
+// versus "a table a human reads". The //hdlint:allow log-style escape
+// hatch covers the rare sanctioned exception (e.g. output emitted
+// before a logger can exist).
+type LogStyle struct{}
+
+// Name implements Rule.
+func (LogStyle) Name() string { return "log-style" }
+
+// Doc implements Rule.
+func (LogStyle) Doc() string {
+	return "forbids stdlib log calls and fmt.Print/Println in the instrumented packages; " +
+		"operational output goes through the structured telemetry.Logger (results may " +
+		"still use fmt.Printf on stdout)"
+}
+
+// barePrintFuncs are the fmt functions that emit operational-looking
+// lines without a format string; formatted printing (Printf, Fprintf)
+// is the sanctioned channel for result tables.
+var barePrintFuncs = map[string]bool{"Print": true, "Println": true}
+
+// Check implements Rule.
+func (r LogStyle) Check(pass *Pass) {
+	if !contains(pass.Cfg.LogStylePackages, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "log":
+				pass.Reportf(sel.Pos(), "stdlib log.%s in instrumented package %s; emit a structured record through the telemetry Logger instead", fn.Name(), pass.Pkg.Name)
+			case "fmt":
+				if barePrintFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "fmt.%s in instrumented package %s; operational output goes through the telemetry Logger (result tables use fmt.Printf)", fn.Name(), pass.Pkg.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -50,6 +50,9 @@ type Network struct {
 	telHops     *telemetry.Counter
 	telEnergy   *telemetry.Gauge
 	telTransfer *telemetry.Histogram
+	// log records topology changes (nil = logging disabled). The hop hot
+	// path never logs — per-transfer data lives in the metrics above.
+	log *telemetry.Logger
 }
 
 // New returns an empty network.
@@ -95,6 +98,9 @@ func (n *Network) Connect(child, parent NodeID, m Medium) error {
 	if n.tel != nil {
 		n.resolveLinkInstruments(len(n.links) - 1)
 	}
+	n.log.Debug("link connected",
+		"child", n.names[child], "parent", n.names[parent],
+		"medium", m.Name, "bandwidth_bps", m.BandwidthBps)
 	return nil
 }
 
@@ -131,6 +137,12 @@ func (n *Network) resolveLinkInstruments(i int) {
 	l.telTransfer = n.tel.Histogram("net_link_transfer_seconds", labels...)
 }
 
+// SetLogger attaches (or with nil, detaches) a structured logger;
+// records emit under component "netsim".
+func (n *Network) SetLogger(log *telemetry.Logger) {
+	n.log = log.WithComponent("netsim")
+}
+
 // SetLossRate sets the per-bit corruption probability of the child's
 // uplink, used by the Fig 12 failure injection.
 func (n *Network) SetLossRate(child NodeID, rate float64) error {
@@ -141,6 +153,7 @@ func (n *Network) SetLossRate(child NodeID, rate float64) error {
 		return fmt.Errorf("netsim: loss rate %v out of [0,1]", rate)
 	}
 	n.links[n.uplink[child]].lossRate = rate
+	n.log.Info("uplink loss rate set", "node", n.names[child], "loss_rate", rate)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 	"runtime/metrics"
+	"sync"
 	"time"
 )
 
@@ -21,6 +22,11 @@ type Collector struct {
 	reg     *Registry
 	start   time.Time
 	samples []metrics.Sample
+
+	// hookMu guards hooks; Collect itself runs in a single goroutine
+	// (Start's loop) but hooks may be registered from others.
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // The runtime/metrics names the collector samples, paired with the
@@ -105,6 +111,26 @@ func (c *Collector) Collect() {
 	}
 	c.setGauge("runtime_uptime_seconds", time.Since(c.start).Seconds())
 	c.setGauge("runtime_gomaxprocs", float64(runtime.GOMAXPROCS(0)))
+	c.hookMu.Lock()
+	hooks := c.hooks
+	c.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// OnCollect registers a hook run at the end of every Collect pass, on
+// the collection cadence. The health plane rides on this: heartbeats
+// beat here (a wedged collection loop goes stale and fails /healthz),
+// SLO trackers recompute their gauges here, and leak detectors can
+// sample here. No-op on a nil collector or nil hook.
+func (c *Collector) OnCollect(fn func()) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.hookMu.Lock()
+	c.hooks = append(c.hooks, fn)
+	c.hookMu.Unlock()
 }
 
 // Start launches a background goroutine collecting every interval

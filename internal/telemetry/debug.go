@@ -109,29 +109,59 @@ func (r *Registry) Publish(name string) {
 	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
 }
 
+// writeJSONError emits a JSON error body ({"error": "..."}), so
+// programmatic consumers of the debug endpoints never have to parse
+// plain-text error pages.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}
+
+// healthHandler serves one health endpoint: 200 with the status body
+// when every probe passes, 503 otherwise.
+func healthHandler(eval func() HealthStatus) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		st := eval()
+		w.Header().Set("Content-Type", "application/json")
+		if !st.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	}
+}
+
 // NewDebugMux builds the debug-server handler: the OpenMetrics
-// exposition at /metrics, expvar at /debug/vars, pprof under
-// /debug/pprof/, the registry snapshot at /debug/metrics, the retained
-// trace spans at /debug/spans, and assembled per-trace span trees at
+// exposition at /metrics, liveness and readiness probes at /healthz
+// and /readyz (h may be nil: both then report ok with no components),
+// expvar at /debug/vars, pprof under /debug/pprof/, the registry
+// snapshot at /debug/metrics, the retained trace spans at
+// /debug/spans, and assembled per-trace span trees at
 // /debug/trace/{trace-id} (hex or decimal id).
-func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+func NewDebugMux(reg *Registry, tr *Tracer, h *Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", ContentTypeOpenMetrics)
 		_ = reg.WriteOpenMetrics(w)
 	})
+	mux.HandleFunc("/healthz", healthHandler(h.Live))
+	mux.HandleFunc("/readyz", healthHandler(h.Ready))
 	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, req *http.Request) {
 		idStr := strings.TrimPrefix(req.URL.Path, "/debug/trace/")
 		id, err := strconv.ParseUint(idStr, 16, 64)
 		if err != nil {
 			if id, err = strconv.ParseUint(idStr, 10, 64); err != nil {
-				http.Error(w, "telemetry: trace id must be hex or decimal", http.StatusBadRequest)
+				writeJSONError(w, http.StatusBadRequest, "telemetry: trace id must be hex or decimal")
 				return
 			}
 		}
 		tree := tr.TraceTree(id)
 		if tree == nil {
-			http.NotFound(w, req)
+			writeJSONError(w, http.StatusNotFound, fmt.Sprintf("telemetry: no retained spans for trace %016x", id))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -168,6 +198,8 @@ func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 		}
 		fmt.Fprint(w, "edgehd debug server\n\n"+
 			"/metrics           OpenMetrics exposition\n"+
+			"/healthz           liveness probes (JSON, 503 when failing)\n"+
+			"/readyz            readiness probes (JSON, 503 when failing)\n"+
 			"/debug/metrics     JSON metrics snapshot\n"+
 			"/debug/spans       recent trace spans\n"+
 			"/debug/trace/{id}  assembled trace tree (hex id)\n"+
@@ -190,14 +222,15 @@ func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 func (d *DebugServer) Close() error { return d.srv.Close() }
 
 // ServeDebug starts the debug server on addr (e.g. "localhost:6060" or
-// "127.0.0.1:0") serving NewDebugMux(reg, tr) in a background
-// goroutine. The caller owns the returned server and should Close it.
-func ServeDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+// "127.0.0.1:0") serving NewDebugMux(reg, tr, h) in a background
+// goroutine (h may be nil — the health endpoints then report ok). The
+// caller owns the returned server and should Close it.
+func ServeDebug(addr string, reg *Registry, tr *Tracer, h *Health) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: debug listen on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewDebugMux(reg, tr)}
+	srv := &http.Server{Handler: NewDebugMux(reg, tr, h)}
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{srv: srv, ln: ln}, nil
 }

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CheckFunc probes one component and returns nil when it is healthy.
+type CheckFunc func() error
+
+// Health is the component health registry behind the /healthz and
+// /readyz endpoints. Components register named probes under one of two
+// kinds: liveness ("the loop is still running" — a stuck collector or
+// soak cycle fails here) and readiness ("the process can do useful
+// work" — an aggregator not yet listening or a model not yet trained
+// fails here). Probes run on demand at serve time, so the endpoints
+// always reflect the current state.
+//
+// A nil *Health is a valid "no health plane" registry: registration
+// no-ops and both endpoints report ok with no components.
+type Health struct {
+	mu    sync.Mutex
+	live  map[string]CheckFunc
+	ready map[string]CheckFunc
+}
+
+// NewHealth returns an empty health registry.
+func NewHealth() *Health {
+	return &Health{live: map[string]CheckFunc{}, ready: map[string]CheckFunc{}}
+}
+
+// Liveness registers (or replaces) a liveness probe.
+func (h *Health) Liveness(name string, check CheckFunc) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.live[name] = check
+	h.mu.Unlock()
+}
+
+// Readiness registers (or replaces) a readiness probe.
+func (h *Health) Readiness(name string, check CheckFunc) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready[name] = check
+	h.mu.Unlock()
+}
+
+// HealthStatus is the JSON body served by /healthz and /readyz.
+type HealthStatus struct {
+	// Status is "ok" or "unhealthy".
+	Status string `json:"status"`
+	// OK mirrors Status as a boolean for programmatic consumers.
+	OK bool `json:"ok"`
+	// Components maps each registered probe to "ok" or its error text.
+	// encoding/json renders map keys sorted, so bodies are stable.
+	Components map[string]string `json:"components,omitempty"`
+}
+
+// Live evaluates every liveness probe.
+func (h *Health) Live() HealthStatus { return h.eval(false) }
+
+// Ready evaluates every readiness probe.
+func (h *Health) Ready() HealthStatus { return h.eval(true) }
+
+// eval snapshots the requested probe set under the lock, then runs the
+// probes outside it (a probe may itself take locks or block briefly).
+func (h *Health) eval(ready bool) HealthStatus {
+	st := HealthStatus{Status: "ok", OK: true}
+	if h == nil {
+		return st
+	}
+	h.mu.Lock()
+	src := h.live
+	if ready {
+		src = h.ready
+	}
+	checks := make(map[string]CheckFunc, len(src))
+	for name, fn := range src {
+		checks[name] = fn
+	}
+	h.mu.Unlock()
+	if len(checks) == 0 {
+		return st
+	}
+	st.Components = make(map[string]string, len(checks))
+	for name, fn := range checks {
+		if err := fn(); err != nil {
+			st.Components[name] = err.Error()
+			st.Status = "unhealthy"
+			st.OK = false
+		} else {
+			st.Components[name] = "ok"
+		}
+	}
+	return st
+}
+
+// Heartbeat is a staleness probe: a background loop Beats it on every
+// iteration, and Check fails once the last beat is older than the
+// configured maximum. It turns "the goroutine is wedged" — invisible
+// to a plain aliveness boolean — into a failing health check.
+type Heartbeat struct {
+	max  time.Duration
+	last atomic.Int64 // unix nanoseconds of the most recent beat
+}
+
+// NewHeartbeat returns a heartbeat that goes stale max after the most
+// recent beat (minimum one second). The clock starts now.
+func NewHeartbeat(max time.Duration) *Heartbeat {
+	if max < time.Second {
+		max = time.Second
+	}
+	b := &Heartbeat{max: max}
+	b.Beat()
+	return b
+}
+
+// Beat records one liveness pulse.
+func (b *Heartbeat) Beat() {
+	if b == nil {
+		return
+	}
+	b.last.Store(time.Now().UnixNano())
+}
+
+// Check implements CheckFunc: it fails when the last beat is stale.
+func (b *Heartbeat) Check() error {
+	if b == nil {
+		return nil
+	}
+	age := time.Since(time.Unix(0, b.last.Load()))
+	if age > b.max {
+		return fmt.Errorf("telemetry: heartbeat stale for %v (max %v)", age.Round(time.Millisecond), b.max)
+	}
+	return nil
+}
+
+// SLO turns a latency histogram into service-level-objective gauges:
+// given an objective ("p-th of requests finish within X seconds") and
+// a target attainment ratio, Collect publishes
+//
+//	slo_objective_seconds{slo="<name>"}           the objective X
+//	slo_target_ratio{slo="<name>"}                the target ratio
+//	slo_attainment_ratio{slo="<name>"}            fraction of observations ≤ X
+//	slo_error_budget_remaining_ratio{slo="<name>"} 1 − (1−attainment)/(1−target)
+//	slo_observations{slo="<name>"}                histogram count at collection
+//
+// so dashboards and alerts consume objective compliance straight from
+// the OpenMetrics exposition. Attainment uses Histogram.Cumulative,
+// whose bucket folding under-approximates count(v ≤ X) by at most one
+// internal bucket (≤7.5% relative) — the published attainment is a
+// conservative lower bound. The error budget goes negative once the
+// objective is burned through; with no observations attainment is 1
+// (nothing has violated the objective yet).
+type SLO struct {
+	hist      *Histogram
+	objective float64
+	target    float64
+
+	attainment *Gauge
+	budget     *Gauge
+	count      *Gauge
+}
+
+// NewSLO registers the slo_* family for name over hist. A nil registry
+// or histogram returns a nil (disabled) SLO and no error; an invalid
+// objective (≤ 0) or target (outside (0,1)) is an error.
+func NewSLO(reg *Registry, name string, hist *Histogram, objectiveSeconds, target float64) (*SLO, error) {
+	if objectiveSeconds <= 0 {
+		return nil, fmt.Errorf("telemetry: slo %q objective must be positive, got %v", name, objectiveSeconds)
+	}
+	if target <= 0 || target >= 1 {
+		return nil, fmt.Errorf("telemetry: slo %q target must be in (0,1), got %v", name, target)
+	}
+	if reg == nil || hist == nil {
+		return nil, nil
+	}
+	reg.SetHelp("slo_objective_seconds", "latency objective of the named SLO")
+	reg.SetHelp("slo_target_ratio", "target fraction of observations that must meet the objective")
+	reg.SetHelp("slo_attainment_ratio", "observed fraction of observations meeting the objective (conservative)")
+	reg.SetHelp("slo_error_budget_remaining_ratio", "remaining error budget; negative once burned through")
+	reg.SetHelp("slo_observations", "histogram observations behind the SLO at last collection")
+	l := L("slo", name)
+	s := &SLO{
+		hist:       hist,
+		objective:  objectiveSeconds,
+		target:     target,
+		attainment: reg.Gauge("slo_attainment_ratio", l),
+		budget:     reg.Gauge("slo_error_budget_remaining_ratio", l),
+		count:      reg.Gauge("slo_observations", l),
+	}
+	reg.Gauge("slo_objective_seconds", l).Set(objectiveSeconds)
+	reg.Gauge("slo_target_ratio", l).Set(target)
+	s.Collect()
+	return s, nil
+}
+
+// Collect recomputes the attainment and error-budget gauges from the
+// histogram's current state. Safe to call from the runtime collector's
+// OnCollect hook.
+func (s *SLO) Collect() {
+	if s == nil {
+		return
+	}
+	count := s.hist.Count()
+	attainment := 1.0
+	if count > 0 {
+		within := s.hist.Cumulative([]float64{s.objective})[0]
+		attainment = float64(within) / float64(count)
+	}
+	s.attainment.Set(attainment)
+	s.budget.Set(1 - (1-attainment)/(1-s.target))
+	s.count.Set(float64(count))
+}

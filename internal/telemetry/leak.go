@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// LeakSample is one observation of the process's leak-sensitive state.
+type LeakSample struct {
+	Goroutines int    `json:"goroutines"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+}
+
+// LeakDetector watches goroutine counts and heap high-water marks for
+// drift across windows of samples: a run whose steady state keeps
+// ratcheting upward is leaking even if any single sample looks
+// plausible. Samples arrive either from the runtime collector's
+// cadence (Collector.OnCollect(d.Sample)) or at stable points chosen
+// by a long-runner (cmd/soak samples after a forced GC at the end of
+// every cycle, so heap numbers compare like for like).
+//
+// The drift test is deliberately conservative: after discarding the
+// warmup prefix, the remaining samples split into a baseline half and
+// a recent half, and drift is only reported when the recent *minimum*
+// exceeds the baseline *maximum* (plus slack, for the heap) — a
+// transient spike cannot trip it, but a raised floor always does.
+//
+// A nil *LeakDetector is a valid "detection disabled" detector.
+type LeakDetector struct {
+	mu      sync.Mutex
+	warmup  int
+	samples []LeakSample
+
+	// heap slack absorbs allocator and GC-pacing noise: drift below
+	// max(heapSlackBytes, heapSlackFrac·baseline-max) is not a leak.
+	heapSlackFrac  float64
+	heapSlackBytes uint64
+
+	gDrift  *Gauge
+	hDrift  *Gauge
+	nSample *Gauge
+}
+
+// NewLeakDetector returns a detector that ignores the first warmup
+// samples (pools filling, caches priming) and absorbs 10% + 4 MiB of
+// heap noise. A nil registry is allowed — the leak_* gauges are simply
+// not published.
+func NewLeakDetector(reg *Registry, warmup int) *LeakDetector {
+	if warmup < 0 {
+		warmup = 0
+	}
+	reg.SetHelp("leak_goroutine_drift", "goroutine-count drift between baseline and recent windows (0 = no leak)")
+	reg.SetHelp("leak_heap_drift_bytes", "heap high-water drift beyond slack between baseline and recent windows (0 = no leak)")
+	reg.SetHelp("leak_samples", "samples accumulated by the leak detector")
+	return &LeakDetector{
+		warmup:         warmup,
+		heapSlackFrac:  0.10,
+		heapSlackBytes: 4 << 20,
+		gDrift:         reg.Gauge("leak_goroutine_drift"),
+		hDrift:         reg.Gauge("leak_heap_drift_bytes"),
+		nSample:        reg.Gauge("leak_samples"),
+	}
+}
+
+// Observe records one sample.
+func (d *LeakDetector) Observe(s LeakSample) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.samples = append(d.samples, s)
+	n := len(d.samples)
+	d.mu.Unlock()
+	d.nSample.Set(float64(n))
+}
+
+// Sample records the current goroutine count and live-heap bytes.
+// Suitable as a Collector.OnCollect hook.
+func (d *LeakDetector) Sample() {
+	if d == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	d.Observe(LeakSample{Goroutines: runtime.NumGoroutine(), HeapBytes: ms.HeapAlloc})
+}
+
+// SampleStable forces a GC before sampling, so successive samples taken
+// at equivalent program points (e.g. between soak cycles) compare heap
+// floors rather than allocator positions.
+func (d *LeakDetector) SampleStable() {
+	if d == nil {
+		return
+	}
+	runtime.GC()
+	d.Sample()
+}
+
+// LeakReport is the verdict over the accumulated samples.
+type LeakReport struct {
+	// Samples counts all observations, including warmup.
+	Samples int `json:"samples"`
+	// Usable counts the post-warmup observations the verdict used.
+	Usable int `json:"usable"`
+	// Insufficient is set when fewer than four usable samples exist —
+	// no verdict is possible and both drifts are zero.
+	Insufficient bool `json:"insufficient,omitempty"`
+
+	// BaselineMaxGoroutines / RecentMinGoroutines bound the two
+	// windows; GoroutineDrift = max(0, recent-min − baseline-max).
+	BaselineMaxGoroutines int `json:"baseline_max_goroutines"`
+	RecentMinGoroutines   int `json:"recent_min_goroutines"`
+	GoroutineDrift        int `json:"goroutine_drift"`
+
+	// BaselineMaxHeap / RecentMinHeap bound the heap windows;
+	// HeapDriftBytes is the excess of recent-min over baseline-max
+	// beyond HeapSlackBytes (0 when within slack).
+	BaselineMaxHeap uint64 `json:"baseline_max_heap_bytes"`
+	RecentMinHeap   uint64 `json:"recent_min_heap_bytes"`
+	HeapSlackBytes  uint64 `json:"heap_slack_bytes"`
+	HeapDriftBytes  int64  `json:"heap_drift_bytes"`
+}
+
+// Leaky reports whether either drift is nonzero.
+func (r LeakReport) Leaky() bool { return r.GoroutineDrift > 0 || r.HeapDriftBytes > 0 }
+
+// Report computes the drift verdict and refreshes the leak_* gauges.
+func (d *LeakDetector) Report() LeakReport {
+	if d == nil {
+		return LeakReport{Insufficient: true}
+	}
+	d.mu.Lock()
+	samples := append([]LeakSample(nil), d.samples...)
+	warmup := d.warmup
+	d.mu.Unlock()
+
+	r := LeakReport{Samples: len(samples)}
+	usable := samples
+	if warmup < len(usable) {
+		usable = usable[warmup:]
+	} else {
+		usable = nil
+	}
+	r.Usable = len(usable)
+	if len(usable) < 4 {
+		r.Insufficient = true
+		d.gDrift.Set(0)
+		d.hDrift.Set(0)
+		return r
+	}
+	base, recent := usable[:len(usable)/2], usable[len(usable)/2:]
+	r.BaselineMaxGoroutines = base[0].Goroutines
+	r.BaselineMaxHeap = base[0].HeapBytes
+	for _, s := range base[1:] {
+		if s.Goroutines > r.BaselineMaxGoroutines {
+			r.BaselineMaxGoroutines = s.Goroutines
+		}
+		if s.HeapBytes > r.BaselineMaxHeap {
+			r.BaselineMaxHeap = s.HeapBytes
+		}
+	}
+	r.RecentMinGoroutines = recent[0].Goroutines
+	r.RecentMinHeap = recent[0].HeapBytes
+	for _, s := range recent[1:] {
+		if s.Goroutines < r.RecentMinGoroutines {
+			r.RecentMinGoroutines = s.Goroutines
+		}
+		if s.HeapBytes < r.RecentMinHeap {
+			r.RecentMinHeap = s.HeapBytes
+		}
+	}
+	if delta := r.RecentMinGoroutines - r.BaselineMaxGoroutines; delta > 0 {
+		r.GoroutineDrift = delta
+	}
+	r.HeapSlackBytes = d.heapSlackBytes
+	if frac := uint64(d.heapSlackFrac * float64(r.BaselineMaxHeap)); frac > r.HeapSlackBytes {
+		r.HeapSlackBytes = frac
+	}
+	if r.RecentMinHeap > r.BaselineMaxHeap+r.HeapSlackBytes {
+		r.HeapDriftBytes = int64(r.RecentMinHeap - r.BaselineMaxHeap - r.HeapSlackBytes)
+	}
+	d.gDrift.Set(float64(r.GoroutineDrift))
+	d.hDrift.Set(float64(r.HeapDriftBytes))
+	return r
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Logger is the structured-logging half of the observability plane: a
+// thin wrapper over log/slog's JSON handler that stamps every record
+// with the emitting component and — when derived via WithTrace — the
+// active distributed-trace identity (trace_id/span_id, hex-encoded to
+// match the /debug/trace/{id} endpoints). One process, one sink: the
+// cmd binaries construct a single root Logger on stderr and hand
+// component-scoped children to the cluster, hierarchy and netsim
+// layers, so every line of operational output is one JSON object that
+// log pipelines can join against the trace tree.
+//
+// Like every other telemetry instrument, a nil *Logger is a valid
+// "logging disabled" logger: all methods no-op (or return nil), so
+// instrumented layers log unconditionally and pay one nil check when
+// no logger is attached.
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger returns a logger emitting one JSON object per record to w,
+// tagged component="<component>" and filtered to records at or above
+// level. A nil writer returns a nil (disabled) logger.
+func NewLogger(w io.Writer, component string, level slog.Leveler) *Logger {
+	if w == nil {
+		return nil
+	}
+	l := slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+	if component != "" {
+		l = l.With(slog.String("component", component))
+	}
+	return &Logger{s: l}
+}
+
+// ParseLogLevel maps the conventional -log-level flag values onto slog
+// levels. The empty string selects info.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// With returns a logger whose records carry the given additional
+// attributes (slog key/value pairs). Nil-safe.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// WithComponent returns a logger for a sub-component: its records
+// replace the component attribute (slog keeps the last duplicate key
+// rendered, and log pipelines read the most specific one).
+func (l *Logger) WithComponent(name string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(slog.String("component", name))}
+}
+
+// WithNode returns a logger whose records carry a node identity.
+func (l *Logger) WithNode(id int) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(slog.Int("node", id))}
+}
+
+// WithTrace returns a logger correlated with the given trace context:
+// records carry trace_id and span_id (and parent_span_id when set) as
+// 16-digit hex, the same rendering the span endpoints use. An invalid
+// (zero) context returns the logger unchanged, so callers can thread
+// the active context unconditionally — untraced operations simply log
+// without correlation attributes.
+func (l *Logger) WithTrace(tc TraceContext) *Logger {
+	if l == nil {
+		return nil
+	}
+	if !tc.Valid() {
+		return l
+	}
+	args := []any{
+		slog.String("trace_id", fmt.Sprintf("%016x", tc.TraceID)),
+		slog.String("span_id", fmt.Sprintf("%016x", tc.SpanID)),
+	}
+	if tc.ParentID != 0 {
+		args = append(args, slog.String("parent_span_id", fmt.Sprintf("%016x", tc.ParentID)))
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// Enabled reports whether records at the given level would be emitted
+// (false on a nil logger), letting hot paths skip attribute assembly
+// when debug logging is off.
+func (l *Logger) Enabled(level slog.Level) bool {
+	if l == nil {
+		return false
+	}
+	return l.s.Enabled(context.Background(), level)
+}
+
+// Debug emits a debug-level record.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Debug(msg, args...)
+}
+
+// Info emits an info-level record.
+func (l *Logger) Info(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Info(msg, args...)
+}
+
+// Warn emits a warn-level record.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Warn(msg, args...)
+}
+
+// Error emits an error-level record.
+func (l *Logger) Error(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Error(msg, args...)
+}

@@ -1,0 +1,509 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// hexID renders a trace/span id the way the logger and the trace
+// endpoints do.
+func hexID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// decodeLines parses each line of a JSON-lines log buffer, failing the
+// test on any line that is not a valid JSON object.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not valid JSON: %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestLoggerEmitsJSONWithComponentAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "edgehd", slog.LevelInfo)
+	log.Debug("filtered out")
+	log.Info("hello", "answer", 42)
+	log.Warn("careful")
+	log.Error("broken", "error", "boom")
+
+	recs := decodeLines(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3 (debug filtered): %v", len(recs), recs)
+	}
+	if recs[0]["component"] != "edgehd" || recs[0]["msg"] != "hello" || recs[0]["answer"] != float64(42) {
+		t.Errorf("info record = %v", recs[0])
+	}
+	for i, want := range []string{"INFO", "WARN", "ERROR"} {
+		if recs[i]["level"] != want {
+			t.Errorf("record %d level = %v, want %s", i, recs[i]["level"], want)
+		}
+	}
+	if log.Enabled(slog.LevelDebug) {
+		t.Error("Enabled(debug) = true on an info-level logger")
+	}
+	if !log.Enabled(slog.LevelWarn) {
+		t.Error("Enabled(warn) = false on an info-level logger")
+	}
+}
+
+func TestLoggerTraceCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "edgehd", slog.LevelDebug)
+	tr := NewTracer(8, nil)
+	root := tr.NewTrace()
+	child := root.Child()
+	log.WithTrace(child).Info("hop done")
+	// An invalid context adds no correlation attributes.
+	log.WithTrace(TraceContext{}).Info("untraced")
+
+	recs := decodeLines(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	traced := recs[0]
+	wantTrace := hexID(child.TraceID)
+	if traced["trace_id"] != wantTrace || traced["span_id"] != hexID(child.SpanID) || traced["parent_span_id"] != hexID(child.ParentID) {
+		t.Errorf("trace attrs = %v, want trace_id %s", traced, wantTrace)
+	}
+	if _, ok := recs[1]["trace_id"]; ok {
+		t.Errorf("untraced record carries trace_id: %v", recs[1])
+	}
+}
+
+func TestLoggerWithNodeAndComponentOverride(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "edgehd", slog.LevelInfo)
+	log.WithComponent("cluster").WithNode(3).Info("worker ready")
+
+	recs := decodeLines(t, &buf)
+	// encoding/json keeps the last duplicate key, which is the most
+	// specific component — exactly the read the doc promises pipelines.
+	if recs[0]["component"] != "cluster" || recs[0]["node"] != float64(3) {
+		t.Errorf("record = %v", recs[0])
+	}
+}
+
+func TestLoggerNilSafety(t *testing.T) {
+	var log *Logger
+	log.Debug("x")
+	log.Info("x")
+	log.Warn("x")
+	log.Error("x")
+	if log.With("k", "v") != nil || log.WithComponent("c") != nil ||
+		log.WithNode(1) != nil || log.WithTrace(TraceContext{}) != nil {
+		t.Error("derivations of a nil logger must stay nil")
+	}
+	if log.Enabled(slog.LevelError) {
+		t.Error("nil logger reports Enabled")
+	}
+	if NewLogger(nil, "x", slog.LevelInfo) != nil {
+		t.Error("NewLogger(nil writer) must return the disabled logger")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted an unknown level")
+	}
+}
+
+func TestHealthRegistryTransitions(t *testing.T) {
+	h := NewHealth()
+	if st := h.Live(); !st.OK || st.Status != "ok" {
+		t.Fatalf("empty registry not ok: %+v", st)
+	}
+	failing := errors.New("health: collector wedged")
+	h.Liveness("collector", func() error { return failing })
+	h.Readiness("model", func() error { return nil })
+	if st := h.Live(); st.OK || st.Components["collector"] != failing.Error() {
+		t.Fatalf("failing liveness not reported: %+v", st)
+	}
+	if st := h.Ready(); !st.OK || st.Components["model"] != "ok" {
+		t.Fatalf("readiness tainted by liveness: %+v", st)
+	}
+	// Replacing the probe restores health.
+	h.Liveness("collector", func() error { return nil })
+	if st := h.Live(); !st.OK {
+		t.Fatalf("replaced probe still failing: %+v", st)
+	}
+
+	var nilH *Health
+	nilH.Liveness("x", func() error { return errors.New("health: x") })
+	if st := nilH.Live(); !st.OK {
+		t.Error("nil health registry must report ok")
+	}
+	if st := nilH.Ready(); !st.OK {
+		t.Error("nil health registry must report ready")
+	}
+}
+
+func TestHeartbeatStaleness(t *testing.T) {
+	b := NewHeartbeat(2 * time.Second)
+	if err := b.Check(); err != nil {
+		t.Fatalf("fresh heartbeat failed: %v", err)
+	}
+	b.last.Store(time.Now().Add(-3 * time.Second).UnixNano())
+	if err := b.Check(); err == nil {
+		t.Fatal("stale heartbeat passed")
+	}
+	b.Beat()
+	if err := b.Check(); err != nil {
+		t.Fatalf("re-beaten heartbeat failed: %v", err)
+	}
+	var nilB *Heartbeat
+	nilB.Beat()
+	if err := nilB.Check(); err != nil {
+		t.Errorf("nil heartbeat failed: %v", err)
+	}
+}
+
+func TestSLOGaugesTrackAttainment(t *testing.T) {
+	reg := New()
+	hist := reg.Histogram("infer_seconds")
+	s, err := NewSLO(reg, "infer", hist, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No observations yet: nothing has violated the objective.
+	if v := reg.Gauge("slo_attainment_ratio", L("slo", "infer")).Value(); v != 1 {
+		t.Fatalf("initial attainment = %v, want 1", v)
+	}
+	for i := 0; i < 8; i++ {
+		hist.Observe(0.01) // well within the objective
+	}
+	hist.Observe(10)
+	hist.Observe(10) // two clear violations
+	s.Collect()
+	att := reg.Gauge("slo_attainment_ratio", L("slo", "infer")).Value()
+	if att <= 0 || att >= 1 {
+		t.Fatalf("attainment = %v, want strictly inside (0,1)", att)
+	}
+	budget := reg.Gauge("slo_error_budget_remaining_ratio", L("slo", "infer")).Value()
+	if want := 1 - (1-att)/(1-0.9); math.Abs(budget-want) > 1e-9 {
+		t.Fatalf("budget = %v, want ~%v", budget, want)
+	}
+	if n := reg.Gauge("slo_observations", L("slo", "infer")).Value(); n != 10 {
+		t.Fatalf("observations = %v, want 10", n)
+	}
+	if v := reg.Gauge("slo_objective_seconds", L("slo", "infer")).Value(); v != 0.1 {
+		t.Fatalf("objective gauge = %v", v)
+	}
+
+	if _, err := NewSLO(reg, "bad", hist, 0, 0.9); err == nil {
+		t.Error("zero objective accepted")
+	}
+	if _, err := NewSLO(reg, "bad", hist, 1, 1.5); err == nil {
+		t.Error("target outside (0,1) accepted")
+	}
+	disabled, err := NewSLO(nil, "off", nil, 1, 0.5)
+	if err != nil || disabled != nil {
+		t.Errorf("nil registry should yield a disabled SLO, got %v, %v", disabled, err)
+	}
+	disabled.Collect() // must not panic
+}
+
+func TestProfileRingCaptureAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	reg := New()
+	ring, err := NewProfileRing(dir, 2, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ring.Capture(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := ring.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, f := range files {
+		kind, _, _ := strings.Cut(f, "-")
+		kinds[kind]++
+	}
+	if kinds["heap"] != 2 || kinds["goroutine"] != 2 {
+		t.Fatalf("retention kept %v, want 2 heap + 2 goroutine", kinds)
+	}
+	if got := reg.Counter("profile_captures_total").Value(); got != 6 {
+		t.Errorf("captures counter = %d, want 6", got)
+	}
+	if got := reg.Counter("profile_pruned_total").Value(); got != 2 {
+		t.Errorf("pruned counter = %d, want 2", got)
+	}
+
+	if err := ring.CaptureCPU(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = ring.Files()
+	cpu := 0
+	for _, f := range files {
+		if strings.HasPrefix(f, "cpu-") {
+			cpu++
+		}
+	}
+	if cpu != 1 {
+		t.Fatalf("cpu profiles = %d, want 1: %v", cpu, files)
+	}
+
+	if _, err := NewProfileRing("", 2, reg, nil); err == nil {
+		t.Error("empty dir accepted")
+	}
+	var nilRing *ProfileRing
+	if err := nilRing.Capture(); err != nil {
+		t.Errorf("nil ring Capture: %v", err)
+	}
+	nilRing.Start(time.Second, 0)()
+}
+
+func TestLeakDetectorVerdicts(t *testing.T) {
+	reg := New()
+	flat := NewLeakDetector(reg, 1)
+	flat.Observe(LeakSample{Goroutines: 99, HeapBytes: 1 << 30}) // warmup, discarded
+	for i := 0; i < 6; i++ {
+		flat.Observe(LeakSample{Goroutines: 8, HeapBytes: 64 << 20})
+	}
+	if r := flat.Report(); r.Leaky() || r.Insufficient || r.Usable != 6 {
+		t.Fatalf("steady run misreported: %+v", r)
+	}
+
+	grow := NewLeakDetector(nil, 0)
+	for i := 0; i < 8; i++ {
+		grow.Observe(LeakSample{Goroutines: 8 + i, HeapBytes: uint64(64+10*i) << 20})
+	}
+	r := grow.Report()
+	if !r.Leaky() || r.GoroutineDrift == 0 || r.HeapDriftBytes == 0 {
+		t.Fatalf("ratcheting run not flagged: %+v", r)
+	}
+
+	// Drift within the heap slack is absorbed.
+	slack := NewLeakDetector(nil, 0)
+	for i := 0; i < 8; i++ {
+		slack.Observe(LeakSample{Goroutines: 8, HeapBytes: uint64(64<<20 + i*1024)})
+	}
+	if r := slack.Report(); r.Leaky() {
+		t.Fatalf("noise within slack flagged: %+v", r)
+	}
+
+	short := NewLeakDetector(nil, 2)
+	for i := 0; i < 4; i++ {
+		short.Observe(LeakSample{Goroutines: 8, HeapBytes: 1})
+	}
+	if r := short.Report(); !r.Insufficient {
+		t.Fatalf("2 usable samples produced a verdict: %+v", r)
+	}
+
+	var nilDet *LeakDetector
+	nilDet.Observe(LeakSample{})
+	nilDet.Sample()
+	nilDet.SampleStable()
+	if r := nilDet.Report(); !r.Insufficient {
+		t.Errorf("nil detector report = %+v", r)
+	}
+
+	real := NewLeakDetector(reg, 0)
+	real.SampleStable()
+	if r := real.Report(); r.Samples != 1 {
+		t.Errorf("SampleStable recorded %d samples", r.Samples)
+	}
+}
+
+func TestLifecycleReverseOrderOnce(t *testing.T) {
+	l := NewLifecycle()
+	var order []string
+	l.Defer(func() { order = append(order, "first") })
+	l.Defer(func() { order = append(order, "second") })
+	l.Defer(nil) // ignored
+	l.Close()
+	l.Close() // once only
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("teardown order = %v, want [second first]", order)
+	}
+
+	var nilL *Lifecycle
+	nilL.Defer(func() { t.Error("nil lifecycle ran a step") })
+	nilL.Close()
+	nilL.HandleSignals(nil)()
+}
+
+func TestLifecycleSignalPath(t *testing.T) {
+	l := NewLifecycle()
+	closed := false
+	l.Defer(func() { closed = true })
+	exited := make(chan int, 1)
+	l.mu.Lock()
+	l.exit = func(code int) { exited <- code }
+	l.mu.Unlock()
+
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "test", slog.LevelInfo)
+	uninstall := l.HandleSignals(log, syscall.SIGUSR1)
+	defer uninstall()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if want := 128 + int(syscall.SIGUSR1); code != want {
+			t.Fatalf("exit code = %d, want %d", code, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("signal handler never ran")
+	}
+	if !closed {
+		t.Fatal("signal path skipped Close")
+	}
+	recs := decodeLines(t, &buf)
+	if len(recs) != 1 || recs[0]["signal"] != syscall.SIGUSR1.String() {
+		t.Fatalf("shutdown log = %v", recs)
+	}
+}
+
+func TestDebugServerHealthEndpoints(t *testing.T) {
+	h := NewHealth()
+	var ready bool
+	var mu sync.Mutex
+	h.Readiness("model", func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if !ready {
+			return errors.New("telemetry: model not yet trained")
+		}
+		return nil
+	})
+	srv, err := ServeDebug("127.0.0.1:0", New(), nil, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	getStatus := func(path string) (int, HealthStatus) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("GET %s Content-Type = %q", path, ct)
+		}
+		var st HealthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("GET %s body not JSON: %v", path, err)
+		}
+		return resp.StatusCode, st
+	}
+
+	if code, st := getStatus("/healthz"); code != http.StatusOK || !st.OK {
+		t.Fatalf("/healthz = %d %+v", code, st)
+	}
+	if code, st := getStatus("/readyz"); code != http.StatusServiceUnavailable || st.OK || st.Components["model"] == "ok" {
+		t.Fatalf("unready /readyz = %d %+v", code, st)
+	}
+	mu.Lock()
+	ready = true
+	mu.Unlock()
+	if code, st := getStatus("/readyz"); code != http.StatusOK || !st.OK {
+		t.Fatalf("ready /readyz = %d %+v", code, st)
+	}
+}
+
+func TestDebugServerUnknownTraceJSONBody(t *testing.T) {
+	tr := NewTracer(8, nil)
+	srv, err := ServeDebug("127.0.0.1:0", New(), tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/trace/feedfeedfeedfeed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("404 body not JSON: %v", err)
+	}
+	if !strings.Contains(body.Error, "feedfeedfeedfeed") {
+		t.Fatalf("404 error %q should name the trace id", body.Error)
+	}
+}
+
+func TestDebugServerConcurrentAccess(t *testing.T) {
+	reg := New()
+	tr := NewTracer(64, reg)
+	h := NewHealth()
+	h.Liveness("loop", func() error { return nil })
+	srv, err := ServeDebug("127.0.0.1:0", reg, tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	paths := []string{"/metrics", "/healthz", "/readyz", "/debug/metrics", "/debug/spans"}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		// Writers mutate the registry and tracer while readers scrape.
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				reg.Counter("hits_total").Inc()
+				reg.Histogram("lat_seconds").Observe(0.001)
+				tr.StartSpan("op", tr.NewTrace()).End()
+			}
+		}(i)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := http.Get("http://" + srv.Addr() + paths[(n+j)%len(paths)])
+				if err != nil {
+					t.Errorf("GET: %v", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfileRing captures periodic pprof profiles — heap and goroutine
+// snapshots, plus short CPU windows — into a bounded on-disk ring:
+// files are named <kind>-<utc timestamp>.pprof and the oldest beyond
+// the retention limit are pruned after every capture, so a soak run of
+// hours leaves a fixed-size trail of recent profiles to diff a leak or
+// a regression against (`go tool pprof dir/heap-....pprof`).
+//
+// A nil *ProfileRing is a valid "profiling disabled" ring: every
+// method no-ops and Start returns a no-op stop.
+type ProfileRing struct {
+	dir    string
+	retain int
+	log    *Logger
+
+	captures *Counter
+	pruned   *Counter
+	errs     *Counter
+
+	// mu serializes captures and prunes; the background loop and any
+	// manual Capture calls share the directory.
+	mu sync.Mutex
+}
+
+// profileKinds are the snapshot profiles captured on every pass. CPU
+// is separate: it needs a sampling window, not a point-in-time dump.
+var profileKinds = []string{"heap", "goroutine"}
+
+// NewProfileRing returns a ring writing into dir (created if missing),
+// keeping at most retain files per profile kind (default 8). A nil
+// registry is allowed — capture counters are simply not published.
+func NewProfileRing(dir string, retain int, reg *Registry, log *Logger) (*ProfileRing, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("telemetry: profile ring needs a directory")
+	}
+	if retain < 1 {
+		retain = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: profile ring dir: %w", err)
+	}
+	reg.SetHelp("profile_captures_total", "pprof profiles captured into the on-disk ring, by kind")
+	reg.SetHelp("profile_pruned_total", "pprof profiles deleted by the ring's retention limit")
+	reg.SetHelp("profile_capture_errors_total", "failed pprof capture attempts")
+	return &ProfileRing{
+		dir:      dir,
+		retain:   retain,
+		log:      log,
+		captures: reg.Counter("profile_captures_total"),
+		pruned:   reg.Counter("profile_pruned_total"),
+		errs:     reg.Counter("profile_capture_errors_total"),
+	}, nil
+}
+
+// stamp renders a capture timestamp that sorts lexicographically in
+// capture order, so retention can prune by sorted filename.
+func stamp() string { return time.Now().UTC().Format("20060102T150405.000000000") }
+
+// Capture writes one heap and one goroutine profile into the ring and
+// prunes beyond the retention limit.
+func (p *ProfileRing) Capture() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ts := stamp()
+	for _, kind := range profileKinds {
+		prof := pprof.Lookup(kind)
+		if prof == nil {
+			p.errs.Add(1)
+			return fmt.Errorf("telemetry: unknown profile kind %q", kind)
+		}
+		path := filepath.Join(p.dir, kind+"-"+ts+".pprof")
+		f, err := os.Create(path)
+		if err != nil {
+			p.errs.Add(1)
+			return fmt.Errorf("telemetry: profile capture: %w", err)
+		}
+		err = prof.WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			p.errs.Add(1)
+			return fmt.Errorf("telemetry: writing %s profile: %w", kind, err)
+		}
+		p.captures.Add(1)
+	}
+	return p.pruneLocked()
+}
+
+// CaptureCPU samples a CPU profile for the given window (minimum 10ms)
+// into the ring. Only one CPU profile can be active per process; a
+// concurrent profiler (e.g. an in-flight /debug/pprof/profile scrape)
+// makes this attempt fail, which is counted and reported, not fatal to
+// the ring's loop.
+func (p *ProfileRing) CaptureCPU(window time.Duration) error {
+	if p == nil {
+		return nil
+	}
+	if window < 10*time.Millisecond {
+		window = 10 * time.Millisecond
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	path := filepath.Join(p.dir, "cpu-"+stamp()+".pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		p.errs.Add(1)
+		return fmt.Errorf("telemetry: cpu profile capture: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(path)
+		p.errs.Add(1)
+		return fmt.Errorf("telemetry: cpu profile busy: %w", err)
+	}
+	time.Sleep(window)
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		p.errs.Add(1)
+		return fmt.Errorf("telemetry: cpu profile close: %w", err)
+	}
+	p.captures.Add(1)
+	return p.pruneLocked()
+}
+
+// pruneLocked deletes the oldest files of each kind beyond the
+// retention limit. Caller holds p.mu.
+func (p *ProfileRing) pruneLocked() error {
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return fmt.Errorf("telemetry: profile ring prune: %w", err)
+	}
+	byKind := map[string][]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".pprof") {
+			continue
+		}
+		kind, _, ok := strings.Cut(name, "-")
+		if !ok {
+			continue
+		}
+		byKind[kind] = append(byKind[kind], name)
+	}
+	kinds := make([]string, 0, len(byKind))
+	for kind := range byKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		names := byKind[kind]
+		if len(names) <= p.retain {
+			continue
+		}
+		sort.Strings(names) // timestamp format sorts oldest first
+		for _, name := range names[:len(names)-p.retain] {
+			if err := os.Remove(filepath.Join(p.dir, name)); err != nil {
+				return fmt.Errorf("telemetry: profile ring prune: %w", err)
+			}
+			p.pruned.Add(1)
+		}
+	}
+	return nil
+}
+
+// Files returns the ring's current profile filenames, sorted.
+func (p *ProfileRing) Files() ([]string, error) {
+	if p == nil {
+		return nil, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: profile ring list: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".pprof") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Start launches the background capture loop: one heap+goroutine
+// capture every interval (minimum 1s), plus a CPU window per pass when
+// cpuWindow > 0. An immediate synchronous capture seeds the ring.
+// Returns a stop function; on a nil ring both are no-ops.
+func (p *ProfileRing) Start(interval, cpuWindow time.Duration) func() {
+	if p == nil {
+		return noopStop
+	}
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if err := p.Capture(); err != nil {
+		p.log.Warn("profile capture failed", "error", err.Error())
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := p.Capture(); err != nil {
+					p.log.Warn("profile capture failed", "error", err.Error())
+				}
+				if cpuWindow > 0 {
+					if err := p.CaptureCPU(cpuWindow); err != nil {
+						p.log.Warn("cpu profile capture failed", "error", err.Error())
+					}
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -189,7 +189,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 	r.Counter("hits").Add(2)
 	tr := NewTracer(8, nil)
 	tr.Start("ping").End()
-	srv, err := ServeDebug("127.0.0.1:0", r, tr)
+	srv, err := ServeDebug("127.0.0.1:0", r, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func TestDebugServerMetricsAndTraceEndpoints(t *testing.T) {
 	root := tr.NewTrace()
 	tr.StartSpan("hop", root.Child()).SetInt("wire_bytes", 512).End()
 	tr.StartSpan("infer", root).End()
-	srv, err := ServeDebug("127.0.0.1:0", r, tr)
+	srv, err := ServeDebug("127.0.0.1:0", r, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
