@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build lint test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-gate soak-smoke soak clean
+.PHONY: check vet build lint escape-gate escape-baseline test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-gate soak-smoke soak clean
 
 # Tier-1 gate: everything CI needs to pass, plus a short instrumented
 # bench run that leaves a machine-readable metrics snapshot behind, a
-# short leak-checked soak, and the perf-regression gate against the
-# committed BENCH_hier.json.
-check: vet build lint race cover bench-smoke soak-smoke bench-gate
+# short leak-checked soak, and the perf- and escape-regression gates
+# against the committed BENCH_hier.json / ESCAPES.json baselines.
+check: vet build lint escape-gate race cover bench-smoke soak-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,16 @@ build:
 # Exits non-zero on any diagnostic, so check fails on violations.
 lint:
 	$(GO) run ./cmd/hdlint ./...
+
+# Escape-regression gate: diff the compiler's escape analysis over the
+# hot packages against the committed ESCAPES.json; a new escape inside
+# a //hdlint:hotpath function fails the build (see cmd/escapegate).
+escape-gate:
+	$(GO) run ./cmd/escapegate
+
+# Refresh the committed escape baseline after a reviewed change.
+escape-baseline:
+	$(GO) run ./cmd/escapegate -update
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,362 @@
+// Command escapegate turns the Go compiler's escape analysis into a
+// regression gate for the annotated hot paths.
+//
+// It runs `go build -gcflags=<pkg>=-m` over the hot packages (the HD
+// kernels and the layers that drive them per sample), filters the
+// diagnostics down to allocation-relevant ones ("escapes to heap",
+// "moved to heap", "leaking param"), attributes each to its enclosing
+// function, and aggregates them into a schema-versioned snapshot keyed
+// on (package, file, function, message) with a count — deliberately no
+// line numbers, so unrelated edits that move code around do not churn
+// the baseline.
+//
+// Modes:
+//
+//	escapegate -update    regenerate ESCAPES.json from the current tree
+//	escapegate            compare the tree against ESCAPES.json
+//
+// The comparison fails (exit 1) only when a //hdlint:hotpath-annotated
+// function gains an escape the baseline does not account for: a new
+// message key, or a higher count for an existing one. Cold-path drift
+// is reported as advice to rerun -update but does not fail the build.
+//
+// Exit codes: 0 gate passed, 1 new hot-path escapes, 2 operational
+// error (bad flags, missing or unreadable baseline, build failure).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"edgehd/internal/lint"
+)
+
+// schemaVersion identifies the baseline layout; bump it when the key
+// structure changes so stale files are rejected instead of misread.
+const schemaVersion = 1
+
+// hotPackages are the per-sample compute layers gated by default: the
+// HD kernels plus everything the training and inference loops touch
+// once per sample.
+var hotPackages = []string{
+	"edgehd/internal/hdc",
+	"edgehd/internal/encoding",
+	"edgehd/internal/core",
+	"edgehd/internal/hierarchy",
+	"edgehd/internal/parallel",
+}
+
+// Baseline is the committed snapshot (ESCAPES.json).
+type Baseline struct {
+	Schema   int       `json:"schema"`
+	Packages []Package `json:"packages"`
+}
+
+// Package groups the escapes of one import path.
+type Package struct {
+	Path    string   `json:"path"`
+	Escapes []Escape `json:"escapes"`
+}
+
+// Escape is one aggregated escape-analysis diagnostic.
+type Escape struct {
+	File    string `json:"file"`
+	Func    string `json:"func,omitempty"`
+	Hotpath bool   `json:"hotpath,omitempty"`
+	Msg     string `json:"msg"`
+	Count   int    `json:"count"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("escapegate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root to operate in")
+	baselinePath := fs.String("baseline", "ESCAPES.json", "baseline file, relative to -C")
+	update := fs.Bool("update", false, "rewrite the baseline from the current tree")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = hotPackages
+	}
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "escapegate: %v\n", err)
+		return 2
+	}
+	path := *baselinePath
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(root, path)
+	}
+
+	cur, err := collect(root, pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "escapegate: %v\n", err)
+		return 2
+	}
+
+	if *update {
+		if err := writeBaseline(path, cur); err != nil {
+			fmt.Fprintf(stderr, "escapegate: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "escapegate: wrote %s (%d packages, %d escape entries)\n",
+			*baselinePath, len(cur.Packages), entryCount(cur))
+		return 0
+	}
+
+	base, err := readBaseline(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "escapegate: %v (run escapegate -update to create the baseline)\n", err)
+		return 2
+	}
+	if base.Schema != schemaVersion {
+		fmt.Fprintf(stderr, "escapegate: baseline schema %d != supported %d; rerun escapegate -update\n",
+			base.Schema, schemaVersion)
+		return 2
+	}
+
+	regressions, drift := compare(base, cur)
+	for _, r := range regressions {
+		fmt.Fprintf(stderr, "escapegate: %s\n", r)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(stderr, "escapegate: %d new hot-path escape(s); fix the allocation or rerun escapegate -update with justification\n",
+			len(regressions))
+		return 1
+	}
+	if drift > 0 {
+		fmt.Fprintf(stdout, "escapegate: ok (baseline drifts on %d cold entries; escapegate -update to refresh)\n", drift)
+		return 0
+	}
+	fmt.Fprintf(stdout, "escapegate: ok (%d packages, %d escape entries match baseline)\n",
+		len(cur.Packages), entryCount(cur))
+	return 0
+}
+
+// diagRe matches one compiler diagnostic: path, line, column, message.
+var diagRe = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.+)$`)
+
+// escapeRelevant reports whether a -m diagnostic describes a heap
+// allocation decision (rather than inlining chatter).
+func escapeRelevant(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") ||
+		strings.Contains(msg, "moved to heap") ||
+		strings.HasPrefix(msg, "leaking param")
+}
+
+// collect compiles each package with -gcflags=-m and aggregates the
+// escape diagnostics into a Baseline. Go replays cached diagnostics on
+// unchanged packages, so repeat runs are cheap.
+func collect(root string, pkgs []string) (*Baseline, error) {
+	funcs := newFuncIndex()
+	b := &Baseline{Schema: schemaVersion}
+	for _, pkg := range pkgs {
+		cmd := exec.Command("go", "build", "-gcflags="+pkg+"=-m", pkg)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+		}
+		entries := map[string]*Escape{}
+		for _, line := range strings.Split(string(out), "\n") {
+			m := diagRe.FindStringSubmatch(line)
+			if m == nil || !escapeRelevant(m[3]) {
+				continue
+			}
+			file := filepath.ToSlash(filepath.Clean(m[1]))
+			lineNo, _ := strconv.Atoi(m[2])
+			fn, hot, err := funcs.at(root, file, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			key := file + "\x00" + fn + "\x00" + m[3]
+			e := entries[key]
+			if e == nil {
+				e = &Escape{File: file, Func: fn, Hotpath: hot, Msg: m[3]}
+				entries[key] = e
+			}
+			e.Count++
+		}
+		keys := make([]string, 0, len(entries))
+		for k := range entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		p := Package{Path: pkg, Escapes: make([]Escape, 0, len(keys))}
+		for _, k := range keys {
+			p.Escapes = append(p.Escapes, *entries[k])
+		}
+		b.Packages = append(b.Packages, p)
+	}
+	sort.Slice(b.Packages, func(i, j int) bool { return b.Packages[i].Path < b.Packages[j].Path })
+	return b, nil
+}
+
+// funcIndex maps (file, line) to the enclosing declared function and
+// whether it carries the hot-path annotation, parsing each file once.
+type funcIndex struct {
+	files map[string][]funcSpan
+}
+
+type funcSpan struct {
+	name    string
+	hotpath bool
+	lo, hi  int
+}
+
+func newFuncIndex() *funcIndex { return &funcIndex{files: map[string][]funcSpan{}} }
+
+func (fi *funcIndex) at(root, file string, line int) (name string, hotpath bool, err error) {
+	spans, ok := fi.files[file]
+	if !ok {
+		spans, err = parseFuncSpans(filepath.Join(root, filepath.FromSlash(file)))
+		if err != nil {
+			return "", false, err
+		}
+		fi.files[file] = spans
+	}
+	for _, s := range spans {
+		if line >= s.lo && line <= s.hi {
+			return s.name, s.hotpath, nil
+		}
+	}
+	// Package-scope code (var initializers, const exprs).
+	return "", false, nil
+}
+
+func parseFuncSpans(path string) ([]funcSpan, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	var spans []funcSpan
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		spans = append(spans, funcSpan{
+			name:    funcName(fd),
+			hotpath: lint.IsHotpath(fd),
+			lo:      fset.Position(fd.Pos()).Line,
+			hi:      fset.Position(fd.End()).Line,
+		})
+	}
+	return spans, nil
+}
+
+// funcName renders a declared function the way gc's diagnostics do:
+// plain name for functions, Recv.Name or (*Recv).Name for methods.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	ptr := false
+	if st, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = st.X
+	}
+	base := "?"
+	if id, ok := t.(*ast.Ident); ok {
+		base = id.Name
+	}
+	if ptr {
+		return "(*" + base + ")." + fd.Name.Name
+	}
+	return base + "." + fd.Name.Name
+}
+
+// compare diffs the current snapshot against the committed baseline.
+// It returns one regression string per hot-path entry whose count grew
+// beyond the baseline (new keys count from zero), and the number of
+// cold entries that drifted in either direction (informational only).
+func compare(base, cur *Baseline) (regressions []string, drift int) {
+	baseCounts := map[string]int{}
+	curKeys := map[string]bool{}
+	for _, p := range base.Packages {
+		for _, e := range p.Escapes {
+			baseCounts[entryKey(p.Path, e)] = e.Count
+		}
+	}
+	for _, p := range cur.Packages {
+		for _, e := range p.Escapes {
+			key := entryKey(p.Path, e)
+			curKeys[key] = true
+			was := baseCounts[key]
+			if e.Count == was {
+				continue
+			}
+			if e.Hotpath && e.Count > was {
+				where := e.File
+				if e.Func != "" {
+					where += ":" + e.Func
+				}
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %q ×%d (baseline %d)", p.Path, where, e.Msg, e.Count, was))
+				continue
+			}
+			drift++
+		}
+	}
+	for key := range baseCounts {
+		if !curKeys[key] {
+			drift++
+		}
+	}
+	sort.Strings(regressions)
+	return regressions, drift
+}
+
+// entryKey identifies an escape across snapshots: everything except
+// the count and the hotpath marker.
+func entryKey(pkg string, e Escape) string {
+	return pkg + "\x00" + e.File + "\x00" + e.Func + "\x00" + e.Msg
+}
+
+func entryCount(b *Baseline) int {
+	n := 0
+	for _, p := range b.Packages {
+		n += len(p.Escapes)
+	}
+	return n
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(pkg, file, fn, msg string, hot bool, count int) (string, Escape) {
+	e := Escape{File: file, Func: fn, Hotpath: hot, Msg: msg, Count: count}
+	return pkg, e
+}
+
+func snapshot(entries ...func() (string, Escape)) *Baseline {
+	b := &Baseline{Schema: schemaVersion}
+	byPkg := map[string]*Package{}
+	for _, mk := range entries {
+		pkg, e := mk()
+		p := byPkg[pkg]
+		if p == nil {
+			b.Packages = append(b.Packages, Package{Path: pkg})
+			p = &b.Packages[len(b.Packages)-1]
+			byPkg[pkg] = p
+		}
+		p.Escapes = append(p.Escapes, e)
+	}
+	return b
+}
+
+func TestCompareFlagsNewHotpathEscape(t *testing.T) {
+	base := snapshot(
+		func() (string, Escape) { return entry("m/a", "a/a.go", "Dot", "x escapes to heap", true, 1) },
+	)
+	cur := snapshot(
+		func() (string, Escape) { return entry("m/a", "a/a.go", "Dot", "x escapes to heap", true, 1) },
+		func() (string, Escape) {
+			return entry("m/a", "a/a.go", "Dot", "make([]float64, n) escapes to heap", true, 1)
+		},
+	)
+	regs, drift := compare(base, cur)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly 1", regs)
+	}
+	if !strings.Contains(regs[0], "make([]float64, n) escapes to heap") {
+		t.Fatalf("regression %q does not name the new escape", regs[0])
+	}
+	if drift != 0 {
+		t.Fatalf("drift = %d, want 0", drift)
+	}
+}
+
+func TestCompareFlagsGrownHotpathCount(t *testing.T) {
+	base := snapshot(
+		func() (string, Escape) { return entry("m/a", "a/a.go", "Dot", "x escapes to heap", true, 1) },
+	)
+	cur := snapshot(
+		func() (string, Escape) { return entry("m/a", "a/a.go", "Dot", "x escapes to heap", true, 3) },
+	)
+	regs, _ := compare(base, cur)
+	if len(regs) != 1 || !strings.Contains(regs[0], "×3 (baseline 1)") {
+		t.Fatalf("regressions = %v, want one count-growth report", regs)
+	}
+}
+
+func TestCompareColdEscapesAreDriftNotFailure(t *testing.T) {
+	base := snapshot(
+		func() (string, Escape) { return entry("m/a", "a/a.go", "Setup", "v escapes to heap", false, 1) },
+	)
+	cur := snapshot(
+		func() (string, Escape) { return entry("m/a", "a/a.go", "Setup", "v escapes to heap", false, 2) },
+		func() (string, Escape) { return entry("m/a", "a/b.go", "Teardown", "w escapes to heap", false, 1) },
+	)
+	regs, drift := compare(base, cur)
+	if len(regs) != 0 {
+		t.Fatalf("cold escapes must not fail the gate, got %v", regs)
+	}
+	if drift != 2 {
+		t.Fatalf("drift = %d, want 2", drift)
+	}
+}
+
+func TestCompareRemovedEscapesAreDrift(t *testing.T) {
+	base := snapshot(
+		func() (string, Escape) { return entry("m/a", "a/a.go", "Dot", "x escapes to heap", true, 1) },
+	)
+	cur := &Baseline{Schema: schemaVersion}
+	regs, drift := compare(base, cur)
+	if len(regs) != 0 || drift != 1 {
+		t.Fatalf("regs = %v, drift = %d; want no regressions and drift 1", regs, drift)
+	}
+}
+
+// writeProbeModule lays down a tiny single-package module whose one
+// hot-path function has a stable escape, returning its root.
+func writeProbeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module escprobe\n\ngo 1.24\n",
+		"probe.go": `package escprobe
+
+// Grow allocates its result, so the make escapes by design.
+//
+//hdlint:hotpath
+func Grow(n int) []int {
+	return make([]int, n)
+}
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestGateCatchesInjectedEscape is the end-to-end injected-regression
+// check: baseline a clean probe module, add a new escaping hot-path
+// function, and require the gate to fail with exit 1 naming it.
+func TestGateCatchesInjectedEscape(t *testing.T) {
+	dir := writeProbeModule(t)
+	var out, errOut bytes.Buffer
+
+	if code := run([]string{"-C", dir, "-update", "escprobe"}, &out, &errOut); code != 0 {
+		t.Fatalf("-update exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", dir, "escprobe"}, &out, &errOut); code != 0 {
+		t.Fatalf("clean check exited %d: %s%s", code, out.String(), errOut.String())
+	}
+
+	// Inject the regression: a second hot-path function whose local is
+	// moved to the heap.
+	injected := `package escprobe
+
+// Box leaks the address of a local — the deliberate regression.
+//
+//hdlint:hotpath
+func Box() *int {
+	x := 42
+	return &x
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "box.go"), []byte(injected), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{"-C", dir, "escprobe"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("gate exited %d after injected escape, want 1: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "Box") || !strings.Contains(errOut.String(), "moved to heap") {
+		t.Fatalf("failure output does not name the injected escape:\n%s", errOut.String())
+	}
+
+	// Accepting the regression via -update makes the gate pass again.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", dir, "-update", "escprobe"}, &out, &errOut); code != 0 {
+		t.Fatalf("-update exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-C", dir, "escprobe"}, &out, &errOut); code != 0 {
+		t.Fatalf("post-update check exited %d: %s", code, errOut.String())
+	}
+}
+
+// TestGateIgnoresColdInjectedEscape: the same injection without the
+// annotation only reports drift.
+func TestGateIgnoresColdInjectedEscape(t *testing.T) {
+	dir := writeProbeModule(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-C", dir, "-update", "escprobe"}, &out, &errOut); code != 0 {
+		t.Fatalf("-update exited %d: %s", code, errOut.String())
+	}
+	injected := `package escprobe
+
+// ColdBox is the same leak without the hot-path annotation.
+func ColdBox() *int {
+	x := 42
+	return &x
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "box.go"), []byte(injected), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", dir, "escprobe"}, &out, &errOut); code != 0 {
+		t.Fatalf("cold injection exited %d, want 0: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "drift") {
+		t.Fatalf("cold injection should report drift, got: %s", out.String())
+	}
+}
+
+func TestMissingBaselineIsOperationalError(t *testing.T) {
+	dir := writeProbeModule(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-C", dir, "escprobe"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline exited %d, want 2: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-update") {
+		t.Fatalf("error should suggest -update, got: %s", errOut.String())
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	dir := writeProbeModule(t)
+	stale := `{"schema": 99, "packages": []}`
+	if err := os.WriteFile(filepath.Join(dir, "ESCAPES.json"), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-C", dir, "escprobe"}, &out, &errOut); code != 2 {
+		t.Fatalf("schema mismatch exited %d, want 2: %s%s", code, out.String(), errOut.String())
+	}
+}

@@ -193,7 +193,9 @@ func run(args []string) error {
 			}(i, conn)
 		}
 	}()
+	serveWG.Add(1)
 	go func() {
+		defer serveWG.Done()
 		for i := 0; i < *workers; i++ {
 			<-merged
 		}

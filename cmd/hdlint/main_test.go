@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgehd/internal/lint"
+)
+
+// writeModule lays down a temp module named edgehd (so the default
+// policy's package lists line up) and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module edgehd\n\ngo 1.21\n"
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// cleanModule is a fixture no rule fires on.
+func cleanModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"internal/hdc/v.go": `package hdc
+
+// Sum adds a slice.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`,
+	})
+}
+
+// dirtyModule violates det-rand (ambient randomness in a deterministic
+// package) and panic-policy (panic in an error-returning layer) — two
+// different rules so the -rules filter has something to separate.
+func dirtyModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"internal/hdc/v.go": `package hdc
+
+import "math/rand"
+
+// Roll draws from the ambient stream.
+func Roll() float64 { return rand.Float64() }
+`,
+		"internal/core/c.go": `package core
+
+// Must crashes on bad input.
+func Must(ok bool) {
+	if !ok {
+		panic("core: bad input")
+	}
+}
+`,
+	})
+}
+
+func TestRunCLI(t *testing.T) {
+	cases := []struct {
+		name       string
+		module     func(*testing.T) string
+		args       []string
+		wantCode   int
+		wantStdout []string // substrings that must appear, in order-free fashion
+		wantStderr []string
+	}{
+		{
+			name:     "clean module exits zero silently",
+			module:   cleanModule,
+			wantCode: 0,
+		},
+		{
+			name:       "diagnostics exit one with summary line",
+			module:     dirtyModule,
+			wantCode:   1,
+			wantStdout: []string{"det-rand", "panic-policy", "hdlint: 2 diagnostic(s)"},
+		},
+		{
+			name:       "rules filter narrows the run",
+			module:     dirtyModule,
+			args:       []string{"-rules", "det-rand"},
+			wantCode:   1,
+			wantStdout: []string{"det-rand", "hdlint: 1 diagnostic(s)"},
+		},
+		{
+			name:       "rules filter tolerates spaces and empties",
+			module:     dirtyModule,
+			args:       []string{"-rules", " panic-policy, ,det-rand "},
+			wantCode:   1,
+			wantStdout: []string{"hdlint: 2 diagnostic(s)"},
+		},
+		{
+			name:       "unknown rule is a usage error",
+			module:     cleanModule,
+			args:       []string{"-rules", "no-such-rule"},
+			wantCode:   2,
+			wantStderr: []string{"unknown rule(s) no-such-rule"},
+		},
+		{
+			name:       "missing module root is a load error",
+			module:     func(t *testing.T) string { return filepath.Join(t.TempDir(), "nowhere") },
+			wantCode:   2,
+			wantStderr: []string{"hdlint:"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := tc.module(t)
+			var stdout, stderr bytes.Buffer
+			args := append([]string{"-C", dir}, tc.args...)
+			code := run(args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			for _, want := range tc.wantStdout {
+				if !strings.Contains(stdout.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+				}
+			}
+			for _, want := range tc.wantStderr {
+				if !strings.Contains(stderr.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+				}
+			}
+			if tc.wantCode == 0 && len(tc.wantStdout) == 0 && stdout.Len() != 0 {
+				t.Errorf("clean run should be silent, got:\n%s", stdout.String())
+			}
+		})
+	}
+}
+
+func TestRunCLIFiltersRulesExactly(t *testing.T) {
+	// The complement check for the filter: running only panic-policy
+	// must not surface the det-rand violation.
+	dir := dirtyModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-rules", "panic-policy"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if strings.Contains(stdout.String(), "det-rand") {
+		t.Errorf("det-rand leaked through a panic-policy-only run:\n%s", stdout.String())
+	}
+}
+
+func TestRunCLIJSONGolden(t *testing.T) {
+	dir := dirtyModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-json", "-rules", "det-rand"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	golden := `{
+  "module": "edgehd",
+  "diagnostics": [
+    {
+      "rule": "det-rand",
+      "package": "edgehd/internal/hdc",
+      "file": "internal/hdc/v.go",
+      "line": 3,
+      "col": 8,
+      "message": "import of math/rand in deterministic package hdc; use the seeded streams of internal/rng"
+    }
+  ],
+  "count": 1
+}
+`
+	if stdout.String() != golden {
+		t.Errorf("JSON output mismatch\ngot:\n%s\nwant:\n%s", stdout.String(), golden)
+	}
+}
+
+func TestRunCLIJSONCleanIsEmptyArray(t *testing.T) {
+	dir := cleanModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "null") {
+		t.Errorf("clean JSON run must encode diagnostics as [], got:\n%s", stdout.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Count != 0 || rep.Diagnostics == nil || len(rep.Diagnostics) != 0 {
+		t.Errorf("report = %+v, want empty diagnostics with count 0", rep)
+	}
+}
+
+func TestRunCLIListShowsEveryConfiguredRule(t *testing.T) {
+	dir := cleanModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	for _, r := range lint.Default("edgehd").Rules {
+		if !strings.Contains(stdout.String(), r.Name()) {
+			t.Errorf("-list output missing rule %s:\n%s", r.Name(), stdout.String())
+		}
+	}
+}
+
+func TestRunCLIDashCFromElsewhere(t *testing.T) {
+	// -C must fully switch the module: the same invocation, pointed at
+	// a clean tree and a dirty tree, disagrees only because of -C.
+	clean, dirty := cleanModule(t), dirtyModule(t)
+	var buf bytes.Buffer
+	if code := run([]string{"-C", clean}, &buf, &buf); code != 0 {
+		t.Fatalf("clean tree via -C exited %d:\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-C", dirty}, &buf, &buf); code != 1 {
+		t.Fatalf("dirty tree via -C exited %d, want 1:\n%s", code, buf.String())
+	}
+}

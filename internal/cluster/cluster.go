@@ -274,28 +274,44 @@ func (a *Aggregator) SetLogger(log *telemetry.Logger) { a.log = log.WithComponen
 // aggregate model. The reduction is an ordered tree over the slots, so
 // the result is independent of the order in which workers delivered
 // their models; it is computed once, on the first call after
-// collection, and shared afterwards.
+// collection, and shared afterwards. The slots are snapshotted under
+// the lock and the reduction — which rendezvouses with the worker pool
+// — runs outside it, so a slow merge never blocks concurrent
+// ServeOne deliveries; if two callers race past the snapshot, the
+// first result wins and both see the same model.
 func (a *Aggregator) Global() *core.Model {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.global == nil {
-		a.global = a.reduceLocked()
+	if a.global != nil {
+		g := a.global
+		a.mu.Unlock()
+		return g
 	}
-	return a.global
+	partials := append([]*core.Model(nil), a.partials...)
+	a.mu.Unlock()
+
+	g := a.reduceSlots(partials)
+
+	a.mu.Lock()
+	if a.global == nil {
+		a.global = g
+	}
+	g = a.global
+	a.mu.Unlock()
+	return g
 }
 
-// reduceLocked builds the aggregate from the filled slots in slot
-// order. Every stored partial already passed the shape checks of
-// installModel, so construction cannot fail.
-func (a *Aggregator) reduceLocked() *core.Model {
+// reduceSlots builds the aggregate from a snapshot of the filled slots
+// in slot order. Every stored partial already passed the shape checks
+// of installModel, so construction cannot fail.
+func (a *Aggregator) reduceSlots(partials []*core.Model) *core.Model {
 	global, err := core.NewModel(a.dim, a.classes)
 	if err != nil {
 		// Unreachable: NewAggregator validated the shape.
 		return nil
 	}
 	for c := 0; c < a.classes; c++ {
-		parts := make([]hdc.Acc, 0, len(a.partials))
-		for _, p := range a.partials {
+		parts := make([]hdc.Acc, 0, len(partials))
+		for _, p := range partials {
 			if p != nil {
 				parts = append(parts, p.Class(c))
 			}

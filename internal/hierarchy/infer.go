@@ -35,6 +35,28 @@ type InferResult struct {
 	TraceID uint64
 }
 
+// confKeys pre-renders the per-hop confidence attribute names so the
+// inference loop avoids fmt.Sprintf for the escalation depths that
+// actually occur (tree heights are small); confKey falls back to
+// formatting only for implausibly deep trees.
+var confKeys = [...]string{
+	"confidence.0", "confidence.1", "confidence.2", "confidence.3",
+	"confidence.4", "confidence.5", "confidence.6", "confidence.7",
+}
+
+func confKey(escal int) string {
+	if escal >= 0 && escal < len(confKeys) {
+		return confKeys[escal]
+	}
+	return fmt.Sprintf("confidence.%d", escal)
+}
+
+// entryRangeError reports an out-of-range entry index; it is split out
+// so Infer's hot path contains no fmt calls.
+func entryRangeError(entry int) error {
+	return fmt.Errorf("hierarchy: entry end node %d out of range", entry)
+}
+
 // Infer runs the §IV-C confidence-routed inference for sample x,
 // entering at end node `entry` (partition index): the end node predicts
 // with its local model; if the confidence clears the threshold the
@@ -50,9 +72,11 @@ type InferResult struct {
 // result's WireBytes (and so to InferCommBytes) by construction. The
 // trace id is returned in InferResult.TraceID and the assembled tree is
 // served at /debug/trace/{id}.
+//
+//hdlint:hotpath
 func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 	if entry < 0 || entry >= len(s.leafIndex) {
-		return InferResult{}, fmt.Errorf("hierarchy: entry end node %d out of range", entry)
+		return InferResult{}, entryRangeError(entry)
 	}
 	cur := s.leafIndex[entry]
 	root := s.tracer.NewTrace()
@@ -83,7 +107,7 @@ func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 			End()
 		hopParent = hopCtx
 		if sp != nil {
-			sp.SetFloat(fmt.Sprintf("confidence.%d", escal), conf)
+			sp.SetFloat(confKey(escal), conf)
 		}
 		if conf >= s.cfg.ConfidenceThreshold || s.topo.Net.Parent(cur.id) == netsim.InvalidNode {
 			res := InferResult{Class: class, Node: cur.id, Level: level, Confidence: conf, Escalations: escal, WireBytes: wireBytes, TraceID: root.TraceID}

@@ -66,6 +66,12 @@ func NewProjection(inDim, outDim, fanIn int, seed uint64) (*Projection, error) {
 	return p, nil
 }
 
+// dimError reports a projection dimension mismatch. It lives outside
+// the projection kernels so their hot paths stay free of fmt calls.
+func (p *Projection) dimError(got int) error {
+	return fmt.Errorf("hierarchy: projecting dim %d through %d→%d", got, p.inDim, p.outDim)
+}
+
 // InDim returns the expected concatenated input dimensionality.
 func (p *Projection) InDim() int { return p.inDim }
 
@@ -79,9 +85,11 @@ func (p *Projection) FanIn() int { return p.fanIn }
 // result with sign(), the query/batch path of the hierarchical encoder.
 // A dimension mismatch (an internal invariant violation) returns an
 // error instead of panicking.
+//
+//hdlint:hotpath
 func (p *Projection) Bipolar(in hdc.Bipolar) (hdc.Bipolar, error) {
 	if in.Dim() != p.inDim {
-		return hdc.Bipolar{}, fmt.Errorf("hierarchy: projecting dim %d through %d→%d", in.Dim(), p.inDim, p.outDim)
+		return hdc.Bipolar{}, p.dimError(in.Dim())
 	}
 	signs := in.SignsInt8()
 	out := hdc.NewBipolar(p.outDim)
@@ -102,9 +110,11 @@ func (p *Projection) Bipolar(in hdc.Bipolar) (hdc.Bipolar, error) {
 // hypervectors and residuals travel through this path so their
 // magnitudes survive aggregation. A dimension mismatch returns an
 // error instead of panicking.
+//
+//hdlint:hotpath
 func (p *Projection) Acc(in hdc.Acc) (hdc.Acc, error) {
 	if in.Dim() != p.inDim {
-		return hdc.Acc{}, fmt.Errorf("hierarchy: projecting dim %d through %d→%d", in.Dim(), p.inDim, p.outDim)
+		return hdc.Acc{}, p.dimError(in.Dim())
 	}
 	out := make([]int32, p.outDim)
 	for o := 0; o < p.outDim; o++ {

@@ -1,0 +1,243 @@
+// Package callgraph builds a cross-package static call graph over a
+// type-checked module, using only the standard library's go/ast and
+// go/types (no golang.org/x/tools). It is the dataflow substrate of
+// hdlint's transitive rules: det-rand-transitive walks it to prove that
+// no call chain leaving a deterministic package reaches ambient
+// randomness or a wall clock, lock-across-io uses it to know which
+// functions may perform I/O or channel operations, and goroutine-leak
+// resolves `go f()` statements to the launched function's body.
+//
+// The graph is deliberately conservative in the direction hdlint needs:
+//
+//   - Every *declared* function and method of the module is a node.
+//     Function literals are flattened into the declaration that
+//     lexically contains them — a call made inside a closure is an edge
+//     of the enclosing named function, because that is the function on
+//     whose call path the behaviour sits.
+//   - An edge exists for every call expression whose callee resolves
+//     statically through go/types: package-level functions, methods
+//     called on concrete receivers, and cross-package calls (the type
+//     checker shares one object space per module load, so a callee's
+//     *types.Func is identical no matter which package names it).
+//   - Calls through function values and interface method sets do not
+//     resolve to module nodes; their edges still exist (with the
+//     interface method or a nil callee) so rules can observe that an
+//     unresolvable call happens, but no reachability flows through
+//     them. This makes "f cannot reach X" claims best-effort in the
+//     standard static-analysis sense, while "f reaches X" findings are
+//     always backed by a concrete chain of source positions.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Pkg is one type-checked package handed to Build. It mirrors the
+// loader's package shape without importing it, keeping this package
+// dependency-free.
+type Pkg struct {
+	// Path is the package's import path.
+	Path string
+	// Files are the parsed non-test files.
+	Files []*ast.File
+	// Info carries identifier resolution for the files.
+	Info *types.Info
+}
+
+// Edge is one static call site: the expression and the resolved callee.
+type Edge struct {
+	// Callee is the called function or method as go/types resolved it.
+	// For interface method calls this is the interface's method object;
+	// it is never nil (unresolvable callees produce no edge).
+	Callee *types.Func
+	// Call is the call expression.
+	Call *ast.CallExpr
+	// Pos is the call's source position.
+	Pos token.Pos
+}
+
+// Node is one declared function or method of the module.
+type Node struct {
+	// Fn is the function's type-checker object.
+	Fn *types.Func
+	// Decl is the declaration, including its body.
+	Decl *ast.FuncDecl
+	// PkgPath is the import path of the defining package.
+	PkgPath string
+	// Info is the defining package's type information, so rules that
+	// follow an edge into another package can keep resolving
+	// identifiers inside the callee's body.
+	Info *types.Info
+	// Calls lists the node's call sites in source order, including
+	// calls made inside function literals nested in the body.
+	Calls []Edge
+}
+
+// Graph is the module-wide call graph.
+type Graph struct {
+	nodes map[*types.Func]*Node
+	order []*Node
+}
+
+// Build constructs the graph from the given packages. Packages must
+// share one type-checking object space (one loader run) for
+// cross-package edges to connect.
+func Build(pkgs []Pkg) *Graph {
+	g := &Graph{nodes: make(map[*types.Func]*Node)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Fn: fn, Decl: fd, PkgPath: pkg.Path, Info: pkg.Info}
+				ast.Inspect(fd.Body, func(x ast.Node) bool {
+					call, ok := x.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := CalleeOf(pkg.Info, call); callee != nil {
+						n.Calls = append(n.Calls, Edge{Callee: callee, Call: call, Pos: call.Pos()})
+					}
+					return true
+				})
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	// Deterministic node order: by package path, then full name.
+	sort.SliceStable(g.order, func(i, j int) bool {
+		a, b := g.order[i], g.order[j]
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		return a.Fn.FullName() < b.Fn.FullName()
+	})
+	return g
+}
+
+// Node returns the module node for fn, or nil when fn is not declared
+// in the module (external function, interface method, function value).
+func (g *Graph) Node(fn *types.Func) *Node {
+	return g.nodes[fn]
+}
+
+// Nodes returns every module node in deterministic order.
+func (g *Graph) Nodes() []*Node {
+	return g.order
+}
+
+// CalleeOf resolves the static callee of a call expression: a named
+// function, a method (concrete or interface), or nil for builtins,
+// type conversions and calls through function values.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Step is one hop of a call chain as returned by FindPath.
+type Step struct {
+	// Caller is the module function making the call.
+	Caller *Node
+	// Edge is the call taken.
+	Edge Edge
+}
+
+// FindPath searches breadth-first from `from` for the shortest call
+// chain ending in an edge for which hit returns true. Traversal only
+// descends into module-declared callees for which enter returns true
+// (enter may be nil to follow every module edge); external callees are
+// tested against hit but never entered. It returns the chain of steps
+// from `from` to the hit, or nil when no chain exists. The search
+// visits edges in source order, so results are deterministic.
+func (g *Graph) FindPath(from *types.Func, hit func(*types.Func) bool, enter func(*Node) bool) []Step {
+	start := g.nodes[from]
+	if start == nil {
+		return nil
+	}
+	type queued struct {
+		node *Node
+		path []Step
+	}
+	visited := map[*Node]bool{start: true}
+	queue := []queued{{node: start}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range cur.node.Calls {
+			path := append(append([]Step(nil), cur.path...), Step{Caller: cur.node, Edge: e})
+			if hit(e.Callee) {
+				return path
+			}
+			next := g.nodes[e.Callee]
+			if next == nil || visited[next] {
+				continue
+			}
+			if enter != nil && !enter(next) {
+				continue
+			}
+			visited[next] = true
+			queue = append(queue, queued{node: next, path: path})
+		}
+	}
+	return nil
+}
+
+// Reaches computes the set of module functions from which a "fact
+// source" is reachable: seed marks the functions (module or external)
+// that directly have the fact, and the result contains every module
+// node with a call chain to a seeded function, including nodes that
+// are themselves seeded. Like FindPath, reachability only flows
+// through module-declared callees. The result is a fixed point over
+// the whole graph, suitable for caching module-wide facts (e.g. "may
+// perform I/O").
+func (g *Graph) Reaches(seed func(*Node) bool, hitExternal func(*types.Func) bool) map[*Node]bool {
+	reaches := make(map[*Node]bool, len(g.order))
+	// callers[n] lists the module nodes with an edge into n.
+	callers := make(map[*Node][]*Node)
+	var work []*Node
+	mark := func(n *Node) {
+		if !reaches[n] {
+			reaches[n] = true
+			work = append(work, n)
+		}
+	}
+	for _, n := range g.order {
+		if seed != nil && seed(n) {
+			mark(n)
+		}
+		for _, e := range n.Calls {
+			if callee := g.nodes[e.Callee]; callee != nil {
+				callers[callee] = append(callers[callee], n)
+			} else if hitExternal != nil && hitExternal(e.Callee) {
+				mark(n)
+			}
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range callers[n] {
+			mark(caller)
+		}
+	}
+	return reaches
+}

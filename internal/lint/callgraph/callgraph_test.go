@@ -1,0 +1,186 @@
+package callgraph_test
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgehd/internal/lint"
+	"edgehd/internal/lint/callgraph"
+)
+
+// loadFixture writes a throwaway module and loads it through the lint
+// loader, whose shared type-checking object space is what gives the
+// graph its cross-package edges.
+func loadFixture(t *testing.T, files map[string]string) *lint.Module {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module edgehd\n\ngo 1.21\n"
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// fn finds a module function node by package path and name.
+func fn(t *testing.T, g *callgraph.Graph, pkgPath, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.PkgPath == pkgPath && n.Decl.Name.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("function %s.%s not in graph", pkgPath, name)
+	return nil
+}
+
+const fixtureA = `package a
+
+import "edgehd/internal/b"
+
+func Direct() float64 { return b.Roll() }
+
+func Clean() int { return 42 }
+
+func ViaClosure() float64 {
+	f := func() float64 { return b.Roll() }
+	return f()
+}
+`
+
+const fixtureB = `package b
+
+import "math/rand"
+
+func Roll() float64 { return helper() }
+
+func helper() float64 { return rand.Float64() }
+`
+
+func load(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	mod := loadFixture(t, map[string]string{
+		"internal/a/a.go": fixtureA,
+		"internal/b/b.go": fixtureB,
+	})
+	return mod.Graph()
+}
+
+func isRandFloat64(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "math/rand" && fn.Name() == "Float64"
+}
+
+func TestFindPathCrossPackage(t *testing.T) {
+	g := load(t)
+	start := fn(t, g, "edgehd/internal/a", "Direct")
+	path := g.FindPath(start.Fn, isRandFloat64, nil)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3 (Direct → Roll → helper → rand.Float64): %v", len(path), path)
+	}
+	if path[0].Caller.Decl.Name.Name != "Direct" ||
+		path[1].Caller.Decl.Name.Name != "Roll" ||
+		path[2].Caller.Decl.Name.Name != "helper" {
+		t.Fatalf("unexpected chain: %s → %s → %s",
+			path[0].Caller.Decl.Name.Name, path[1].Caller.Decl.Name.Name, path[2].Caller.Decl.Name.Name)
+	}
+	if got := path[2].Edge.Callee.Name(); got != "Float64" {
+		t.Fatalf("final callee = %s, want Float64", got)
+	}
+}
+
+func TestFindPathNoRoute(t *testing.T) {
+	g := load(t)
+	start := fn(t, g, "edgehd/internal/a", "Clean")
+	if path := g.FindPath(start.Fn, isRandFloat64, nil); path != nil {
+		t.Fatalf("Clean should not reach math/rand, got %v", path)
+	}
+}
+
+func TestFindPathRespectsEnterFilter(t *testing.T) {
+	// Refusing to descend into package b must sever the chain: this is
+	// how det-rand-transitive stops at sanctioned clock homes.
+	g := load(t)
+	start := fn(t, g, "edgehd/internal/a", "Direct")
+	path := g.FindPath(start.Fn, isRandFloat64, func(n *callgraph.Node) bool {
+		return n.PkgPath != "edgehd/internal/b"
+	})
+	if path != nil {
+		t.Fatalf("enter filter ignored, got path %v", path)
+	}
+}
+
+func TestClosureCallsAttributedToEnclosingFunc(t *testing.T) {
+	g := load(t)
+	start := fn(t, g, "edgehd/internal/a", "ViaClosure")
+	path := g.FindPath(start.Fn, isRandFloat64, nil)
+	if len(path) == 0 {
+		t.Fatal("call made inside the closure not attributed to ViaClosure")
+	}
+	if path[0].Caller.Decl.Name.Name != "ViaClosure" {
+		t.Fatalf("first hop caller = %s, want ViaClosure", path[0].Caller.Decl.Name.Name)
+	}
+}
+
+func TestReachesFixedPoint(t *testing.T) {
+	g := load(t)
+	reaches := g.Reaches(nil, isRandFloat64)
+	for name, want := range map[string]bool{
+		"Direct":     true,
+		"ViaClosure": true,
+		"Clean":      false,
+		"Roll":       true,
+		"helper":     true,
+	} {
+		pkg := "edgehd/internal/a"
+		if name == "Roll" || name == "helper" {
+			pkg = "edgehd/internal/b"
+		}
+		if got := reaches[fn(t, g, pkg, name)]; got != want {
+			t.Errorf("Reaches[%s] = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestNodesDeterministicOrder(t *testing.T) {
+	g := load(t)
+	var prev string
+	for _, n := range g.Nodes() {
+		key := n.PkgPath + "\x00" + n.Fn.FullName()
+		if key < prev {
+			t.Fatalf("nodes out of order: %q after %q", key, prev)
+		}
+		prev = key
+	}
+}
+
+func TestMethodsAreNodes(t *testing.T) {
+	mod := loadFixture(t, map[string]string{
+		"internal/m/m.go": `package m
+
+type Box struct{ n int }
+
+func (b *Box) Get() int { return b.n }
+
+func Use(b *Box) int { return b.Get() }
+`,
+	})
+	g := mod.Graph()
+	use := fn(t, g, "edgehd/internal/m", "Use")
+	path := g.FindPath(use.Fn, func(f *types.Func) bool { return f.Name() == "Get" }, nil)
+	if len(path) != 1 {
+		t.Fatalf("method call edge missing: %v", path)
+	}
+}

@@ -16,6 +16,17 @@ type Config struct {
 	// package's instruments instead.
 	DeterministicPackages []string
 
+	// ClockSanctionedPackages encapsulate time behind instruments whose
+	// readings never feed the numeric pipeline; det-rand-transitive
+	// does not traverse call chains into them.
+	ClockSanctionedPackages []string
+
+	// LifecycleTypes are the fully qualified named types
+	// ("pkgpath.Type") whose methods tie a goroutine to the process
+	// shutdown path; goroutine-leak accepts a launched body that calls
+	// one.
+	LifecycleTypes []string
+
 	// HDCPackages hold the hypervector kernels; calling into them from
 	// a map-ordered loop makes numeric results order-dependent.
 	HDCPackages []string
@@ -42,24 +53,32 @@ type Config struct {
 // Default returns the EdgeHD policy for a module rooted at modPath:
 //
 //   - det-rand over the deterministic pipeline packages (hdc, encoding,
-//     core, hierarchy, rng);
+//     core, hierarchy, rng) and det-rand-transitive over the same set
+//     via the module call graph (chains through the clock-sanctioned
+//     telemetry/netsim packages are exempt);
 //   - map-order everywhere;
 //   - panic-policy everywhere except the hdc and rng kernels, whose
 //     index/size guards are sanctioned programmer-error panics;
 //   - err-style everywhere (main packages are skipped by the rule);
 //   - telemetry-nil over the telemetry instrument types;
 //   - log-style over the instrumented packages (the telemetry layers
-//     and the observability-aware cmd binaries).
+//     and every cmd binary);
+//   - goroutine-leak and lock-across-io everywhere;
+//   - hotpath-alloc over the //hdlint:hotpath-annotated kernels.
 func Default(modPath string) *Config {
 	p := func(rel string) string { return modPath + "/" + rel }
 	return &Config{
 		Rules: []Rule{
 			DetRand{},
+			DetRandTransitive{},
 			MapOrder{},
 			PanicPolicy{},
 			ErrStyle{},
 			TelemetryNil{},
 			LogStyle{},
+			GoroutineLeak{},
+			LockAcrossIO{},
+			HotpathAlloc{},
 		},
 		Allow: map[string][]string{
 			// Guard panics (negative dimension, slice out of range,
@@ -76,6 +95,11 @@ func Default(modPath string) *Config {
 			p("internal/parallel"),
 			p("internal/rng"),
 		},
+		ClockSanctionedPackages: []string{
+			p("internal/telemetry"),
+			p("internal/netsim"),
+		},
+		LifecycleTypes:   []string{p("internal/telemetry") + ".Lifecycle"},
 		HDCPackages:      []string{p("internal/hdc")},
 		RNGSourceTypes:   []string{p("internal/rng") + ".Source"},
 		TelemetryPackage: p("internal/telemetry"),
@@ -93,6 +117,11 @@ func Default(modPath string) *Config {
 			p("cmd/fedlearn"),
 			p("cmd/paper"),
 			p("cmd/soak"),
+			p("cmd/hdlint"),
+			p("cmd/benchdiff"),
+			p("cmd/benchpar"),
+			p("cmd/covergate"),
+			p("cmd/escapegate"),
 		},
 	}
 }

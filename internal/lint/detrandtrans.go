@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+
+	"edgehd/internal/lint/callgraph"
+)
+
+// DetRandTransitive extends det-rand across the call graph: a
+// deterministic package must not reach math/rand or a wall-clock read
+// through *any* chain of module calls, not just direct imports. The
+// rule reports at the boundary — the call site where a deterministic
+// package's function first calls into non-deterministic module code
+// that (transitively) touches a clock or ambient randomness — and
+// renders the offending chain so the fix target is obvious. Chains
+// that pass through a clock-sanctioned package (telemetry, netsim)
+// are exempt: those packages encapsulate time behind instruments whose
+// readings never feed the numeric pipeline.
+type DetRandTransitive struct{}
+
+// Name implements Rule.
+func (DetRandTransitive) Name() string { return "det-rand-transitive" }
+
+// Doc implements Rule.
+func (DetRandTransitive) Doc() string {
+	return "forbids deterministic packages from reaching math/rand or wall-clock reads " +
+		"through any call chain (cross-package, via the module call graph); chains through " +
+		"the clock-sanctioned telemetry/netsim packages are exempt"
+}
+
+// nondetSource reports whether an external function is an ambient
+// randomness or clock source — the same set det-rand bans directly.
+func nondetSource(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		return true
+	case "time":
+		return clockFuncs[fn.Name()]
+	}
+	return false
+}
+
+// funcDisplay renders a function as pkgname.Name for chain messages.
+func funcDisplay(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// Check implements Rule.
+func (r DetRandTransitive) Check(pass *Pass) {
+	if !contains(pass.Cfg.DeterministicPackages, pass.Pkg.Path) {
+		return
+	}
+	g := pass.Graph()
+	enter := func(n *callgraph.Node) bool {
+		return !contains(pass.Cfg.ClockSanctionedPackages, n.PkgPath)
+	}
+	for _, n := range g.Nodes() {
+		if n.PkgPath != pass.Pkg.Path {
+			continue
+		}
+		for _, e := range n.Calls {
+			callee := g.Node(e.Callee)
+			if callee == nil {
+				// External callee: direct clock/rand use is det-rand's
+				// job, and externals cannot be traversed anyway.
+				continue
+			}
+			if contains(pass.Cfg.DeterministicPackages, callee.PkgPath) {
+				// The callee is itself under the deterministic contract;
+				// its own package's boundary edges carry the report.
+				continue
+			}
+			if !enter(callee) {
+				continue
+			}
+			path := g.FindPath(callee.Fn, nondetSource, enter)
+			if path == nil {
+				continue
+			}
+			chain := []string{funcDisplay(callee.Fn)}
+			for _, s := range path {
+				chain = append(chain, funcDisplay(s.Edge.Callee))
+			}
+			pass.Reportf(e.Pos, "call chain from deterministic package %s reaches %s (%s); "+
+				"route timing through a telemetry instrument or randomness through internal/rng",
+				pass.Pkg.Name, chain[len(chain)-1], strings.Join(chain, " → "))
+		}
+	}
+}

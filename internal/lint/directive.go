@@ -40,13 +40,20 @@ func collectDirectives(pkg *Package) *suppressions {
 				if len(fields) == 0 {
 					continue
 				}
+				// The rule list may be written with spaces after the
+				// commas ("det-rand, panic-policy reason…"); keep
+				// consuming fields while the list so far ends in a comma.
+				list := fields[0]
+				for i := 1; i < len(fields) && strings.HasSuffix(list, ","); i++ {
+					list += fields[i]
+				}
 				pos := pkg.Fset.Position(c.Pos())
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
 					lines = map[int][]string{}
 					s.byLine[pos.Filename] = lines
 				}
-				for _, rule := range strings.Split(fields[0], ",") {
+				for _, rule := range strings.Split(list, ",") {
 					if rule = strings.TrimSpace(rule); rule != "" {
 						lines[pos.Line] = append(lines[pos.Line], rule)
 					}

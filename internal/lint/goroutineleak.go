@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"edgehd/internal/lint/callgraph"
+)
+
+// GoroutineLeak requires every `go` statement to be visibly tied to a
+// shutdown mechanism: a sync.WaitGroup (the launched body calls Done),
+// a cancellation signal (the body receives from a `chan struct{}` —
+// which covers ctx.Done() and the done/quit-channel idiom — or ranges
+// over one), or a configured lifecycle type (the body calls a method
+// on e.g. telemetry.Lifecycle). The check looks through one level of
+// module calls, so `go worker(done)` is recognized when worker itself
+// blocks on the signal. Goroutines whose launched function cannot be
+// resolved statically (function values, external methods like
+// http.Server.Serve) are flagged conservatively; when their lifetime
+// is genuinely bounded elsewhere, annotate the launch with
+// //hdlint:allow goroutine-leak and say why.
+type GoroutineLeak struct{}
+
+// Name implements Rule.
+func (GoroutineLeak) Name() string { return "goroutine-leak" }
+
+// Doc implements Rule.
+func (GoroutineLeak) Doc() string {
+	return "requires every go statement to be tied to a sync.WaitGroup, a cancellation " +
+		"signal (chan struct{} receive, covering ctx.Done), or a lifecycle type, so no " +
+		"goroutine can outlive the shutdown path unnoticed"
+}
+
+// Check implements Rule.
+func (r GoroutineLeak) Check(pass *Pass) {
+	g := pass.Graph()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !r.tied(pass, g, gs.Call) {
+				pass.Reportf(gs.Pos(), "goroutine is not tied to a WaitGroup, cancellation "+
+					"signal, or lifecycle; it can outlive the shutdown path unnoticed")
+			}
+			return true
+		})
+	}
+}
+
+// tied reports whether the launched call's body satisfies the shutdown
+// contract, looking through one level of module calls.
+func (r GoroutineLeak) tied(pass *Pass, g *callgraph.Graph, call *ast.CallExpr) bool {
+	info := pass.Pkg.Info
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return r.bodyTied(pass, g, lit.Body, info, 2)
+	}
+	callee := callgraph.CalleeOf(info, call)
+	if callee == nil {
+		return false
+	}
+	node := g.Node(callee)
+	if node == nil {
+		return false
+	}
+	return r.bodyTied(pass, g, node.Decl.Body, node.Info, 2)
+}
+
+// bodyTied inspects one function body for a shutdown tie, following
+// module calls up to depth more levels.
+func (r GoroutineLeak) bodyTied(pass *Pass, g *callgraph.Graph, body *ast.BlockStmt, info *types.Info, depth int) bool {
+	if body == nil {
+		return false
+	}
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			// <-done, <-ctx.Done(), and select cases thereof.
+			if n.Op == token.ARROW && isSignalChan(info.TypeOf(n.X)) {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if isSignalChan(info.TypeOf(n.X)) {
+				tied = true
+			}
+		case *ast.CallExpr:
+			fn := callgraph.CalleeOf(info, n)
+			if fn == nil {
+				return true
+			}
+			if fn.FullName() == "(*sync.WaitGroup).Done" || isLifecycleMethod(pass.Cfg, fn) {
+				tied = true
+				return false
+			}
+			if depth > 0 {
+				if node := g.Node(fn); node != nil && r.bodyTied(pass, g, node.Decl.Body, node.Info, depth-1) {
+					tied = true
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// isSignalChan reports whether t is a channel of empty structs — the
+// cancellation-signal type ctx.Done() and close-only done channels use.
+func isSignalChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isLifecycleMethod reports whether fn is a method on one of the
+// configured lifecycle types.
+func isLifecycleMethod(cfg *Config, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return contains(cfg.LifecycleTypes, full)
+}

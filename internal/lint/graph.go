@@ -1,0 +1,25 @@
+package lint
+
+import (
+	"edgehd/internal/lint/callgraph"
+)
+
+// Graph returns the module-wide call graph, built on first use and
+// cached for the lifetime of the Module. Run is single-threaded, so no
+// locking is needed; rules that never ask for the graph keep the old
+// per-file cost profile.
+func (m *Module) Graph() *callgraph.Graph {
+	if m.graph == nil {
+		pkgs := make([]callgraph.Pkg, len(m.Packages))
+		for i, p := range m.Packages {
+			pkgs[i] = callgraph.Pkg{Path: p.Path, Files: p.Files, Info: p.Info}
+		}
+		m.graph = callgraph.Build(pkgs)
+	}
+	return m.graph
+}
+
+// Graph is shorthand for the module call graph from inside a rule.
+func (p *Pass) Graph() *callgraph.Graph {
+	return p.Mod.Graph()
+}

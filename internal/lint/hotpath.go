@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotpathDirective marks a function as allocation-critical. It lives
+// in the function's doc comment:
+//
+//	// Hamming counts differing coordinates.
+//	//hdlint:hotpath
+//	func Hamming(a, b Bipolar) int { ... }
+//
+// Annotated functions are the encode, similarity, associative-search
+// and slot-reduction kernels whose per-call allocation count the
+// paper's throughput numbers (and the escape gate) depend on.
+const HotpathDirective = "//hdlint:hotpath"
+
+// IsHotpath reports whether the declaration carries the
+// //hdlint:hotpath annotation. Exported for cmd/escapegate, which
+// filters compiler escape diagnostics down to annotated functions.
+func IsHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == HotpathDirective || strings.HasPrefix(text, HotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// HotpathAlloc flags heap-allocating constructs inside functions
+// annotated //hdlint:hotpath: any fmt call (formatting always
+// allocates — hoist it into an unannotated cold helper), explicit
+// conversions into interface types (boxing), closures created inside a
+// loop that capture surrounding variables (one allocation per
+// iteration — hoist the closure out of the loop), append inside a loop
+// onto a slice that was not preallocated with make, and map allocation
+// inside a loop. The rule is lexical and conservative by design; the
+// compiler-precise complement is the escape gate (cmd/escapegate),
+// which diffs `go build -gcflags=-m` output for the same annotated
+// functions.
+type HotpathAlloc struct{}
+
+// Name implements Rule.
+func (HotpathAlloc) Name() string { return "hotpath-alloc" }
+
+// Doc implements Rule.
+func (HotpathAlloc) Doc() string {
+	return "flags heap-allocating constructs (fmt calls, interface boxing, per-iteration " +
+		"closures, append without preallocation, maps allocated in loops) inside functions " +
+		"annotated //hdlint:hotpath"
+}
+
+// Check implements Rule.
+func (r HotpathAlloc) Check(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !IsHotpath(fd) {
+				continue
+			}
+			r.checkFunc(pass, fd)
+		}
+	}
+}
+
+func (r HotpathAlloc) checkFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn, ok := calleeFunc(info, n); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(), "%s call in hot path %s allocates; hoist formatting into an unannotated cold helper", funcDisplay(fn), name)
+			}
+			if isInterfaceConversion(info, n) {
+				pass.Reportf(n.Pos(), "conversion boxes a value into an interface in hot path %s; keep hot-path data concrete", name)
+			}
+		case *ast.ForStmt:
+			r.checkLoop(pass, fd, n.Body, name)
+		case *ast.RangeStmt:
+			r.checkLoop(pass, fd, n.Body, name)
+		}
+		return true
+	})
+}
+
+// checkLoop flags the per-iteration allocators inside one loop body.
+func (r HotpathAlloc) checkLoop(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt, name string) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesOuter(info, n) {
+				pass.Reportf(n.Pos(), "closure capturing outer variables allocated per loop iteration in hot path %s; hoist it out of the loop", name)
+			}
+			return false
+		case *ast.CallExpr:
+			if isBuiltinAppend(info, n) && !preallocated(info, fd, n) {
+				pass.Reportf(n.Pos(), "append inside a loop in hot path %s without preallocated capacity; make the slice with its final length or capacity first", name)
+			}
+			if isMakeMap(info, n) {
+				pass.Reportf(n.Pos(), "map allocated inside a loop in hot path %s; allocate it once outside the loop", name)
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map allocated inside a loop in hot path %s; allocate it once outside the loop", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call's static callee function.
+func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	return fn, ok
+}
+
+// isInterfaceConversion reports whether the call is an explicit type
+// conversion whose target is an interface type (boxing).
+func isInterfaceConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	_, isIface := tv.Type.Underlying().(*types.Interface)
+	return isIface
+}
+
+// isMakeMap reports whether the call is make(map[...]...).
+func isMakeMap(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// capturesOuter reports whether the literal references a local variable
+// declared outside its own body (a heap-promoting capture).
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		// Package-level variables are not captures; anything declared
+		// before the literal but used inside it is.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captures = true
+		}
+		return !captures
+	})
+	return captures
+}
+
+// preallocated reports whether the append target was created in this
+// function by make with an explicit length or capacity.
+func preallocated(info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		// Appending to a field or index expression: out of scope for
+		// the lexical check, the escape gate covers it.
+		return true
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return true
+	}
+	// Parameters arrive with caller-chosen capacity; trust them.
+	if v.Pos() < fd.Body.Pos() {
+		return true
+	}
+	made := false
+	match := func(lid *ast.Ident, rhs ast.Expr) {
+		lobj := info.Defs[lid]
+		if lobj == nil {
+			lobj = info.Uses[lid]
+		}
+		if lobj != v {
+			return
+		}
+		if mk, ok := rhs.(*ast.CallExpr); ok {
+			if mid, ok := mk.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[mid].(*types.Builtin); ok && b.Name() == "make" && len(mk.Args) >= 2 {
+					made = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if made {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if lid, ok := lhs.(*ast.Ident); ok && i < len(n.Rhs) {
+					match(lid, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, lid := range n.Names {
+				if i < len(n.Values) {
+					match(lid, n.Values[i])
+				}
+			}
+		}
+		return !made
+	})
+	return made
+}

@@ -501,7 +501,11 @@ func TestRulesHaveNamesAndDocs(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	for _, want := range []string{"det-rand", "map-order", "panic-policy", "err-style", "telemetry-nil", "log-style"} {
+	for _, want := range []string{
+		"det-rand", "det-rand-transitive", "map-order", "panic-policy",
+		"err-style", "telemetry-nil", "log-style",
+		"goroutine-leak", "lock-across-io", "hotpath-alloc",
+	} {
 		if !seen[want] {
 			t.Errorf("default config missing rule %q", want)
 		}

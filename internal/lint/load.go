@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"edgehd/internal/lint/callgraph"
 )
 
 // Module is a fully parsed and type-checked Go module: every non-test
@@ -26,6 +28,9 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages are type-checked in dependency order.
 	Packages []*Package
+
+	// graph caches the module call graph (see Module.Graph).
+	graph *callgraph.Graph
 }
 
 // Package is one parsed and type-checked package.

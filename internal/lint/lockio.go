@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"edgehd/internal/lint/callgraph"
+)
+
+// LockAcrossIO forbids holding a mutex across network or file I/O and
+// across channel operations. A blocked I/O call or channel rendezvous
+// under a lock serializes every other path through that lock — in
+// internal/cluster that couples aggregation latency to the slowest
+// socket, and in the debug server it can deadlock scrapes against the
+// collector. The rule tracks critical sections lexically (Lock/RLock
+// to the matching Unlock/RUnlock in the same statement list, or to the
+// end of the list when the unlock is deferred) and consults the module
+// call graph so a locked call into a function that *transitively*
+// performs I/O or channel operations is flagged too. The fix is to
+// copy shared state under the lock and do the blocking work outside;
+// intentional couplings (e.g. a profile ring serializing captures by
+// design) carry a //hdlint:allow lock-across-io directive with the
+// justification.
+type LockAcrossIO struct{}
+
+// Name implements Rule.
+func (LockAcrossIO) Name() string { return "lock-across-io" }
+
+// Doc implements Rule.
+func (LockAcrossIO) Doc() string {
+	return "forbids holding a sync.Mutex/RWMutex across network/file I/O or channel " +
+		"operations, including transitively through module calls; copy state under the " +
+		"lock and block outside the critical section"
+}
+
+// ioPackages are the external packages whose calls count as blocking
+// I/O when made under a lock. fmt is deliberately absent: result-table
+// printing under a short lock is sanctioned output, not blocking I/O.
+var ioPackages = map[string]bool{
+	"net": true, "net/http": true, "os": true,
+	"io": true, "io/fs": true, "bufio": true,
+	"runtime/pprof": true,
+}
+
+// ioExternal reports whether an external function blocks on I/O or a
+// timer when called under a lock.
+func ioExternal(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if ioPackages[fn.Pkg().Path()] {
+		return true
+	}
+	return fn.Pkg().Path() == "time" && fn.Name() == "Sleep"
+}
+
+// Check implements Rule.
+func (r LockAcrossIO) Check(pass *Pass) {
+	g := pass.Graph()
+	// ioReach holds every module function that may perform I/O or a
+	// channel operation, directly or through module calls. The fixed
+	// point is cheap (linear in the graph), so recomputing per package
+	// keeps the rule stateless.
+	ioReach := g.Reaches(func(n *callgraph.Node) bool {
+		return hasChanOps(n.Decl.Body)
+	}, ioExternal)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			r.checkList(pass, g, ioReach, list)
+			return true
+		})
+	}
+}
+
+// checkList scans one statement list for critical sections. Each
+// offending section produces ONE diagnostic, anchored at the Lock()
+// call and listing the blocking sites — so a sanctioned section (e.g.
+// the profile ring serializing captures by design) is suppressed by a
+// single //hdlint:allow lock-across-io directive on its Lock line.
+func (r LockAcrossIO) checkList(pass *Pass, g *callgraph.Graph, ioReach map[*callgraph.Node]bool, list []ast.Stmt) {
+	info := pass.Pkg.Info
+	for i, stmt := range list {
+		lockPath := lockedMutex(info, stmt)
+		if lockPath == "" {
+			continue
+		}
+		var sites []string
+		for _, later := range list[i+1:] {
+			if d, ok := later.(*ast.DeferStmt); ok {
+				// defer mu.Unlock() keeps the section open to the end
+				// of the list; the defer itself is not scanned.
+				if mutexCallPath(info, d.Call, unlockMethods) == lockPath {
+					continue
+				}
+			}
+			if containsUnlock(info, later, lockPath) {
+				break
+			}
+			sites = append(sites, r.blockingSites(pass, g, ioReach, later)...)
+		}
+		if len(sites) > 0 {
+			pass.Reportf(stmt.Pos(), "critical section on %s blocks at %s; copy state under the lock and move I/O and channel rendezvous outside",
+				lockPath, strings.Join(sites, ", "))
+		}
+	}
+}
+
+var lockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+var unlockMethods = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+// lockedMutex reports the mutex path ("a.mu") when stmt is a bare
+// Lock/RLock call, or "" otherwise.
+func lockedMutex(info *types.Info, stmt ast.Stmt) string {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	return mutexCallPath(info, call, lockMethods)
+}
+
+// mutexCallPath returns the receiver path of a mutex method call from
+// the given set ("a.mu" for a.mu.Lock()), or "" when the call is not
+// one. Selections through an embedded mutex yield the embedding
+// value's path.
+func mutexCallPath(info *types.Info, call *ast.CallExpr, methods map[string]bool) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || !methods[fn.FullName()] {
+		return ""
+	}
+	return exprPath(sel.X)
+}
+
+// exprPath renders a chain of identifiers and field selections
+// ("a.mu"); non-path expressions yield "".
+func exprPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprPath(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// containsUnlock reports whether stmt contains a non-deferred unlock of
+// the mutex at path.
+func containsUnlock(info *types.Info, stmt ast.Stmt, path string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if mutexCallPath(info, n, unlockMethods) == path {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// blockingSites collects descriptions of the I/O calls and channel
+// operations inside stmt, each tagged with its line. Function literals
+// are skipped (they run later, not under the lock), and so are defer
+// statements (they run at return, after a same-list unlock in the
+// common pattern).
+func (r LockAcrossIO) blockingSites(pass *Pass, g *callgraph.Graph, ioReach map[*callgraph.Node]bool, stmt ast.Stmt) []string {
+	info := pass.Pkg.Info
+	var sites []string
+	at := func(pos token.Pos, desc string) {
+		sites = append(sites, fmt.Sprintf("%s (line %d)", desc, pass.Pkg.Fset.Position(pos).Line))
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			at(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				at(n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			at(n.Pos(), "select")
+			return false
+		case *ast.CallExpr:
+			fn := callgraph.CalleeOf(info, n)
+			if fn == nil {
+				if isBuiltinClose(info, n) {
+					at(n.Pos(), "channel close")
+				}
+				return true
+			}
+			if ioExternal(fn) {
+				at(n.Pos(), "I/O call "+funcDisplay(fn))
+				return true
+			}
+			if node := g.Node(fn); node != nil && ioReach[node] {
+				at(n.Pos(), "call to "+funcDisplay(fn)+" which may block")
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// hasChanOps reports whether a function body performs a channel
+// operation anywhere, including inside closures it runs.
+func hasChanOps(body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltinClose reports whether the call is the close builtin.
+func isBuiltinClose(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}

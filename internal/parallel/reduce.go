@@ -18,19 +18,25 @@ import (
 // place and parts[0] becomes (and is returned as) the total. Callers
 // own the partials, so no defensive copy is made. An empty parts slice
 // returns a zero accumulator.
+//
+//hdlint:hotpath
 func (p *Pool) SumAccs(stage string, parts []hdc.Acc) hdc.Acc {
 	if len(parts) == 0 {
 		return hdc.Acc{}
 	}
 	cur := parts
+	// combine is allocated once and closes over cur by reference, so the
+	// same func value serves every level; Run is a full barrier, so the
+	// reassignment of cur below never races with workers reading it.
+	combine := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cur[2*i].AddAcc(cur[2*i+1])
+		}
+	}
 	for len(cur) > 1 {
 		pairs := len(cur) / 2
-		p.Run(stage, pairs, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				cur[2*i].AddAcc(cur[2*i+1])
-			}
-		})
-		next := cur[:0:0]
+		p.Run(stage, pairs, combine)
+		next := make([]hdc.Acc, 0, (len(cur)+1)/2)
 		for i := 0; i < len(cur); i += 2 {
 			next = append(next, cur[i])
 		}

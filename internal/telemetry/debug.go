@@ -231,6 +231,9 @@ func ServeDebug(addr string, reg *Registry, tr *Tracer, h *Health) (*DebugServer
 		return nil, fmt.Errorf("telemetry: debug listen on %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: NewDebugMux(reg, tr, h)}
-	go func() { _ = srv.Serve(ln) }()
+	// Serve blocks until Close shuts the listener down, which is the
+	// goroutine's bounded lifetime — there is no separate signal to tie
+	// it to.
+	go func() { _ = srv.Serve(ln) }() //hdlint:allow goroutine-leak exits when DebugServer.Close stops the listener
 	return &DebugServer{srv: srv, ln: ln}, nil
 }

@@ -69,12 +69,15 @@ func NewProfileRing(dir string, retain int, reg *Registry, log *Logger) (*Profil
 func stamp() string { return time.Now().UTC().Format("20060102T150405.000000000") }
 
 // Capture writes one heap and one goroutine profile into the ring and
-// prunes beyond the retention limit.
+// prunes beyond the retention limit. The lock is intentionally held
+// across the file writes: the ring's whole contract is that captures
+// and pruning serialize, so two callers never interleave half-written
+// profiles or prune each other's fresh files.
 func (p *ProfileRing) Capture() error {
 	if p == nil {
 		return nil
 	}
-	p.mu.Lock()
+	p.mu.Lock() //hdlint:allow lock-across-io captures serialize ring mutation by design
 	defer p.mu.Unlock()
 	ts := stamp()
 	for _, kind := range profileKinds {
@@ -114,7 +117,8 @@ func (p *ProfileRing) CaptureCPU(window time.Duration) error {
 	if window < 10*time.Millisecond {
 		window = 10 * time.Millisecond
 	}
-	p.mu.Lock()
+	// Held across the sampling window on purpose: see Capture.
+	p.mu.Lock() //hdlint:allow lock-across-io captures serialize ring mutation by design
 	defer p.mu.Unlock()
 	path := filepath.Join(p.dir, "cpu-"+stamp()+".pprof")
 	f, err := os.Create(path)
@@ -178,13 +182,16 @@ func (p *ProfileRing) pruneLocked() error {
 	return nil
 }
 
-// Files returns the ring's current profile filenames, sorted.
+// Files returns the ring's current profile filenames, sorted. It reads
+// the directory without taking the ring lock: p.dir is immutable after
+// construction, each directory read is atomic on its own, and a listing
+// that races a concurrent capture is merely a snapshot from a moment
+// earlier — while holding the lock here would stall debug-endpoint
+// listings behind a full CPU sampling window.
 func (p *ProfileRing) Files() ([]string, error) {
 	if p == nil {
 		return nil, nil
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	entries, err := os.ReadDir(p.dir)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: profile ring list: %w", err)
