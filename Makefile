@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build lint escape-gate escape-baseline test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-gate soak-smoke soak clean
+.PHONY: check vet build lint escape-gate escape-baseline test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-serve bench-gate serve-gate soak-smoke soak clean
 
 # Tier-1 gate: everything CI needs to pass, plus a short instrumented
 # bench run that leaves a machine-readable metrics snapshot behind, a
-# short leak-checked soak, and the perf- and escape-regression gates
-# against the committed BENCH_hier.json / ESCAPES.json baselines.
-check: vet build lint escape-gate race cover bench-smoke soak-smoke bench-gate
+# short leak-checked soak, and the perf-, serving- and escape-regression
+# gates against the committed BENCH_hier.json / BENCH_serve.json /
+# ESCAPES.json baselines.
+check: vet build lint escape-gate race cover bench-smoke soak-smoke bench-gate serve-gate
 
 vet:
 	$(GO) vet ./...
@@ -37,11 +38,13 @@ race:
 	$(GO) test -race -timeout 20m ./...
 
 # Coverage gate: the deterministic parallel engine must stay ≥90%
-# covered and the tree must not regress below its 80% baseline.
+# covered, the serving front end ≥80%, and the tree must not regress
+# below its 80% baseline.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) run ./cmd/covergate -profile cover.out -total 80.0 \
-		-require edgehd/internal/parallel=90
+		-require edgehd/internal/parallel=90 \
+		-require edgehd/internal/serve=80
 
 # Short fuzz passes over the wire codec, the hypervector algebra and
 # the chunked-reduction determinism property. Each target runs for 10s;
@@ -59,7 +62,7 @@ bench-smoke:
 		-epochs 3 -metrics-out BENCH_smoke.json
 
 # Full benchmark suite (one bench per table/figure plus kernels).
-bench: bench-parallel bench-hier
+bench: bench-parallel bench-hier bench-serve
 	$(GO) test -bench=. -benchmem -run=XXX .
 
 # Parallel-engine speedup report: batch encode and hierarchy training
@@ -72,6 +75,11 @@ bench-parallel:
 # star/tree/depth-3 topologies (wall, bytes/query, allocs/op, p95).
 bench-hier:
 	$(GO) run ./cmd/benchdiff -emit
+
+# Refresh the committed serving baseline: 12k verified queries from 4
+# connections against the in-process serve front end (cmd/loadgen).
+bench-serve:
+	$(GO) run ./cmd/loadgen -out BENCH_serve.json
 
 # Short leak-checked soak (~10s): cycles federated rounds and routed
 # inferences, reconciles every cycle's traced wire bytes, and fails on
@@ -93,5 +101,14 @@ soak:
 bench-gate:
 	$(GO) run ./cmd/benchdiff -check
 
+# Serving perf gate: replay the loadgen workload and diff the latency
+# family against the committed BENCH_serve.json with the same warn/fail
+# bands (and the 4x wall-clock noise allowance). A candidate with reply
+# mismatches or a leak verdict fails outright.
+serve-gate:
+	$(GO) run ./cmd/loadgen -out BENCH_serve.cand.json
+	$(GO) run ./cmd/benchdiff -serve -baseline BENCH_serve.json -candidate BENCH_serve.cand.json
+	rm -f BENCH_serve.cand.json
+
 clean:
-	rm -f BENCH_smoke.json BENCH_soak.json cover.out
+	rm -f BENCH_smoke.json BENCH_soak.json BENCH_serve.cand.json cover.out

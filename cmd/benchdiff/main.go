@@ -16,6 +16,13 @@
 //	benchdiff -emit [-out BENCH_hier.json]      # run benches, write report
 //	benchdiff -baseline a.json -candidate b.json # diff two reports
 //	benchdiff -check [-baseline BENCH_hier.json] # fresh run vs committed baseline
+//	benchdiff -serve -baseline BENCH_serve.json -candidate b.json
+//	                                             # diff serving reports (loadgen)
+//
+// In -serve mode the reports are BENCH_serve.json files emitted by
+// cmd/loadgen; the gated family is the serving latency quantiles (same
+// warn/fail bands, 4x noise allowance), and a candidate with reply
+// mismatches or a leak verdict fails outright.
 //
 // `make bench` emits the committed baseline; `make check` runs -check
 // so every PR is judged against the trajectory.
@@ -46,6 +53,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	emit := fs.Bool("emit", false, "run the benchmarks and write the report to -out")
 	check := fs.Bool("check", false, "run the benchmarks and diff against -baseline")
+	serveMode := fs.Bool("serve", false, "diff BENCH_serve.json reports (cmd/loadgen output) instead of BENCH_hier.json")
 	out := fs.String("out", "BENCH_hier.json", "report path for -emit")
 	baseline := fs.String("baseline", "BENCH_hier.json", "baseline report to diff against")
 	candidate := fs.String("candidate", "", "candidate report to diff (instead of a fresh run)")
@@ -71,6 +79,20 @@ func run(args []string) error {
 		}
 		fmt.Printf("benchdiff: wrote %s (%d topologies, dim %d)\n", *out, len(rep.Results), rep.Dim)
 		return nil
+	case *candidate != "" && *serveMode:
+		base, err := readServeReport(*baseline)
+		if err != nil {
+			return fmt.Errorf("reading committed baseline (run `make bench-serve` to create it): %w", err)
+		}
+		cand, err := readServeReport(*candidate)
+		if err != nil {
+			return err
+		}
+		deltas, err := CompareServe(base, cand, *warnPct, *failPct)
+		if err != nil {
+			return err
+		}
+		return printDeltas(deltas, *warnPct, *failPct)
 	case *candidate != "":
 		base, err := readReport(*baseline)
 		if err != nil {
@@ -107,6 +129,12 @@ func reportDeltas(base, cand *Report, warnPct, failPct float64) error {
 	if err != nil {
 		return err
 	}
+	return printDeltas(deltas, warnPct, failPct)
+}
+
+// printDeltas renders one comparison table (hierarchy or serve mode)
+// and turns any fail verdict into a non-zero exit.
+func printDeltas(deltas []Delta, warnPct, failPct float64) error {
 	failed := 0
 	for _, d := range deltas {
 		marker := " "

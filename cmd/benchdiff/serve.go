@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ServeSchema versions the BENCH_serve.json layout emitted by
+// cmd/loadgen; the serve gate refuses to diff across versions.
+const ServeSchema = "edgehd.bench_serve/v1"
+
+// ServeReport is the subset of BENCH_serve.json the gate consumes:
+// the workload shape (which must match between baseline and candidate
+// for the numbers to be comparable), the gated latency family, and the
+// candidate-health fields that fail the gate outright.
+type ServeReport struct {
+	Schema     string `json:"schema"`
+	Dim        int    `json:"dim"`
+	Conns      int    `json:"conns"`
+	Queries    int    `json:"queries"`
+	MaxBatch   int    `json:"max_batch"`
+	QueueDepth int    `json:"queue_depth"`
+
+	WallSecs   float64 `json:"wall_secs"`
+	P50Latency float64 `json:"p50_latency_seconds"`
+	P95Latency float64 `json:"p95_latency_seconds"`
+	P99Latency float64 `json:"p99_latency_seconds"`
+
+	RejectRate float64 `json:"reject_rate"`
+	Mismatches int     `json:"mismatches"`
+	Verified   bool    `json:"verified"`
+	Leaky      bool    `json:"leaky"`
+}
+
+// serveMetrics lists the gated fields. All are wall-clock and
+// higher-is-worse, so they carry the same 4x noise allowance as the
+// hierarchy gate's timing metrics. Reject rate and SLO attainment are
+// recorded in the report but not gated: both are legitimately zero on
+// an unloaded host, and compareMetric treats a metric appearing from
+// zero as a hard fail — gating them would flake.
+var serveMetrics = []struct {
+	name  string
+	noise float64
+	get   func(ServeReport) float64
+}{
+	{"wall_secs", 4, func(r ServeReport) float64 { return r.WallSecs }},
+	{"p50_latency_seconds", 4, func(r ServeReport) float64 { return r.P50Latency }},
+	{"p95_latency_seconds", 4, func(r ServeReport) float64 { return r.P95Latency }},
+	{"p99_latency_seconds", 4, func(r ServeReport) float64 { return r.P99Latency }},
+}
+
+// CompareServe diffs a candidate serving report against a baseline.
+// A candidate with reply mismatches or a leak verdict fails regardless
+// of its timings — a fast server that answers wrongly is not a serving
+// plane.
+func CompareServe(base, cand *ServeReport, warnPct, failPct float64) ([]Delta, error) {
+	if base.Schema != ServeSchema {
+		return nil, fmt.Errorf("baseline schema %q, tool speaks %q — regenerate with `make bench-serve`", base.Schema, ServeSchema)
+	}
+	if cand.Schema != ServeSchema {
+		return nil, fmt.Errorf("candidate schema %q, tool speaks %q", cand.Schema, ServeSchema)
+	}
+	if base.Dim != cand.Dim || base.Conns != cand.Conns || base.Queries != cand.Queries {
+		return nil, fmt.Errorf("shape mismatch: baseline dim=%d conns=%d queries=%d vs candidate dim=%d conns=%d queries=%d",
+			base.Dim, base.Conns, base.Queries, cand.Dim, cand.Conns, cand.Queries)
+	}
+	if cand.Verified && cand.Mismatches > 0 {
+		return nil, fmt.Errorf("candidate run had %d reply mismatches against direct inference", cand.Mismatches)
+	}
+	if cand.Leaky {
+		return nil, fmt.Errorf("candidate run's leak detector reported drift")
+	}
+	var deltas []Delta
+	for _, m := range serveMetrics {
+		deltas = append(deltas, compareMetric("serve", m.name, m.get(*base), m.get(*cand), warnPct*m.noise, failPct*m.noise))
+	}
+	return deltas, nil
+}
+
+func readServeReport(path string) (*ServeReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}

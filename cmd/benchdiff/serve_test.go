@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func serveBase() *ServeReport {
+	return &ServeReport{
+		Schema: ServeSchema, Dim: 2048, Conns: 4, Queries: 12000,
+		WallSecs: 1.0, P50Latency: 0.010, P95Latency: 0.040, P99Latency: 0.080,
+		Verified: true,
+	}
+}
+
+func TestCompareServeWithinThresholds(t *testing.T) {
+	base := serveBase()
+	cand := *base
+	cand.WallSecs = 1.1 // +10%, inside 4x-widened warn band of 5%*4=20%
+	deltas, err := CompareServe(base, &cand, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != len(serveMetrics) {
+		t.Fatalf("%d deltas, want %d", len(deltas), len(serveMetrics))
+	}
+	for _, d := range deltas {
+		if d.Verdict != VerdictOK {
+			t.Fatalf("metric %s verdict %s, want ok (%+v)", d.Metric, d.Verdict, d)
+		}
+	}
+}
+
+func TestCompareServeFlagsRegression(t *testing.T) {
+	base := serveBase()
+	cand := *base
+	cand.P99Latency = base.P99Latency * 2 // +100% > 15%*4
+	deltas, err := CompareServe(base, &cand, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verdict string
+	for _, d := range deltas {
+		if d.Metric == "p99_latency_seconds" {
+			verdict = d.Verdict
+		}
+	}
+	if verdict != VerdictFail {
+		t.Fatalf("p99 doubling classified %q, want fail", verdict)
+	}
+	// Improvements never warn, whatever their size.
+	cand = *base
+	cand.WallSecs = base.WallSecs / 10
+	deltas, err = CompareServe(base, &cand, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if d.Verdict != VerdictOK {
+			t.Fatalf("improvement flagged: %+v", d)
+		}
+	}
+}
+
+func TestCompareServeGuards(t *testing.T) {
+	base := serveBase()
+	wrong := *base
+	wrong.Schema = "edgehd.bench_serve/v0"
+	if _, err := CompareServe(&wrong, base, 5, 15); err == nil {
+		t.Fatal("baseline schema mismatch accepted")
+	}
+	if _, err := CompareServe(base, &wrong, 5, 15); err == nil {
+		t.Fatal("candidate schema mismatch accepted")
+	}
+	shape := *base
+	shape.Queries = 1
+	if _, err := CompareServe(base, &shape, 5, 15); err == nil {
+		t.Fatal("workload-shape mismatch accepted")
+	}
+	bad := *base
+	bad.Mismatches = 3
+	_, err := CompareServe(base, &bad, 5, 15)
+	if err == nil || !strings.Contains(err.Error(), "mismatches") {
+		t.Fatalf("mismatching candidate accepted: %v", err)
+	}
+	leaky := *base
+	leaky.Leaky = true
+	if _, err := CompareServe(base, &leaky, 5, 15); err == nil {
+		t.Fatal("leaky candidate accepted")
+	}
+	// An unverified candidate (external-server run) with stale mismatch
+	// counts must not trip the verification guard.
+	unverified := *base
+	unverified.Verified = false
+	unverified.Mismatches = 1
+	if _, err := CompareServe(base, &unverified, 5, 15); err != nil {
+		t.Fatalf("unverified candidate rejected: %v", err)
+	}
+}

@@ -49,6 +49,7 @@ func run(args []string) error {
 	train := fs.Int("train", 600, "total training samples (split across workers)")
 	test := fs.Int("test", 250, "test samples")
 	seed := fs.Uint64("seed", 42, "random seed")
+	ioTimeout := fs.Duration("io-timeout", cluster.DefaultIOTimeout, "per-frame read/write deadline on every cluster connection (0 = default, negative disables)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/metrics, trace trees, expvar and pprof on this address")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
 	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
@@ -130,6 +131,7 @@ func run(args []string) error {
 		EncoderSeed: *seed + 1,
 		Tracer:      tracer,
 		Logger:      log,
+		IOTimeout:   *ioTimeout,
 	}
 
 	// One distributed trace spans the whole round: every worker's push
@@ -170,6 +172,7 @@ func run(args []string) error {
 	}
 	agg.SetTracer(tracer)
 	agg.SetLogger(log)
+	agg.SetIOTimeout(*ioTimeout)
 	release := make(chan struct{})
 	merged := make(chan error, *workers)
 	var serveWG sync.WaitGroup

@@ -1,0 +1,478 @@
+// Command loadgen drives the internal/serve query front end with a
+// multi-connection workload and writes a schema-versioned
+// BENCH_serve.json: throughput, client-observed p50/p95/p99 latency,
+// reject rate under admission control, SLO attainment, and a
+// goroutine/heap leak verdict sampled between rounds.
+//
+// By default it is self-contained: it trains an HD model on a benchmark
+// dataset, publishes it for tenant "default" in an in-process server on
+// a loopback TCP listener, and fires pipelined queries at it over real
+// sockets. Every reply is verified byte-for-byte against the local
+// model's own Confidence answer — the serving plane must not change a
+// single bit relative to direct inference. With -addr it targets an
+// external server instead (verification off: the remote model is not
+// ours to know).
+//
+// Usage:
+//
+//	loadgen [-dataset PDP] [-dim 2048] [-train 400] [-conns 4]
+//	        [-queries 12000] [-rounds 6] [-workers 0] [-max-batch 64]
+//	        [-batch-window 2ms] [-queue-depth 1024] [-window 64]
+//	        [-rate 0] [-slo-objective 0.05] [-seed 42]
+//	        [-out BENCH_serve.json] [-addr HOST:PORT] [-tenant default]
+//
+// Each connection keeps at most -window queries in flight: it fills
+// the window, then sends one fresh query per reply. That keeps every
+// client draining its socket (a reply write that blocks would stall
+// the server's dispatcher for all connections) and keeps total
+// outstanding work bounded, so measured latency is queue-plus-service
+// time rather than an artifact of the client's own send burst. -rate
+// paces sends open-loop at the given aggregate queries/second; 0 runs
+// closed-loop (window-limited, as fast as replies drain). Queries
+// rejected with MsgBusy are retried with exponential backoff and
+// counted into reject_rate; retries re-stamp their send time, so a
+// retried query's latency is per-attempt, not cumulative backoff.
+//
+// `make bench-serve` emits the committed baseline; `make check` replays
+// the workload and gates the latency family against it via
+// `benchdiff -serve`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"edgehd/internal/core"
+	"edgehd/internal/dataset"
+	"edgehd/internal/encoding"
+	"edgehd/internal/hdc"
+	"edgehd/internal/parallel"
+	"edgehd/internal/serve"
+	"edgehd/internal/telemetry"
+	"edgehd/internal/wire"
+)
+
+// ServeSchema versions the BENCH_serve.json layout.
+const ServeSchema = "edgehd.bench_serve/v1"
+
+// ServeReport is the BENCH_serve.json layout. The latency family
+// (wall_secs, p50/p95/p99) is what benchdiff -serve gates; the rest is
+// operational context recorded for trend reading.
+type ServeReport struct {
+	Schema     string `json:"schema"`
+	Dataset    string `json:"dataset"`
+	Dim        int    `json:"dim"`
+	Train      int    `json:"train_samples"`
+	Conns      int    `json:"conns"`
+	Queries    int    `json:"queries"`
+	Rounds     int    `json:"rounds"`
+	MaxBatch   int    `json:"max_batch"`
+	QueueDepth int    `json:"queue_depth"`
+	Window     int    `json:"window"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	WallSecs      float64 `json:"wall_secs"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	P50Latency    float64 `json:"p50_latency_seconds"`
+	P95Latency    float64 `json:"p95_latency_seconds"`
+	P99Latency    float64 `json:"p99_latency_seconds"`
+
+	Answered   int     `json:"answered"`
+	Rejects    int     `json:"rejects"`
+	Retries    int     `json:"retries"`
+	RejectRate float64 `json:"reject_rate"`
+
+	SLOObjective  float64 `json:"slo_objective_seconds"`
+	SLOAttainment float64 `json:"slo_attainment"`
+	SLOMissRatio  float64 `json:"slo_miss_ratio"`
+
+	Mismatches int  `json:"mismatches"`
+	Verified   bool `json:"verified"`
+
+	Leak  telemetry.LeakReport `json:"leak"`
+	Leaky bool                 `json:"leaky"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	dataset      string
+	dim          int
+	train        int
+	conns        int
+	queries      int
+	rounds       int
+	workers      int
+	maxBatch     int
+	batchWindow  time.Duration
+	queueDepth   int
+	window       int
+	rate         float64
+	sloObjective float64
+	seed         uint64
+	out          string
+	addr         string
+	tenant       string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.dataset, "dataset", "PDP", "benchmark dataset the model trains on")
+	fs.IntVar(&cfg.dim, "dim", 2048, "hypervector dimensionality")
+	fs.IntVar(&cfg.train, "train", 400, "training samples")
+	fs.IntVar(&cfg.conns, "conns", 4, "concurrent client connections")
+	fs.IntVar(&cfg.queries, "queries", 12000, "total queries across the run")
+	fs.IntVar(&cfg.rounds, "rounds", 6, "rounds the queries split into (leak samples between rounds)")
+	fs.IntVar(&cfg.workers, "workers", 0, "server batch-pool workers (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.maxBatch, "max-batch", 64, "server batch coalescing cap")
+	fs.DurationVar(&cfg.batchWindow, "batch-window", 2*time.Millisecond, "server batch coalescing window")
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 1024, "server admission queue depth")
+	fs.IntVar(&cfg.window, "window", 64, "max in-flight queries per connection")
+	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop aggregate queries/second (0 = closed loop)")
+	fs.Float64Var(&cfg.sloObjective, "slo-objective", 0.05, "latency SLO objective in seconds")
+	fs.Uint64Var(&cfg.seed, "seed", 42, "random seed")
+	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file (empty: stdout summary only)")
+	fs.StringVar(&cfg.addr, "addr", "", "target an external server instead of the in-process one")
+	fs.StringVar(&cfg.tenant, "tenant", "default", "tenant name sent in the MsgHello handshake")
+	logLevel := fs.String("log-level", "warn", "structured-log level on stderr: debug, info, warn or error")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.conns < 1 || cfg.queries < 1 || cfg.rounds < 1 || cfg.window < 1 {
+		return fmt.Errorf("conns, queries, rounds and window must be positive")
+	}
+	level, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	log := telemetry.NewLogger(os.Stderr, "loadgen", level)
+
+	rep, err := runLoad(cfg, log)
+	if err != nil {
+		return err
+	}
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(cfg.out, data, 0o644); err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+	}
+	fmt.Printf("loadgen: %d queries over %d conns in %.3fs — %.0f qps, p50 %.3gs p95 %.3gs p99 %.3gs, "+
+		"reject rate %.2f%%, SLO attainment %.4f, leaky=%v\n",
+		rep.Answered, rep.Conns, rep.WallSecs, rep.ThroughputQPS,
+		rep.P50Latency, rep.P95Latency, rep.P99Latency,
+		100*rep.RejectRate, rep.SLOAttainment, rep.Leaky)
+	if rep.Verified && rep.Mismatches > 0 {
+		return fmt.Errorf("%d replies diverged from direct model inference", rep.Mismatches)
+	}
+	if rep.Leaky {
+		return fmt.Errorf("leak detector verdict: goroutine drift %d, heap drift %d bytes",
+			rep.Leak.GoroutineDrift, rep.Leak.HeapDriftBytes)
+	}
+	return nil
+}
+
+// expected is one query's reference answer from the local model.
+type expected struct {
+	class int32
+	bits  uint64
+}
+
+// runLoad trains (in self mode), boots the server, fires the workload,
+// and assembles the report.
+func runLoad(cfg config, log *telemetry.Logger) (*ServeReport, error) {
+	spec, err := dataset.ByName(strings.ToUpper(cfg.dataset))
+	if err != nil {
+		return nil, err
+	}
+	d := spec.Generate(cfg.seed, dataset.Options{MaxTrain: cfg.train, MaxTest: 250})
+	enc, err := encoding.NewSparse(spec.Features, cfg.dim, cfg.seed+1, encoding.SparseConfig{Sparsity: 0.8})
+	if err != nil {
+		return nil, err
+	}
+	clf, err := core.NewClassifier(enc, spec.Classes)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := clf.EncodeAll(d.TrainX, d.TrainY)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range samples {
+		clf.Model().Add(s.Label, s.HV)
+	}
+	// The query pool: every test row encoded once, client-side, so the
+	// measured path is pure serving (no encoder time in the loop).
+	pool := make([]hdc.Bipolar, len(d.TestX))
+	for i, x := range d.TestX {
+		pool[i] = clf.Encode(x)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("dataset %s generated no test queries", cfg.dataset)
+	}
+
+	verify := cfg.addr == ""
+	var want []expected
+	if verify {
+		want = make([]expected, len(pool))
+		for i, q := range pool {
+			class, conf := clf.Model().Confidence(q)
+			want[i] = expected{class: int32(class), bits: math.Float64bits(conf)}
+		}
+	}
+
+	// Telemetry plane: server metrics, client latency histogram, SLO,
+	// leak detector — one registry, torn down through the lifecycle.
+	reg := telemetry.New()
+	life := telemetry.NewLifecycle()
+	defer life.Close()
+	defer life.HandleSignals(log)()
+	leak := telemetry.NewLeakDetector(reg, 1)
+	latHist := reg.Histogram("client_latency_seconds")
+	slo, err := telemetry.NewSLO(reg, "serve_client", latHist, cfg.sloObjective, 0.99)
+	if err != nil {
+		return nil, err
+	}
+
+	addr := cfg.addr
+	if cfg.addr == "" {
+		registry := serve.NewRegistry()
+		if err := registry.Set(cfg.tenant, clf.Model()); err != nil {
+			return nil, err
+		}
+		srv, err := serve.NewServer(serve.Config{
+			Registry:     registry,
+			Pool:         parallel.New(cfg.workers),
+			MaxBatch:     cfg.maxBatch,
+			BatchWindow:  cfg.batchWindow,
+			QueueDepth:   cfg.queueDepth,
+			SLOObjective: cfg.sloObjective,
+			Telemetry:    reg,
+			Logger:       log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		life.Defer(func() { _ = srv.Close() })
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = srv.Serve(ln) }()
+		addr = ln.Addr().String()
+		log.Info("in-process server listening", "addr", addr, "workers", parallel.New(cfg.workers).Workers())
+	}
+
+	// One persistent connection per client, handshake up front.
+	conns := make([]net.Conn, cfg.conns)
+	for i := range conns {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		defer nc.Close() //nolint:errcheck // workload connections die with the run
+		if err := wire.Write(nc, wire.Message{Header: wire.Header{Type: wire.MsgHello}, Text: cfg.tenant}); err != nil {
+			return nil, err
+		}
+		conns[i] = nc
+	}
+
+	perConn := cfg.queries / cfg.conns
+	perRound := perConn / cfg.rounds
+	if perRound < 1 {
+		return nil, fmt.Errorf("queries %d too few for %d conns x %d rounds", cfg.queries, cfg.conns, cfg.rounds)
+	}
+	var interSend time.Duration
+	if cfg.rate > 0 {
+		interSend = time.Duration(float64(cfg.conns) / cfg.rate * float64(time.Second))
+	}
+
+	rep := &ServeReport{
+		Schema: ServeSchema, Dataset: spec.Name, Dim: cfg.dim, Train: cfg.train,
+		Conns: cfg.conns, Queries: cfg.conns * perRound * cfg.rounds, Rounds: cfg.rounds,
+		MaxBatch: cfg.maxBatch, QueueDepth: cfg.queueDepth, Window: cfg.window,
+		CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SLOObjective: cfg.sloObjective, Verified: verify,
+	}
+
+	leak.SampleStable()
+	var mu sync.Mutex // guards the aggregate counters below
+	start := time.Now()
+	for round := 0; round < cfg.rounds; round++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.conns)
+		for ci := 0; ci < cfg.conns; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				cc := &clientConn{
+					nc: conns[ci], pool: pool, want: want, hist: latHist,
+					firstIdx: (round*cfg.conns + ci) * perRound, count: perRound,
+					window: cfg.window, interSend: interSend,
+				}
+				if err := cc.run(); err != nil {
+					errs <- fmt.Errorf("conn %d round %d: %w", ci, round, err)
+					return
+				}
+				mu.Lock()
+				rep.Answered += cc.answered
+				rep.Rejects += cc.rejects
+				rep.Retries += cc.retries
+				rep.Mismatches += cc.mismatches
+				mu.Unlock()
+			}(ci)
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
+		leak.SampleStable()
+	}
+	rep.WallSecs = time.Since(start).Seconds()
+
+	if rep.WallSecs > 0 {
+		rep.ThroughputQPS = float64(rep.Answered) / rep.WallSecs
+	}
+	stat := latHist.Stat()
+	rep.P50Latency, rep.P95Latency, rep.P99Latency = stat.P50, stat.P95, stat.P99
+	attempts := rep.Answered + rep.Rejects
+	if attempts > 0 {
+		rep.RejectRate = float64(rep.Rejects) / float64(attempts)
+	}
+	slo.Collect()
+	rep.SLOAttainment = reg.Gauge("slo_attainment_ratio", telemetry.L("slo", "serve_client")).Value()
+	rep.SLOMissRatio = 1 - rep.SLOAttainment
+	rep.Leak = leak.Report()
+	rep.Leaky = rep.Leak.Leaky()
+	return rep, nil
+}
+
+// clientConn runs one connection's share of a round: keep up to
+// window queries in flight (seq = unique per-connection counter),
+// send one fresh query per reply, retry MsgBusy rejections with
+// exponential backoff.
+type clientConn struct {
+	nc        net.Conn
+	pool      []hdc.Bipolar
+	want      []expected // nil disables verification
+	hist      *telemetry.Histogram
+	firstIdx  int
+	count     int
+	window    int
+	interSend time.Duration
+
+	seq        int32
+	answered   int
+	rejects    int
+	retries    int
+	mismatches int
+}
+
+// maxBusyRetries bounds how often one query is retried after MsgBusy
+// before the run fails: the server shedding forever means the workload
+// is mis-sized, and silently dropping queries would fake throughput.
+const maxBusyRetries = 20
+
+func (c *clientConn) run() error {
+	type pending struct {
+		poolIdx int
+		sentAt  time.Time
+		tries   int
+	}
+	window := c.window
+	if window < 1 {
+		window = 1
+	}
+	inflight := make(map[int32]pending, window)
+	send := func(poolIdx, tries int) error {
+		c.seq++
+		inflight[c.seq] = pending{poolIdx: poolIdx, sentAt: time.Now(), tries: tries}
+		return wire.Write(c.nc, wire.Message{
+			Header:  wire.Header{Type: wire.MsgQuery, Batch: c.seq},
+			Bipolar: c.pool[poolIdx%len(c.pool)],
+		})
+	}
+	// sendFresh paces and sends the next unseen query, if any remain.
+	next := 0
+	sendFresh := func() error {
+		if next >= c.count {
+			return nil
+		}
+		if c.interSend > 0 {
+			time.Sleep(c.interSend)
+		}
+		err := send(c.firstIdx+next, 0)
+		next++
+		return err
+	}
+	for next < c.count && len(inflight) < window {
+		if err := sendFresh(); err != nil {
+			return err
+		}
+	}
+	backoff := 500 * time.Microsecond
+	for len(inflight) > 0 {
+		msg, err := wire.Read(c.nc)
+		if err != nil {
+			return err
+		}
+		p, ok := inflight[msg.Header.Batch]
+		if !ok {
+			return fmt.Errorf("reply for unknown seq %d", msg.Header.Batch)
+		}
+		delete(inflight, msg.Header.Batch)
+		switch msg.Header.Type {
+		case wire.MsgPredict:
+			c.hist.Observe(time.Since(p.sentAt).Seconds())
+			c.answered++
+			if c.want != nil {
+				w := c.want[p.poolIdx%len(c.want)]
+				if msg.Header.Class != w.class || math.Float64bits(msg.Confidence) != w.bits {
+					c.mismatches++
+				}
+			}
+			if err := sendFresh(); err != nil {
+				return err
+			}
+		case wire.MsgBusy:
+			c.rejects++
+			if p.tries >= maxBusyRetries {
+				return fmt.Errorf("query for pool index %d shed %d times", p.poolIdx, p.tries)
+			}
+			time.Sleep(backoff)
+			if backoff < 16*time.Millisecond {
+				backoff *= 2
+			}
+			c.retries++
+			if err := send(p.poolIdx, p.tries+1); err != nil {
+				return err
+			}
+		case wire.MsgError:
+			return fmt.Errorf("server error: %s", msg.Text)
+		default:
+			return fmt.Errorf("unexpected reply type %d", msg.Header.Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgehd/internal/telemetry"
+)
+
+func TestRunLoadEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	err := run([]string{
+		"-queries", "600", "-conns", "2", "-rounds", "3",
+		"-dim", "512", "-train", "120", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ServeSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, ServeSchema)
+	}
+	if rep.Answered != 600 {
+		t.Fatalf("answered %d queries, want 600", rep.Answered)
+	}
+	if !rep.Verified || rep.Mismatches != 0 {
+		t.Fatalf("verification: verified=%v mismatches=%d", rep.Verified, rep.Mismatches)
+	}
+	if rep.Leaky {
+		t.Fatalf("leak verdict: %+v", rep.Leak)
+	}
+	if rep.WallSecs <= 0 || rep.ThroughputQPS <= 0 || rep.P50Latency <= 0 {
+		t.Fatalf("degenerate timing: wall=%v qps=%v p50=%v", rep.WallSecs, rep.ThroughputQPS, rep.P50Latency)
+	}
+	if rep.SLOAttainment < 0 || rep.SLOAttainment > 1 {
+		t.Fatalf("slo attainment %v outside [0,1]", rep.SLOAttainment)
+	}
+}
+
+func TestRunLoadRejectsBadShape(t *testing.T) {
+	if err := run([]string{"-queries", "2", "-conns", "4", "-rounds", "3"}); err == nil {
+		t.Fatal("undersized workload accepted")
+	}
+	if err := run([]string{"-conns", "0"}); err == nil {
+		t.Fatal("zero conns accepted")
+	}
+	if err := run([]string{"-dataset", "NOPE"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunLoadOpenLoopPacing(t *testing.T) {
+	// A paced run answers everything too; just a smaller shape so the
+	// sleep-per-send stays cheap.
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	err := run([]string{
+		"-queries", "200", "-conns", "2", "-rounds", "2",
+		"-dim", "512", "-train", "120", "-rate", "5000", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ServeReport
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Answered != 200 || rep.Mismatches != 0 {
+		t.Fatalf("paced run: answered=%d mismatches=%d", rep.Answered, rep.Mismatches)
+	}
+}
+
+// Guard against the report layout silently drifting away from what
+// benchdiff -serve gates on.
+func TestReportFieldsRoundTrip(t *testing.T) {
+	rep := ServeReport{Schema: ServeSchema, WallSecs: 1.5, P50Latency: 0.01, P95Latency: 0.02, P99Latency: 0.03,
+		Leak: telemetry.LeakReport{Samples: 4}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServeReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rep {
+		t.Fatalf("round trip changed the report: %+v vs %+v", back, rep)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"edgehd/internal/core"
 	"edgehd/internal/encoding"
@@ -51,7 +52,17 @@ type Config struct {
 	// Logger receives structured records of pushes, pulls and merges,
 	// trace-correlated with the spans above. Nil disables logging.
 	Logger *telemetry.Logger
+	// IOTimeout bounds every wire read and write on a deadline-capable
+	// connection (net.Conn, net.Pipe): a peer that stalls mid-frame
+	// fails its slot with a deadline error instead of wedging the round
+	// forever. Default 30s; negative disables deadlines (trusted
+	// in-process pipes under test harnesses that single-step).
+	IOTimeout time.Duration
 }
+
+// DefaultIOTimeout is the deadline applied to every cluster-plane wire
+// read/write when Config.IOTimeout is left zero.
+const DefaultIOTimeout = 30 * time.Second
 
 func (c Config) withDefaults() (Config, error) {
 	if c.Features <= 0 || c.Classes < 2 {
@@ -62,6 +73,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Sparsity == 0 {
 		c.Sparsity = 0.8
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = DefaultIOTimeout
 	}
 	return c, nil
 }
@@ -132,6 +146,36 @@ func frameTrace(tc telemetry.TraceContext) *telemetry.TraceContext {
 	return &tc
 }
 
+// readDeadliner and writeDeadliner are the deadline facets of net.Conn
+// (and net.Pipe); plain io.Readers/Writers under test pass through the
+// arm helpers untouched.
+type readDeadliner interface{ SetReadDeadline(time.Time) error }
+type writeDeadliner interface{ SetWriteDeadline(time.Time) error }
+
+// armReadDeadline bounds the next read sequence on r at timeout from
+// now when r can carry a deadline, returning a disarm func that clears
+// it once the frame is in. A stalled peer then surfaces as an
+// os.ErrDeadlineExceeded-wrapped read error instead of blocking the
+// goroutine forever. Non-positive timeouts disarm entirely.
+func armReadDeadline(r io.Reader, timeout time.Duration) func() {
+	c, ok := r.(readDeadliner)
+	if !ok || timeout <= 0 {
+		return func() {}
+	}
+	_ = c.SetReadDeadline(time.Now().Add(timeout))
+	return func() { _ = c.SetReadDeadline(time.Time{}) }
+}
+
+// armWriteDeadline is armReadDeadline for the write direction.
+func armWriteDeadline(w io.Writer, timeout time.Duration) func() {
+	c, ok := w.(writeDeadliner)
+	if !ok || timeout <= 0 {
+		return func() {}
+	}
+	_ = c.SetWriteDeadline(time.Now().Add(timeout))
+	return func() { _ = c.SetWriteDeadline(time.Time{}) }
+}
+
 // countWriter counts bytes passing through to the underlying writer.
 type countWriter struct {
 	w io.Writer
@@ -168,8 +212,10 @@ func (w *Worker) Push(conn io.Writer) error {
 	}
 	tc := w.trace.Child()
 	sp := w.cfg.Tracer.StartSpan("cluster_push", tc)
+	disarm := armWriteDeadline(conn, w.cfg.IOTimeout)
 	cw := &countWriter{w: conn}
 	err := wire.Write(cw, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Trace: frameTrace(tc), Model: accs})
+	disarm()
 	sp.SetInt("wire_bytes", cw.n).End()
 	if err != nil {
 		w.log.WithTrace(tc).Warn("model push failed", "error", err.Error())
@@ -183,8 +229,10 @@ func (w *Worker) Push(conn io.Writer) error {
 // context on the frame is recorded as a cluster_pull child span with
 // the hop's wire bytes.
 func (w *Worker) Pull(conn io.Reader) error {
+	disarm := armReadDeadline(conn, w.cfg.IOTimeout)
 	cr := &countReader{r: conn}
 	msg, err := wire.Read(cr)
+	disarm()
 	if err != nil {
 		return err
 	}
@@ -194,6 +242,9 @@ func (w *Worker) Pull(conn io.Reader) error {
 		w.cfg.Tracer.StartSpan("cluster_pull", tc).
 			SetInt("wire_bytes", cr.n).End()
 		pullLog = pullLog.WithTrace(tc)
+	}
+	if msg.Header.Type == wire.MsgError {
+		return fmt.Errorf("cluster: aggregator rejected connection: %s", msg.Text)
 	}
 	if msg.Header.Type != wire.MsgModel {
 		return fmt.Errorf("cluster: expected model frame, got type %d", msg.Header.Type)
@@ -227,7 +278,10 @@ type Aggregator struct {
 	pool         *parallel.Pool
 	tracer       *telemetry.Tracer
 	log          *telemetry.Logger
-	mu           sync.Mutex
+	// ioTimeout bounds every frame read/write on deadline-capable
+	// connections (see Config.IOTimeout).
+	ioTimeout time.Duration
+	mu        sync.Mutex
 	// partials[slot] is the parsed model pushed by the worker assigned
 	// to slot (nil until it reports).
 	partials []*core.Model
@@ -252,14 +306,19 @@ func NewAggregator(dim, classes, slots int) (*Aggregator, error) {
 	}
 	return &Aggregator{
 		dim: dim, classes: classes, pool: parallel.New(0),
-		partials: make([]*core.Model, slots),
-		traces:   make([]telemetry.TraceContext, slots),
+		ioTimeout: DefaultIOTimeout,
+		partials:  make([]*core.Model, slots),
+		traces:    make([]telemetry.TraceContext, slots),
 	}, nil
 }
 
 // SetPool replaces the pool used for the ordered merge reduction (nil
 // or one worker = sequential).
 func (a *Aggregator) SetPool(p *parallel.Pool) { a.pool = p }
+
+// SetIOTimeout replaces the per-frame I/O deadline (default
+// DefaultIOTimeout; non-positive disables deadlines).
+func (a *Aggregator) SetIOTimeout(d time.Duration) { a.ioTimeout = d }
 
 // SetTracer records aggregator-side spans (cluster_aggregate,
 // cluster_broadcast) on tr; frames received with a trace context join
@@ -341,6 +400,10 @@ func (a *Aggregator) ServeOne(conn io.ReadWriter, slot int, merged chan<- error,
 	err := a.readIntoSlot(conn, slot)
 	merged <- err
 	if err != nil {
+		// Tell the worker why its slot failed so its Pull surfaces the
+		// rejection immediately instead of blocking for a broadcast that
+		// will never come (or dying on an opaque deadline).
+		a.reject(conn, slot, err)
 		return err
 	}
 	<-release
@@ -353,8 +416,10 @@ func (a *Aggregator) ServeOne(conn io.ReadWriter, slot int, merged chan<- error,
 	tc := a.traces[slot].Child()
 	a.mu.Unlock()
 	sp := a.tracer.StartSpan("cluster_broadcast", tc)
+	disarm := armWriteDeadline(conn, a.ioTimeout)
 	cw := &countWriter{w: conn}
 	err = wire.Write(cw, wire.Message{Header: wire.Header{Type: wire.MsgModel}, Trace: frameTrace(tc), Model: accs})
+	disarm()
 	sp.SetInt("slot", int64(slot)).SetInt("wire_bytes", cw.n).End()
 	if err != nil {
 		a.log.WithTrace(tc).Warn("global model broadcast failed", "slot", slot, "error", err.Error())
@@ -364,14 +429,36 @@ func (a *Aggregator) ServeOne(conn io.ReadWriter, slot int, merged chan<- error,
 	return err
 }
 
-func (a *Aggregator) readIntoSlot(conn io.Reader, slot int) error {
-	if slot < 0 || slot >= len(a.partials) {
-		return fmt.Errorf("cluster: aggregation slot %d out of range [0,%d)", slot, len(a.partials))
+// reject writes a MsgError frame naming the cause, so the peer's next
+// read fails cleanly. Best effort: an unreachable peer is already gone.
+func (a *Aggregator) reject(conn io.Writer, slot int, cause error) {
+	disarm := armWriteDeadline(conn, a.ioTimeout)
+	text := cause.Error()
+	if len(text) > 512 {
+		text = text[:512]
 	}
+	err := wire.Write(conn, wire.Message{Header: wire.Header{Type: wire.MsgError}, Text: text})
+	disarm()
+	if err != nil {
+		a.log.Warn("slot rejection reply failed", "slot", slot, "error", err.Error())
+	} else {
+		a.log.Debug("slot rejected", "slot", slot, "cause", cause.Error())
+	}
+}
+
+func (a *Aggregator) readIntoSlot(conn io.Reader, slot int) error {
+	// Read (and thereby drain) the worker's frame before validating the
+	// slot: an invalid or duplicate slot must still consume the push so
+	// the connection stays in a well-defined state for the error reply.
+	disarm := armReadDeadline(conn, a.ioTimeout)
 	cr := &countReader{r: conn}
 	msg, err := wire.Read(cr)
+	disarm()
 	if err != nil {
 		return fmt.Errorf("cluster: aggregator read: %w", err)
+	}
+	if slot < 0 || slot >= len(a.partials) {
+		return fmt.Errorf("cluster: aggregation slot %d out of range [0,%d)", slot, len(a.partials))
 	}
 	slotLog := a.log
 	if msg.Trace != nil {
@@ -442,6 +529,7 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 	}
 	agg.SetTracer(cfg.Tracer)
 	agg.SetLogger(cfg.Logger)
+	agg.SetIOTimeout(cfg.IOTimeout)
 	release := make(chan struct{})
 	merged := make(chan error, len(shards))
 	errs := make(chan error, 2*len(shards))

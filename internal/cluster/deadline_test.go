@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// deadlineConfig is a minimal shape with an aggressive I/O deadline so
+// stalled-peer tests fail in milliseconds, not DefaultIOTimeout.
+func deadlineConfig() Config {
+	return Config{Features: 4, Classes: 2, Dim: 64, EncoderSeed: 1, IOTimeout: 100 * time.Millisecond}
+}
+
+func TestConfigIOTimeoutDefaults(t *testing.T) {
+	cfg, err := Config{Features: 4, Classes: 2}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.IOTimeout != DefaultIOTimeout {
+		t.Fatalf("zero IOTimeout defaulted to %v, want %v", cfg.IOTimeout, DefaultIOTimeout)
+	}
+	cfg, err = Config{Features: 4, Classes: 2, IOTimeout: -1}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.IOTimeout != -1 {
+		t.Fatalf("negative IOTimeout rewritten to %v, want -1 (disabled)", cfg.IOTimeout)
+	}
+}
+
+func TestHungWorkerFailsSlotWithDeadline(t *testing.T) {
+	// A worker that connects and then stalls without ever sending its
+	// model frame must fail its slot with a deadline error — the round
+	// observes the failure on merged instead of wedging forever.
+	agg := must(NewAggregator(64, 2, 1))
+	agg.SetIOTimeout(100 * time.Millisecond)
+	workerEnd, aggEnd := net.Pipe()
+	defer workerEnd.Close() //nolint:errcheck // test pipe
+	defer aggEnd.Close()    //nolint:errcheck // test pipe
+	merged := make(chan error, 1)
+	release := make(chan struct{})
+	close(release)
+	done := make(chan error, 1)
+	go func() { done <- agg.ServeOne(aggEnd, 0, merged, release) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("ServeOne succeeded with a silent peer")
+		}
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("ServeOne error %v does not wrap os.ErrDeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeOne wedged on a silent peer; deadline never fired")
+	}
+	if err := <-merged; err == nil {
+		t.Fatal("merged channel reported success for a hung worker")
+	}
+}
+
+func TestHungAggregatorFailsWorkerPull(t *testing.T) {
+	// The symmetric direction: a worker pulling from an aggregator that
+	// never broadcasts must fail with a deadline error.
+	w, err := NewWorker(deadlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerEnd, aggEnd := net.Pipe()
+	defer workerEnd.Close() //nolint:errcheck // test pipe
+	defer aggEnd.Close()    //nolint:errcheck // test pipe
+	done := make(chan error, 1)
+	go func() { done <- w.Pull(workerEnd) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Pull succeeded with a silent aggregator")
+		}
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("Pull error %v does not wrap os.ErrDeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pull wedged on a silent aggregator; deadline never fired")
+	}
+}
+
+func TestHungReaderFailsWorkerPush(t *testing.T) {
+	// net.Pipe writes are synchronous: with nobody reading the far end,
+	// Push can only complete via the write deadline.
+	w, err := NewWorker(deadlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerEnd, aggEnd := net.Pipe()
+	defer workerEnd.Close() //nolint:errcheck // test pipe
+	defer aggEnd.Close()    //nolint:errcheck // test pipe
+	done := make(chan error, 1)
+	go func() { done <- w.Push(workerEnd) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Push succeeded with nobody reading")
+		}
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("Push error %v does not wrap os.ErrDeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Push wedged with nobody reading; deadline never fired")
+	}
+}
+
+// pushAndServe runs one worker push against ServeOne on a pipe and
+// returns the worker's Pull error and ServeOne's error.
+func pushAndServe(t *testing.T, agg *Aggregator, slot int, merged chan error, release <-chan struct{}) (pullErr, serveErr error) {
+	t.Helper()
+	w, err := NewWorker(deadlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerEnd, aggEnd := net.Pipe()
+	defer workerEnd.Close() //nolint:errcheck // test pipe
+	defer aggEnd.Close()    //nolint:errcheck // test pipe
+	done := make(chan error, 1)
+	go func() { done <- agg.ServeOne(aggEnd, slot, merged, release) }()
+	if err := w.Push(workerEnd); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	pullErr = w.Pull(workerEnd)
+	serveErr = <-done
+	return pullErr, serveErr
+}
+
+func TestDuplicateSlotRejectedCleanly(t *testing.T) {
+	// Regression: a duplicate slot used to leave the worker's connection
+	// hanging — its frame was consumed but no reply ever came, so Pull
+	// blocked until the peer gave up. Now the aggregator answers with a
+	// MsgError frame and the worker's Pull surfaces the cause.
+	agg := must(NewAggregator(64, 2, 1))
+	agg.SetIOTimeout(time.Second)
+	merged := make(chan error, 2)
+	release := make(chan struct{})
+	close(release)
+	if pullErr, serveErr := pushAndServe(t, agg, 0, merged, release); pullErr != nil || serveErr != nil {
+		t.Fatalf("first report failed: pull=%v serve=%v", pullErr, serveErr)
+	}
+	pullErr, serveErr := pushAndServe(t, agg, 0, merged, release)
+	if serveErr == nil {
+		t.Fatal("duplicate slot accepted")
+	}
+	if pullErr == nil {
+		t.Fatal("worker Pull succeeded after a duplicate-slot push")
+	}
+	if errors.Is(pullErr, os.ErrDeadlineExceeded) {
+		t.Fatalf("worker saw a deadline, not a clean rejection: %v", pullErr)
+	}
+	if !strings.Contains(pullErr.Error(), "already reported") {
+		t.Fatalf("rejection %q does not name the duplicate slot", pullErr)
+	}
+	if agg.Received() != 1 {
+		t.Fatalf("aggregator recorded %d models, want 1", agg.Received())
+	}
+}
+
+func TestInvalidSlotDrainsConnAndRejects(t *testing.T) {
+	// Regression: an out-of-range slot used to be rejected before the
+	// frame was read, so over a synchronous pipe the worker's Push never
+	// completed. The frame must be drained and the rejection sent back.
+	agg := must(NewAggregator(64, 2, 2))
+	agg.SetIOTimeout(time.Second)
+	merged := make(chan error, 1)
+	release := make(chan struct{})
+	close(release)
+	pullErr, serveErr := pushAndServe(t, agg, 5, merged, release)
+	if serveErr == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if pullErr == nil {
+		t.Fatal("worker Pull succeeded after an out-of-range push")
+	}
+	if !strings.Contains(pullErr.Error(), "out of range") {
+		t.Fatalf("rejection %q does not name the range error", pullErr)
+	}
+	if err := <-merged; err == nil {
+		t.Fatal("merged channel reported success for an invalid slot")
+	}
+	if agg.Received() != 0 {
+		t.Fatalf("aggregator recorded %d models, want 0", agg.Received())
+	}
+}

@@ -94,6 +94,10 @@ func Default(modPath string) *Config {
 			p("internal/hierarchy"),
 			p("internal/parallel"),
 			p("internal/rng"),
+			// The serving plane computes over the deterministic pipeline;
+			// its only sanctioned clock uses (batch window, I/O deadlines)
+			// carry per-line allow directives.
+			p("internal/serve"),
 		},
 		ClockSanctionedPackages: []string{
 			p("internal/telemetry"),
@@ -113,6 +117,7 @@ func Default(modPath string) *Config {
 			p("internal/cluster"),
 			p("internal/hierarchy"),
 			p("internal/netsim"),
+			p("internal/serve"),
 			p("cmd/edgehd"),
 			p("cmd/fedlearn"),
 			p("cmd/paper"),
@@ -122,6 +127,7 @@ func Default(modPath string) *Config {
 			p("cmd/benchpar"),
 			p("cmd/covergate"),
 			p("cmd/escapegate"),
+			p("cmd/loadgen"),
 		},
 	}
 }

@@ -40,8 +40,27 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(seed(Message{Header: Header{Type: MsgResidual, Class: 3}, Acc: acc}))
 	f.Add(seed(Message{Header: Header{Type: MsgModel}, Model: []hdc.Acc{acc, acc.Clone()}}))
 	f.Add(seed(Message{Header: Header{Type: MsgDone}}))
+	f.Add(seed(Message{Header: Header{Type: MsgHello}, Text: "tenant-0"}))
+	f.Add(seed(Message{Header: Header{Type: MsgPredict, Class: 3, Batch: 17}, Confidence: 0.99}))
+	f.Add(seed(Message{Header: Header{Type: MsgBusy, Batch: 18}}))
+	f.Add(seed(Message{Header: Header{Type: MsgError}, Text: "wire: test failure"}))
 	f.Add([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{})
+	// Oversized-length corpus: frames whose length field demands more
+	// than any legitimate payload — the reader must reject them before
+	// allocating, never crash or hang.
+	oversized := func(typ byte, n uint32) []byte {
+		fr := make([]byte, headerBytes)
+		fr[0] = typ
+		fr[1], fr[2], fr[3], fr[4] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+		return fr
+	}
+	f.Add(oversized(byte(MsgQuery), 0xFFFFFFFF))     // ~4 GiB claim
+	f.Add(oversized(byte(MsgModel), MaxPayload+1))   // just past the global bound
+	f.Add(oversized(byte(MsgDone), 1))               // payload on a payload-free type
+	f.Add(oversized(byte(MsgPredict), 1<<20))        // fixed-size type, huge claim
+	f.Add(oversized(byte(MsgHello), maxTextBytes+1)) // capped text type, over cap
+	f.Add(oversized(byte(MsgQuery)|TraceFlag, 0xFFFFFFF0))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Read(bytes.NewReader(data))

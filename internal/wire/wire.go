@@ -25,8 +25,10 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"edgehd/internal/hdc"
 	"edgehd/internal/telemetry"
@@ -49,12 +51,39 @@ const (
 	MsgModel
 	// MsgDone signals the end of a node's transmission for a phase.
 	MsgDone
+	// MsgHello opens a serving connection: the payload names the tenant
+	// whose model subsequent queries on this connection address.
+	MsgHello
+	// MsgPredict answers a MsgQuery: Header.Class carries the predicted
+	// class, Header.Batch echoes the query's sequence number, and the
+	// payload carries the softmax confidence.
+	MsgPredict
+	// MsgBusy rejects a MsgQuery under admission control: the serving
+	// queue was full (or the server is draining). Header.Batch echoes
+	// the rejected query's sequence number. No payload.
+	MsgBusy
+	// MsgError reports a terminal per-connection failure (bad handshake,
+	// duplicate aggregation slot, shape mismatch); the payload is the
+	// error text. The peer should treat the connection as dead.
+	MsgError
 )
 
-// maxPayload bounds a frame payload to keep a corrupted length prefix
-// from allocating unbounded memory (64 MiB is far above any real
-// hypervector message).
-const maxPayload = 64 << 20
+// MaxPayload bounds a frame payload so a corrupted length prefix cannot
+// demand an unbounded allocation before any payload byte is read
+// (64 MiB is far above any real hypervector message). Read enforces it;
+// ReadLimit lets receivers of known-small frame types tighten it
+// further.
+const MaxPayload = 64 << 20
+
+// maxTextBytes bounds the string payloads (MsgHello tenant names,
+// MsgError texts); anything longer is a protocol violation, not a
+// legitimate name.
+const maxTextBytes = 1 << 10
+
+// ErrPayloadTooLarge is wrapped into the error returned when a frame's
+// length field exceeds the receiver's payload limit; match it with
+// errors.Is to distinguish hostile/corrupt frames from I/O failures.
+var ErrPayloadTooLarge = errors.New("wire: payload length exceeds limit")
 
 // TraceFlag marks a frame that carries a trace block after its fixed
 // header. It occupies the high bit of the type byte, leaving 127 usable
@@ -87,6 +116,12 @@ type Message struct {
 	Acc hdc.Acc
 	// Model payload (MsgModel).
 	Model []hdc.Acc
+	// Text payload (MsgHello tenant name, MsgError text). At most
+	// maxTextBytes; longer strings are rejected on both ends.
+	Text string
+	// Confidence payload (MsgPredict): the softmax confidence of the
+	// predicted class, carried as exact float64 bits.
+	Confidence float64
 }
 
 // MarshalBipolar encodes a packed hypervector: uint32 dim followed by
@@ -168,7 +203,15 @@ func Write(w io.Writer, m Message) error {
 			payload = append(payload, lenBuf[:]...)
 			payload = append(payload, p...)
 		}
-	case MsgDone:
+	case MsgHello, MsgError:
+		if len(m.Text) > maxTextBytes {
+			return fmt.Errorf("wire: text payload of %d bytes exceeds %d-byte limit", len(m.Text), maxTextBytes)
+		}
+		payload = []byte(m.Text)
+	case MsgPredict:
+		payload = make([]byte, 8)
+		binary.LittleEndian.PutUint64(payload, math.Float64bits(m.Confidence))
+	case MsgDone, MsgBusy:
 		// no payload
 	default:
 		return fmt.Errorf("wire: unknown message type %d", m.Header.Type)
@@ -197,8 +240,22 @@ func Write(w io.Writer, m Message) error {
 	return nil
 }
 
-// Read reads one framed message.
+// Read reads one framed message, bounding the payload at MaxPayload.
 func Read(r io.Reader) (Message, error) {
+	return ReadLimit(r, MaxPayload)
+}
+
+// ReadLimit reads one framed message, rejecting any frame whose length
+// field exceeds limit (clamped to MaxPayload) before allocating the
+// payload buffer. Receivers that only expect small frames — a query
+// server whose largest legitimate frame is one encoded hypervector —
+// should pass a tight limit so a corrupted or hostile length prefix is
+// refused outright; the returned error matches ErrPayloadTooLarge via
+// errors.Is. A non-positive limit selects MaxPayload.
+func ReadLimit(r io.Reader, limit int) (Message, error) {
+	if limit <= 0 || limit > MaxPayload {
+		limit = MaxPayload
+	}
 	head := make([]byte, headerBytes)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return Message{}, fmt.Errorf("wire: reading header: %w", err)
@@ -220,8 +277,13 @@ func Read(r io.Reader) (Message, error) {
 		}
 	}
 	n := binary.LittleEndian.Uint32(head[1:])
-	if n > maxPayload {
-		return Message{}, fmt.Errorf("wire: payload of %d bytes exceeds limit", n)
+	if uint64(n) > uint64(limit) {
+		return Message{}, fmt.Errorf("wire: %d-byte payload for frame type %d, limit %d: %w",
+			n, m.Header.Type, limit, ErrPayloadTooLarge)
+	}
+	if lim := typeLimit(m.Header.Type); uint64(n) > uint64(lim) {
+		return Message{}, fmt.Errorf("wire: %d-byte payload for frame type %d, limit %d: %w",
+			n, m.Header.Type, lim, ErrPayloadTooLarge)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -262,9 +324,35 @@ func Read(r io.Reader) (Message, error) {
 			m.Model = append(m.Model, a)
 			off += l
 		}
-	case MsgDone:
+	case MsgHello, MsgError:
+		m.Text = string(payload)
+	case MsgPredict:
+		if len(payload) != 8 {
+			return Message{}, fmt.Errorf("wire: predict payload %d bytes, want 8", len(payload))
+		}
+		m.Confidence = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	case MsgDone, MsgBusy:
+		if len(payload) != 0 {
+			return Message{}, fmt.Errorf("wire: %d-byte payload on payload-free frame type %d", len(payload), m.Header.Type)
+		}
 	default:
 		return Message{}, fmt.Errorf("wire: unknown message type %d", m.Header.Type)
 	}
 	return m, nil
+}
+
+// typeLimit is the intrinsic payload bound of a frame type: frames with
+// fixed or capped payloads (done/busy markers, predict replies, string
+// payloads) never legitimately approach MaxPayload, so their length
+// fields are rejected far earlier.
+func typeLimit(t MsgType) int {
+	switch t {
+	case MsgDone, MsgBusy:
+		return 0
+	case MsgPredict:
+		return 8
+	case MsgHello, MsgError:
+		return maxTextBytes
+	}
+	return MaxPayload
 }

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -65,6 +67,10 @@ func TestMessageRoundTrips(t *testing.T) {
 		{Header: Header{Type: MsgResidual, Class: 3}, Acc: acc},
 		{Header: Header{Type: MsgModel}, Model: []hdc.Acc{acc, acc.Clone()}},
 		{Header: Header{Type: MsgDone}},
+		{Header: Header{Type: MsgHello}, Text: "tenant-a"},
+		{Header: Header{Type: MsgPredict, Class: 4, Batch: 99}, Confidence: 0.8125},
+		{Header: Header{Type: MsgBusy, Batch: 100}},
+		{Header: Header{Type: MsgError}, Text: "cluster: aggregation slot 3 already reported"},
 	}
 	var buf bytes.Buffer
 	for _, m := range cases {
@@ -92,6 +98,14 @@ func TestMessageRoundTrips(t *testing.T) {
 		case MsgModel:
 			if len(got.Model) != len(want.Model) {
 				t.Fatalf("model count %d != %d", len(got.Model), len(want.Model))
+			}
+		case MsgHello, MsgError:
+			if got.Text != want.Text {
+				t.Fatalf("text payload %q != %q", got.Text, want.Text)
+			}
+		case MsgPredict:
+			if math.Float64bits(got.Confidence) != math.Float64bits(want.Confidence) {
+				t.Fatalf("confidence %v != %v (bits differ)", got.Confidence, want.Confidence)
 			}
 		}
 	}
@@ -182,11 +196,81 @@ func TestReadOversizedPayloadRejected(t *testing.T) {
 	frame[0] = byte(MsgQuery)
 	// 1 GiB claimed payload length.
 	frame[1], frame[2], frame[3], frame[4] = 0, 0, 0, 0x40
-	if _, err := Read(bytes.NewReader(frame)); err == nil {
+	_, err := Read(bytes.NewReader(frame))
+	if err == nil {
 		t.Fatal("oversized payload accepted")
+	}
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversized payload error %v does not match ErrPayloadTooLarge", err)
+	}
+	// The ~4 GiB worst case: every length byte 0xFF.
+	frame[1], frame[2], frame[3], frame[4] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := Read(bytes.NewReader(frame)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("max-length payload error = %v, want ErrPayloadTooLarge", err)
 	}
 	if _, err := Read(strings.NewReader("")); err == nil {
 		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestReadLimitOverride(t *testing.T) {
+	r := rng.New(11)
+	m := Message{Header: Header{Type: MsgQuery}, Bipolar: hdc.RandomBipolar(1024, r)}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	// A receiver expecting only small frames rejects the same frame a
+	// default Read accepts — before allocating the payload.
+	if _, err := ReadLimit(bytes.NewReader(encoded), 64); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("tight limit error = %v, want ErrPayloadTooLarge", err)
+	}
+	got, err := ReadLimit(bytes.NewReader(encoded), 4+1024/8)
+	if err != nil {
+		t.Fatalf("adequate limit rejected the frame: %v", err)
+	}
+	if !got.Bipolar.Equal(m.Bipolar) {
+		t.Fatal("payload corrupted under ReadLimit")
+	}
+	// Non-positive and over-large limits clamp to MaxPayload.
+	if _, err := ReadLimit(bytes.NewReader(encoded), 0); err != nil {
+		t.Fatalf("limit 0 (= MaxPayload) rejected a valid frame: %v", err)
+	}
+	if _, err := ReadLimit(bytes.NewReader(encoded), MaxPayload+1); err != nil {
+		t.Fatalf("limit above MaxPayload rejected a valid frame: %v", err)
+	}
+}
+
+func TestTypeIntrinsicLimits(t *testing.T) {
+	// Payload-free and fixed-size frame types reject inflated length
+	// fields long before MaxPayload.
+	cases := []struct {
+		typ  MsgType
+		n    uint32
+		body int // trailing payload bytes actually supplied
+	}{
+		{MsgDone, 16, 16},
+		{MsgBusy, 1, 1},
+		{MsgPredict, 9, 9},
+		{MsgHello, maxTextBytes + 1, 0},
+		{MsgError, 1 << 20, 0},
+	}
+	for _, c := range cases {
+		frame := make([]byte, headerBytes+c.body)
+		frame[0] = byte(c.typ)
+		frame[1] = byte(c.n)
+		frame[2] = byte(c.n >> 8)
+		frame[3] = byte(c.n >> 16)
+		frame[4] = byte(c.n >> 24)
+		if _, err := Read(bytes.NewReader(frame)); err == nil {
+			t.Fatalf("type %d with %d-byte length accepted", c.typ, c.n)
+		}
+	}
+	// Oversized text payloads are refused at write time too.
+	long := strings.Repeat("x", maxTextBytes+1)
+	if err := Write(io.Discard, Message{Header: Header{Type: MsgError}, Text: long}); err == nil {
+		t.Fatal("oversized text payload written")
 	}
 }
 
