@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build lint escape-gate escape-baseline test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-serve bench-gate serve-gate soak-smoke soak clean
+.PHONY: check vet build lint escape-gate escape-baseline test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-serve bench-scenario bench-gate serve-gate scenario-smoke scenario-gate scenario soak-smoke soak clean
 
 # Tier-1 gate: everything CI needs to pass, plus a short instrumented
 # bench run that leaves a machine-readable metrics snapshot behind, a
-# short leak-checked soak, and the perf-, serving- and escape-regression
+# short leak-checked soak, the adversarial scenario matrix (smoke +
+# regression gate), and the perf-, serving- and escape-regression
 # gates against the committed BENCH_hier.json / BENCH_serve.json /
-# ESCAPES.json baselines.
-check: vet build lint escape-gate race cover bench-smoke soak-smoke bench-gate serve-gate
+# BENCH_scenario.json / ESCAPES.json baselines.
+check: vet build lint escape-gate race cover bench-smoke soak-smoke scenario-smoke bench-gate serve-gate scenario-gate
 
 vet:
 	$(GO) vet ./...
@@ -44,7 +45,8 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) run ./cmd/covergate -profile cover.out -total 80.0 \
 		-require edgehd/internal/parallel=90 \
-		-require edgehd/internal/serve=80
+		-require edgehd/internal/serve=80 \
+		-require edgehd/internal/scenario=80
 
 # Short fuzz passes over the wire codec, the hypervector algebra and
 # the chunked-reduction determinism property. Each target runs for 10s;
@@ -53,6 +55,7 @@ fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzWireRoundTrip -fuzztime 10s
 	$(GO) test ./internal/hdc -fuzz FuzzBipolarOps -fuzztime 10s
 	$(GO) test ./internal/parallel -fuzz FuzzChunkedReduce -fuzztime 10s
+	$(GO) test ./internal/scenario -fuzz FuzzFaultConn -fuzztime 10s
 
 # A quick instrumented run of the routed-inference pipeline; the
 # telemetry snapshot (counters, histograms, spans) lands in
@@ -62,7 +65,7 @@ bench-smoke:
 		-epochs 3 -metrics-out BENCH_smoke.json
 
 # Full benchmark suite (one bench per table/figure plus kernels).
-bench: bench-parallel bench-hier bench-serve
+bench: bench-parallel bench-hier bench-serve bench-scenario
 	$(GO) test -bench=. -benchmem -run=XXX .
 
 # Parallel-engine speedup report: batch encode and hierarchy training
@@ -81,6 +84,12 @@ bench-hier:
 bench-serve:
 	$(GO) run ./cmd/loadgen -out BENCH_serve.json
 
+# Refresh the committed adversarial-scenario baseline: run the full
+# fault matrix (internal/scenario) and write BENCH_scenario.json. A
+# failing matrix is never written.
+bench-scenario:
+	$(GO) run ./cmd/benchdiff -scenario -emit -out BENCH_scenario.json
+
 # Short leak-checked soak (~10s): cycles federated rounds and routed
 # inferences, reconciles every cycle's traced wire bytes, and fails on
 # any goroutine or heap drift between the baseline and recent sample
@@ -94,6 +103,28 @@ soak-smoke:
 SOAK_DURATION ?= 30s
 soak:
 	$(GO) run ./cmd/soak -duration $(SOAK_DURATION) -metrics-out BENCH_soak.json
+
+# Scenario smoke: one soak cycle through the whole fault matrix — every
+# scenario must pass all four assertion families (accuracy floors, wire
+# byte reconciliation, bounded recovery, leak-free) and, via the soak
+# loop's byte-identity check, prove seed determinism.
+scenario-smoke:
+	$(GO) run ./cmd/soak -matrix -cycles 1
+
+# Scenario regression gate: rerun the matrix fresh at the committed
+# baseline's shape and diff against BENCH_scenario.json. Any failed
+# scenario fails outright; the metrics are deterministic, so drift
+# gates at the raw warn/fail thresholds with no noise allowance.
+scenario-gate:
+	$(GO) run ./cmd/benchdiff -scenario -check
+
+# Full scenario soak: cycle the matrix repeatedly as a determinism
+# burn-in plus cross-cycle leak hunt (`make scenario SCENARIO_CYCLES=20`
+# for a longer run). Each cycle's canonical report must be byte-
+# identical to the first.
+SCENARIO_CYCLES ?= 5
+scenario:
+	$(GO) run ./cmd/soak -matrix -cycles $(SCENARIO_CYCLES)
 
 # Perf-regression gate: re-bench and diff against the committed
 # baseline. Warns above 5% (soft), fails the build above 15% (hard);

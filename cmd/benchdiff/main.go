@@ -18,11 +18,25 @@
 //	benchdiff -check [-baseline BENCH_hier.json] # fresh run vs committed baseline
 //	benchdiff -serve -baseline BENCH_serve.json -candidate b.json
 //	                                             # diff serving reports (loadgen)
+//	benchdiff -scenario -emit [-out BENCH_scenario.json]
+//	                                             # run the fault matrix, write baseline
+//	benchdiff -scenario -check [-baseline BENCH_scenario.json]
+//	                                             # fresh matrix run vs committed baseline
+//	benchdiff -scenario -baseline a.json -candidate b.json
+//	                                             # diff two scenario reports
 //
 // In -serve mode the reports are BENCH_serve.json files emitted by
 // cmd/loadgen; the gated family is the serving latency quantiles (same
 // warn/fail bands, 4x noise allowance), and a candidate with reply
 // mismatches or a leak verdict fails outright.
+//
+// In -scenario mode the reports are BENCH_scenario.json files emitted
+// by the internal/scenario fault matrix (`make bench-scenario`, or
+// `soak -matrix -bench-out`). A candidate containing any failed
+// scenario — a broken accuracy floor, wire bytes that do not
+// reconcile, unbounded recovery, or a leak — fails outright; the
+// remaining metrics are deterministic functions of the seed and gate
+// at the raw thresholds with no noise allowance.
 //
 // `make bench` emits the committed baseline; `make check` runs -check
 // so every PR is judged against the trajectory.
@@ -54,6 +68,7 @@ func run(args []string) error {
 	emit := fs.Bool("emit", false, "run the benchmarks and write the report to -out")
 	check := fs.Bool("check", false, "run the benchmarks and diff against -baseline")
 	serveMode := fs.Bool("serve", false, "diff BENCH_serve.json reports (cmd/loadgen output) instead of BENCH_hier.json")
+	scenarioMode := fs.Bool("scenario", false, "run or diff the BENCH_scenario.json fault matrix (internal/scenario) instead of BENCH_hier.json")
 	out := fs.String("out", "BENCH_hier.json", "report path for -emit")
 	baseline := fs.String("baseline", "BENCH_hier.json", "baseline report to diff against")
 	candidate := fs.String("candidate", "", "candidate report to diff (instead of a fresh run)")
@@ -69,6 +84,19 @@ func run(args []string) error {
 
 	cfg := benchConfig{Dim: *dim, Train: *train, Queries: *queries, Reps: *reps}
 	switch {
+	case *scenarioMode && *emit:
+		scenarioOut := *out
+		if scenarioOut == "BENCH_hier.json" { // redirect the mode-agnostic default
+			scenarioOut = "BENCH_scenario.json"
+		}
+		return emitScenarioReport(scenarioOut)
+	case *scenarioMode && *candidate != "":
+		return diffScenarioReports(scenarioBaseline(*baseline), *candidate, *warnPct, *failPct)
+	case *scenarioMode && *check:
+		return checkScenario(scenarioBaseline(*baseline), *warnPct, *failPct)
+	case *scenarioMode:
+		fs.Usage()
+		return fmt.Errorf("-scenario needs one of -emit, -check or -candidate")
 	case *emit:
 		rep, err := runBenchmarks(cfg)
 		if err != nil {

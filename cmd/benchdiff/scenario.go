@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"edgehd/internal/scenario"
+)
+
+// Scenario gate: diffs BENCH_scenario.json reports (the adversarial
+// fault matrix emitted by internal/scenario via `soak -matrix
+// -bench-out` or `benchdiff -scenario -emit`). The engine's own
+// assertions are the first line of defense — a candidate containing
+// any failed scenario (accuracy floor broken, wire bytes that do not
+// reconcile, unbounded recovery, a leak) fails the gate outright,
+// before any metric arithmetic. The gated metrics are all
+// deterministic (the engine is a pure function of its seed), so they
+// carry no noise allowance: any drift is a real behavior change.
+// Wall-clock stamps are recorded in the report but never gated.
+
+// scenarioMetrics lists the gated per-scenario fields, all
+// higher-is-worse. Accuracies gate as error rates (1 − accuracy) so
+// "worse" means "bigger" like every other metric and an accuracy of
+// 1.0 does not trip compareMetric's appeared-from-zero rule.
+var scenarioMetrics = []struct {
+	name string
+	get  func(scenario.Result) float64
+}{
+	{"error_clean", func(r scenario.Result) float64 { return 1 - r.AccClean }},
+	{"error_fault", func(r scenario.Result) float64 { return 1 - r.AccFault }},
+	{"error_recovered", func(r scenario.Result) float64 { return 1 - r.AccRecovered }},
+	{"recovery_steps", func(r scenario.Result) float64 { return float64(r.RecoverySteps) }},
+	{"train_bytes", func(r scenario.Result) float64 { return float64(r.TrainBytes) }},
+	{"infer_wire_bytes_clean", func(r scenario.Result) float64 { return float64(r.InferBytesClean) }},
+	{"round_push_bytes_clean", func(r scenario.Result) float64 { return float64(r.RoundBytesClean) }},
+}
+
+// CompareScenario diffs a candidate scenario report against a
+// baseline: hard failures for schema/shape/matrix drift or any failed
+// scenario, metric deltas for the rest.
+func CompareScenario(base, cand *scenario.Report, warnPct, failPct float64) ([]Delta, error) {
+	if base.Schema != scenario.Schema {
+		return nil, fmt.Errorf("baseline schema %q, tool speaks %q — regenerate with `make bench-scenario`", base.Schema, scenario.Schema)
+	}
+	if cand.Schema != scenario.Schema {
+		return nil, fmt.Errorf("candidate schema %q, tool speaks %q", cand.Schema, scenario.Schema)
+	}
+	if base.Dataset != cand.Dataset || base.Dim != cand.Dim || base.Train != cand.Train ||
+		base.Queries != cand.Queries || base.Seed != cand.Seed ||
+		base.ClusterWorkers != cand.ClusterWorkers || base.ClusterDim != cand.ClusterDim {
+		return nil, fmt.Errorf("shape mismatch: baseline %s dim=%d train=%d queries=%d seed=%d cw=%d cd=%d vs candidate %s dim=%d train=%d queries=%d seed=%d cw=%d cd=%d",
+			base.Dataset, base.Dim, base.Train, base.Queries, base.Seed, base.ClusterWorkers, base.ClusterDim,
+			cand.Dataset, cand.Dim, cand.Train, cand.Queries, cand.Seed, cand.ClusterWorkers, cand.ClusterDim)
+	}
+	for _, s := range base.Scenarios {
+		if !s.Pass {
+			return nil, fmt.Errorf("baseline scenario %q is failing — regenerate the baseline from a healthy tree", s.Name)
+		}
+	}
+	for _, s := range cand.Scenarios {
+		if !s.Pass {
+			return nil, fmt.Errorf("candidate scenario %q failed its assertions: %v", s.Name, s.Failures)
+		}
+	}
+
+	candByName := make(map[string]scenario.Result, len(cand.Scenarios))
+	for _, s := range cand.Scenarios {
+		candByName[s.Name] = s
+	}
+	var deltas []Delta
+	for _, bs := range base.Scenarios {
+		cs, ok := candByName[bs.Name]
+		if !ok {
+			return nil, fmt.Errorf("candidate is missing scenario %q — matrix drift needs a regenerated baseline", bs.Name)
+		}
+		delete(candByName, bs.Name)
+		for _, m := range scenarioMetrics {
+			deltas = append(deltas, compareMetric(bs.Name, m.name, m.get(bs), m.get(cs), warnPct, failPct))
+		}
+	}
+	for name := range candByName {
+		return nil, fmt.Errorf("candidate has scenario %q the baseline lacks — regenerate the baseline", name)
+	}
+	return deltas, nil
+}
+
+// scenarioBaseline redirects the mode-agnostic -baseline default to
+// the scenario report the repo actually commits.
+func scenarioBaseline(path string) string {
+	if path == "BENCH_hier.json" {
+		return "BENCH_scenario.json"
+	}
+	return path
+}
+
+func readScenarioReport(path string) (*scenario.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := scenario.DecodeReport(data)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// scenarioParamsOf reconstructs the engine parameters a report ran
+// under, so -check reruns at the baseline's own shape even if the
+// engine defaults drift.
+func scenarioParamsOf(r *scenario.Report) scenario.Params {
+	return scenario.Params{
+		Dataset:        r.Dataset,
+		Dim:            r.Dim,
+		Train:          r.Train,
+		Queries:        r.Queries,
+		Seed:           r.Seed,
+		ClusterWorkers: r.ClusterWorkers,
+		ClusterDim:     r.ClusterDim,
+	}
+}
+
+// emitScenarioReport runs the matrix at engine defaults and writes the
+// committed baseline — the `make bench-scenario` path. A failing
+// matrix is never written: baselines come from healthy trees only.
+func emitScenarioReport(out string) error {
+	start := time.Now()
+	rep := scenario.RunMatrix(scenario.Params{})
+	rep.WallSecs = time.Since(start).Seconds()
+	for _, s := range rep.Scenarios {
+		if !s.Pass {
+			return fmt.Errorf("refusing to write a failing baseline: scenario %q: %v", s.Name, s.Failures)
+		}
+	}
+	b, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return fmt.Errorf("writing report: %w", err)
+	}
+	fmt.Printf("benchdiff: wrote %s (%d scenarios, widths %v)\n", out, len(rep.Scenarios), rep.Workers)
+	return nil
+}
+
+// diffScenarioReports gates a candidate report file against a baseline
+// file — the -scenario -candidate path.
+func diffScenarioReports(baselinePath, candidatePath string, warnPct, failPct float64) error {
+	base, err := readScenarioReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading committed baseline (run `make bench-scenario` to create it): %w", err)
+	}
+	cand, err := readScenarioReport(candidatePath)
+	if err != nil {
+		return err
+	}
+	deltas, err := CompareScenario(base, cand, warnPct, failPct)
+	if err != nil {
+		return err
+	}
+	return printDeltas(deltas, warnPct, failPct)
+}
+
+// checkScenario reruns the matrix fresh at the baseline's shape and
+// gates it — the -scenario -check path `make check` runs.
+func checkScenario(baselinePath string, warnPct, failPct float64) error {
+	base, err := readScenarioReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading committed baseline (run `make bench-scenario` to create it): %w", err)
+	}
+	cand := scenario.RunMatrix(scenarioParamsOf(base))
+	deltas, err := CompareScenario(base, cand, warnPct, failPct)
+	if err != nil {
+		return err
+	}
+	return printDeltas(deltas, warnPct, failPct)
+}

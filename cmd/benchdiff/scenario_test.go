@@ -1,0 +1,203 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgehd/internal/scenario"
+)
+
+// mkScenarioReport builds a small healthy report without running the
+// engine, so gate semantics are testable in milliseconds.
+func mkScenarioReport() *scenario.Report {
+	rep := scenario.NewReport(scenario.Params{}, []int{1})
+	rep.Scenarios = []scenario.Result{
+		{
+			Name: "churn", Pass: true,
+			AccClean: 0.85, AccFault: 0.55, AccRecovered: 0.80, RecoverySteps: 2,
+			TrainBytes: 120000, InferBytesClean: 64000, InferBytesFault: 48000,
+			RoundBytesClean: 9000, RoundBytesFault: 9000, LeakSamples: 5,
+		},
+		{
+			Name: "truncate", Pass: true,
+			AccClean: 0.85, AccFault: 0.85, AccRecovered: 0.85, RecoverySteps: 1,
+			TrainBytes: 120000, InferBytesClean: 64000, InferBytesFault: 64000,
+			RoundBytesClean: 9000, RoundBytesFault: 9000, RoundFailed: true,
+			ConnFramesIn: 3, ConnFramesOut: 2, ConnBytesIn: 3000, ConnBytesOut: 2500,
+			LeakSamples: 5,
+		},
+	}
+	return rep
+}
+
+func TestCompareScenarioIdenticalPasses(t *testing.T) {
+	base, cand := mkScenarioReport(), mkScenarioReport()
+	deltas, err := CompareScenario(base, cand, 5, 15)
+	if err != nil {
+		t.Fatalf("identical reports errored: %v", err)
+	}
+	if want := len(base.Scenarios) * len(scenarioMetrics); len(deltas) != want {
+		t.Fatalf("got %d deltas, want %d", len(deltas), want)
+	}
+	for _, d := range deltas {
+		if d.Verdict != VerdictOK {
+			t.Fatalf("identical reports produced verdict %v on %s/%s", d.Verdict, d.Topology, d.Metric)
+		}
+	}
+	if err := printDeltas(deltas, 5, 15); err != nil {
+		t.Fatalf("printDeltas failed a clean diff: %v", err)
+	}
+}
+
+// TestCompareScenarioFailsOnFailedScenario is the injected-regression
+// contract for the engine's own assertion families: a candidate whose
+// scenario broke an accuracy floor or a byte-reconciliation invariant
+// carries Pass=false, and the gate must refuse it outright — no
+// threshold arithmetic gets a say.
+func TestCompareScenarioFailsOnFailedScenario(t *testing.T) {
+	base, cand := mkScenarioReport(), mkScenarioReport()
+	cand.Scenarios[0].Pass = false
+	cand.Scenarios[0].Failures = []string{
+		"accuracy_fault 0.30 below floor 0.55",
+		"cluster push bytes 9000 != aggregate bytes 8700",
+	}
+	if _, err := CompareScenario(base, cand, 5, 15); err == nil {
+		t.Fatal("gate accepted a candidate with a failed scenario")
+	} else if !strings.Contains(err.Error(), "churn") || !strings.Contains(err.Error(), "below floor") {
+		t.Fatalf("failure did not surface the scenario's own assertions: %v", err)
+	}
+}
+
+func TestCompareScenarioGatesMetricDrift(t *testing.T) {
+	t.Run("accuracy drop", func(t *testing.T) {
+		base, cand := mkScenarioReport(), mkScenarioReport()
+		cand.Scenarios[0].AccFault = 0.30 // error_fault 0.45 -> 0.70
+		deltas, err := CompareScenario(base, cand, 5, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := printDeltas(deltas, 5, 15); err == nil {
+			t.Fatal("gate passed a fault-phase accuracy collapse")
+		}
+	})
+	t.Run("wire byte drift", func(t *testing.T) {
+		base, cand := mkScenarioReport(), mkScenarioReport()
+		cand.Scenarios[1].InferBytesClean = 96000 // +50%
+		deltas, err := CompareScenario(base, cand, 5, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failed := false
+		for _, d := range deltas {
+			if d.Topology == "truncate" && d.Metric == "infer_wire_bytes_clean" {
+				failed = d.Verdict == VerdictFail
+			}
+		}
+		if !failed {
+			t.Fatal("a 50% wire-byte regression did not fail")
+		}
+	})
+	t.Run("recovery slowdown", func(t *testing.T) {
+		base, cand := mkScenarioReport(), mkScenarioReport()
+		cand.Scenarios[0].RecoverySteps = 4 // 2 -> 4, +100%
+		deltas, err := CompareScenario(base, cand, 5, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := printDeltas(deltas, 5, 15); err == nil {
+			t.Fatal("gate passed a doubled recovery time")
+		}
+	})
+}
+
+func TestCompareScenarioGuards(t *testing.T) {
+	fresh := mkScenarioReport
+
+	base, cand := fresh(), fresh()
+	cand.Schema = "edgehd.bench_scenario/v0"
+	if _, err := CompareScenario(base, cand, 5, 15); err == nil {
+		t.Fatal("accepted a candidate with a foreign schema")
+	}
+
+	base, cand = fresh(), fresh()
+	base.Schema = "junk"
+	if _, err := CompareScenario(base, cand, 5, 15); err == nil {
+		t.Fatal("accepted a baseline with a foreign schema")
+	}
+
+	base, cand = fresh(), fresh()
+	cand.Seed++
+	if _, err := CompareScenario(base, cand, 5, 15); err == nil {
+		t.Fatal("accepted a shape mismatch (seed)")
+	}
+
+	base, cand = fresh(), fresh()
+	cand.Scenarios = cand.Scenarios[:1]
+	if _, err := CompareScenario(base, cand, 5, 15); err == nil {
+		t.Fatal("accepted a candidate missing a scenario")
+	}
+
+	base, cand = fresh(), fresh()
+	cand.Scenarios = append(cand.Scenarios, scenario.Result{Name: "novel", Pass: true})
+	if _, err := CompareScenario(base, cand, 5, 15); err == nil {
+		t.Fatal("accepted a candidate with an unknown scenario")
+	}
+
+	base, cand = fresh(), fresh()
+	base.Scenarios[0].Pass = false
+	if _, err := CompareScenario(base, cand, 5, 15); err == nil {
+		t.Fatal("accepted a failing baseline")
+	}
+}
+
+// TestScenarioGateCLI drives the -scenario flag through run() with
+// report files on disk, proving the make-check entry point fails on an
+// injected regression and passes on an identical candidate.
+func TestScenarioGateCLI(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *scenario.Report) string {
+		t.Helper()
+		b, err := rep.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.json", mkScenarioReport())
+
+	if err := run([]string{"-scenario", "-baseline", basePath, "-candidate", write("same.json", mkScenarioReport())}); err != nil {
+		t.Fatalf("identical candidate failed the CLI gate: %v", err)
+	}
+
+	bad := mkScenarioReport()
+	bad.Scenarios[1].Pass = false
+	bad.Scenarios[1].Failures = []string{"conn bytes out 2400 != expected 2500"}
+	if err := run([]string{"-scenario", "-baseline", basePath, "-candidate", write("bad.json", bad)}); err == nil {
+		t.Fatal("CLI gate passed a byte-reconciliation violation")
+	}
+
+	drift := mkScenarioReport()
+	drift.Scenarios[0].AccClean = 0.40
+	if err := run([]string{"-scenario", "-baseline", basePath, "-candidate", write("drift.json", drift)}); err == nil {
+		t.Fatal("CLI gate passed a clean-accuracy collapse")
+	}
+
+	if err := run([]string{"-scenario"}); err == nil {
+		t.Fatal("-scenario without a mode should be rejected")
+	}
+}
+
+func TestScenarioBaselineRedirect(t *testing.T) {
+	if got := scenarioBaseline("BENCH_hier.json"); got != "BENCH_scenario.json" {
+		t.Fatalf("default not redirected: %q", got)
+	}
+	if got := scenarioBaseline("custom.json"); got != "custom.json" {
+		t.Fatalf("explicit path mangled: %q", got)
+	}
+}

@@ -22,12 +22,19 @@
 //	     [-dim 2000] [-train 200] [-infer 16] [-seed 42]
 //	     [-debug-addr ADDR] [-metrics-out FILE] [-profile-dir DIR]
 //	     [-log-level info]
+//	soak -scenario NAME | -matrix [-cycles N] [-seed 42] [-bench-out FILE]
 //
 // -cycles bounds the run by cycle count instead of wall clock (0 =
 // duration-bound). -debug-addr serves /metrics, /healthz, /readyz and
 // the trace endpoints while the soak runs; -profile-dir captures a
 // bounded ring of periodic heap/goroutine profiles to diff a failure
 // against.
+//
+// The -scenario and -matrix modes soak-cycle the adversarial fault
+// engine instead (see internal/scenario and scenario.go in this
+// package): every cycle must pass the engine's assertion families and
+// reproduce the first cycle's report byte for byte, and -bench-out
+// writes the final schema-versioned report for cmd/benchdiff -scenario.
 package main
 
 import (
@@ -67,6 +74,9 @@ func run(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /readyz, trace trees and pprof on this address")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics+spans snapshot to this file at exit")
 	profileDir := fs.String("profile-dir", "", "capture periodic heap/goroutine pprof profiles into this bounded ring")
+	scenarioName := fs.String("scenario", "", "soak-cycle one named adversarial scenario (see internal/scenario)")
+	matrix := fs.Bool("matrix", false, "soak-cycle the full adversarial scenario matrix")
+	benchOut := fs.String("bench-out", "", "with -scenario/-matrix: write the final BENCH_scenario.json report here")
 	logLevel := fs.String("log-level", "info", "structured-log level on stderr: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +92,24 @@ func run(args []string) error {
 		return err
 	}
 	log := telemetry.NewLogger(os.Stderr, "soak", level)
+
+	if *scenarioName != "" || *matrix {
+		if *scenarioName != "" && *matrix {
+			return fmt.Errorf("-scenario and -matrix are mutually exclusive")
+		}
+		return runScenarioSoak(scenarioSoakOpts{
+			name:     *scenarioName,
+			cycles:   *cycles,
+			duration: *duration,
+			seed:     *seed,
+			warmup:   *warmup,
+			benchOut: *benchOut,
+			log:      log,
+		})
+	}
+	if *benchOut != "" {
+		return fmt.Errorf("-bench-out requires -scenario or -matrix")
+	}
 
 	life := telemetry.NewLifecycle()
 	defer life.Close()

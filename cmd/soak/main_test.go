@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"edgehd/internal/hierarchy"
+	"edgehd/internal/scenario"
 	"edgehd/internal/telemetry"
 )
 
@@ -107,5 +108,42 @@ func TestSpansSince(t *testing.T) {
 	}
 	if next != seq+2 {
 		t.Fatalf("next seq = %d, want %d", next, seq+2)
+	}
+}
+
+func TestSoakScenarioModes(t *testing.T) {
+	if err := run([]string{"-scenario", "straggler", "-cycles", "1", "-warmup", "0", "-log-level", "error"}); err != nil {
+		t.Fatalf("single-scenario soak failed: %v", err)
+	}
+
+	out := filepath.Join(t.TempDir(), "bench_scenario.json")
+	if err := run([]string{"-matrix", "-cycles", "1", "-warmup", "0", "-log-level", "error", "-bench-out", out}); err != nil {
+		t.Fatalf("matrix soak failed: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("bench report not written: %v", err)
+	}
+	rep, err := scenario.DecodeReport(data)
+	if err != nil {
+		t.Fatalf("bench report does not decode: %v", err)
+	}
+	if !rep.Pass() || len(rep.Scenarios) < 8 {
+		t.Fatalf("bench report unhealthy: pass=%v scenarios=%d", rep.Pass(), len(rep.Scenarios))
+	}
+	if rep.WallSecs == 0 {
+		t.Error("cmd layer did not stamp wall time")
+	}
+}
+
+func TestSoakScenarioModeBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"both modes":       {"-scenario", "churn", "-matrix", "-cycles", "1"},
+		"orphan bench-out": {"-cycles", "1", "-bench-out", "x.json"},
+		"unknown scenario": {"-scenario", "nope", "-cycles", "1", "-log-level", "error"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", name, args)
+		}
 	}
 }

@@ -58,6 +58,13 @@ type Config struct {
 	// forever. Default 30s; negative disables deadlines (trusted
 	// in-process pipes under test harnesses that single-step).
 	IOTimeout time.Duration
+	// WrapWorkerConn, when non-nil, wraps each worker's end of its
+	// connection before the round runs — the fault-injection hook
+	// internal/scenario uses to interpose duplicating, reordering, or
+	// truncating conns between workers and the aggregator. slot is the
+	// worker's aggregation slot. The wrapper assumes ownership of the
+	// inner conn: closing the returned conn must close it.
+	WrapWorkerConn func(slot int, conn net.Conn) net.Conn
 }
 
 // DefaultIOTimeout is the deadline applied to every cluster-plane wire
@@ -536,6 +543,10 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 	var wg sync.WaitGroup
 	for i, w := range workers {
 		workerEnd, aggEnd := net.Pipe()
+		conn := net.Conn(workerEnd)
+		if cfg.WrapWorkerConn != nil {
+			conn = cfg.WrapWorkerConn(i, workerEnd)
+		}
 		wg.Add(2)
 		go func(w *Worker, shard Shard, conn net.Conn) {
 			defer wg.Done()
@@ -551,7 +562,7 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 			if err := w.Pull(conn); err != nil {
 				errs <- err
 			}
-		}(w, shards[i], workerEnd)
+		}(w, shards[i], conn)
 		// The worker's shard index is its aggregation slot, so the
 		// upward merge happens in shard order no matter which
 		// connection finishes first.

@@ -316,3 +316,70 @@ func must[T any](v T, err error) T {
 	}
 	return v
 }
+
+// wrapCountConn is a pass-through net.Conn that counts traffic, used to
+// verify the WrapWorkerConn fault-injection hook sits on the wire path.
+type wrapCountConn struct {
+	net.Conn
+	wrote, read *int64
+	closed      *bool
+}
+
+func (c *wrapCountConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	*c.wrote += int64(n)
+	return n, err
+}
+
+func (c *wrapCountConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	*c.read += int64(n)
+	return n, err
+}
+
+func (c *wrapCountConn) Close() error {
+	*c.closed = true
+	return c.Conn.Close()
+}
+
+func TestWrapWorkerConnHook(t *testing.T) {
+	spec, shards, _ := shardedDataset(t, "APRI", 3, 120)
+
+	// Reference round without the hook.
+	_, want, err := Federated(federatedConfig(spec, 500), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrote := make([]int64, len(shards))
+	read := make([]int64, len(shards))
+	closed := make([]bool, len(shards))
+	cfg := federatedConfig(spec, 500)
+	cfg.WrapWorkerConn = func(slot int, conn net.Conn) net.Conn {
+		if slot < 0 || slot >= len(shards) {
+			t.Errorf("hook saw slot %d", slot)
+		}
+		return &wrapCountConn{Conn: conn, wrote: &wrote[slot], read: &read[slot], closed: &closed[slot]}
+	}
+	_, got, err := Federated(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := range shards {
+		if wrote[slot] == 0 || read[slot] == 0 {
+			t.Fatalf("slot %d traffic did not flow through the wrapper (wrote=%d read=%d)", slot, wrote[slot], read[slot])
+		}
+		if !closed[slot] {
+			t.Fatalf("slot %d wrapper was not closed", slot)
+		}
+	}
+	// A transparent wrapper must not perturb the aggregate.
+	for c := 0; c < spec.Classes; c++ {
+		g, w := got.Class(c), want.Class(c)
+		for i := 0; i < g.Dim(); i++ {
+			if g.Get(i) != w.Get(i) {
+				t.Fatalf("class %d dim %d: wrapped %d != unwrapped %d", c, i, g.Get(i), w.Get(i))
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"edgehd/internal/hdc"
+	"edgehd/internal/netsim"
+	"edgehd/internal/rng"
+)
+
+// Node churn. A departed node keeps its place in the topology and its
+// trained model — churn is an availability fault, not a membership
+// change — but contributes nothing while down: queries assembled above
+// it substitute a constant placeholder hypervector for its subtree
+// (present in dimension, absent in information), no bytes cross its
+// links, and confidence routing escalates past it. Rejoin clears the
+// flag; the node's model then catches up through the ordinary online
+// path (NegativeFeedbackBroadcast + PropagateResiduals), which is
+// exactly how the scenario engine scripts "rejoin mid-round".
+
+// Depart marks a node unavailable. The central node cannot depart: it
+// is the hierarchy's root of trust and the paper's always-on cloud.
+func (s *System) Depart(id netsim.NodeID) error {
+	if id == s.topo.Central {
+		return fmt.Errorf("hierarchy: central node cannot depart")
+	}
+	if err := s.topo.Net.SetDown(id, true); err != nil {
+		return fmt.Errorf("hierarchy: depart: %w", err)
+	}
+	s.log.Info("node departed", "node", int(id))
+	return nil
+}
+
+// Rejoin marks a departed node available again.
+func (s *System) Rejoin(id netsim.NodeID) error {
+	if err := s.topo.Net.SetDown(id, false); err != nil {
+		return fmt.Errorf("hierarchy: rejoin: %w", err)
+	}
+	s.log.Info("node rejoined", "node", int(id))
+	return nil
+}
+
+// Departed reports whether a node is currently down.
+func (s *System) Departed(id netsim.NodeID) bool { return s.topo.Net.IsDown(id) }
+
+// neutralPart is the placeholder hypervector a departed child
+// contributes to its parent's concatenation: the constant all-(−1)
+// vector. It keeps the parent's input dimensionality fixed — projection
+// matrices are sized at build time — while carrying no sample
+// information, so the parent's model sees the departed subtree as
+// uniform noise rather than a shape error.
+func (s *System) neutralPart(id netsim.NodeID) hdc.Bipolar {
+	return hdc.NewBipolar(s.nodes[id].dim)
+}
+
+// liveParent returns the nearest non-departed ancestor of id, or
+// InvalidNode at the root. Confidence routing escalates along live
+// ancestors only; a query never waits on a gateway that is down.
+func (s *System) liveParent(id netsim.NodeID) netsim.NodeID {
+	p := s.topo.Net.Parent(id)
+	for p != netsim.InvalidNode && s.topo.Net.IsDown(p) {
+		p = s.topo.Net.Parent(p)
+	}
+	return p
+}
+
+// entryDownError reports inference entering at a departed end node; it
+// is split out (and kept out-of-line) so Infer's hot path contains no
+// fmt calls and the %d boxing never lands in the gated function.
+//
+//go:noinline
+func entryDownError(entry int) error {
+	return fmt.Errorf("hierarchy: entry end node %d is departed", entry)
+}
+
+// QueryCorruptedAt is QueryCorrupted against the fault state at
+// simulation time `now`: per-uplink loss rates resolve through the
+// network's windowed schedules (netsim.LossRateAt), and departed
+// subtrees contribute neutral placeholders without consuming
+// randomness. QueryCorrupted is the now=0 special case, which on a
+// schedule-free network reproduces the static-rate behavior draw for
+// draw.
+func (s *System) QueryCorruptedAt(id netsim.NodeID, x []float64, r *rng.Source, now float64) (hdc.Bipolar, error) {
+	n := s.nodes[id]
+	if n.isLeaf() {
+		return s.encodeLeaf(n.leafPos, x), nil
+	}
+	parts := make([]hdc.Bipolar, len(n.children))
+	for i, c := range n.children {
+		if s.topo.Net.IsDown(c) {
+			parts[i] = s.neutralPart(c)
+			continue
+		}
+		part, err := s.QueryCorruptedAt(c, x, r, now)
+		if err != nil {
+			return hdc.Bipolar{}, err
+		}
+		if rate := s.topo.Net.LossRateAt(c, now); rate > 0 {
+			part = part.EraseBursts(rate, burstFor(part.Dim()), r)
+		}
+		parts[i] = part
+	}
+	return s.combine(n, parts)
+}
+
+// PredictAtCorruptedAt classifies x at a node against the fault state
+// at simulation time `now`. Degrades to -1 on an internal failure.
+func (s *System) PredictAtCorruptedAt(id netsim.NodeID, x []float64, r *rng.Source, now float64) int {
+	q, err := s.QueryCorruptedAt(id, x, r, now)
+	if err != nil {
+		return -1
+	}
+	class, _ := s.nodes[id].model.Classify(q)
+	return class
+}
+
+// CorruptedAccuracy evaluates a node's model over a labelled set under
+// the fault state at simulation time `now`. The sweep is strictly
+// sequential: a single seeded stream drives every erasure draw in
+// sample order, so the figure is byte-identical at any pool width —
+// the scenario engine's determinism contract leans on this.
+func (s *System) CorruptedAccuracy(id netsim.NodeID, x [][]float64, y []int, r *rng.Source, now float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range x {
+		if s.PredictAtCorruptedAt(id, x[i], r, now) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}

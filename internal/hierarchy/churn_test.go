@@ -1,0 +1,199 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"edgehd/internal/netsim"
+	"edgehd/internal/rng"
+)
+
+// gatewayOf returns the (non-central) parent of end node position pos.
+func gatewayOf(t *testing.T, sys *System, pos int) netsim.NodeID {
+	t.Helper()
+	topo := sys.Topology()
+	gw := topo.Net.Parent(topo.EndNodes[pos])
+	if gw == topo.Central {
+		t.Fatalf("end node %d hangs directly off central", pos)
+	}
+	return gw
+}
+
+func TestDepartRejoinLifecycle(t *testing.T) {
+	sys, _ := trainedPDP(t, Config{TotalDim: 1000, Seed: 31, RetrainEpochs: 2})
+	topo := sys.Topology()
+	leaf := topo.EndNodes[0]
+
+	if err := sys.Depart(topo.Central); err == nil {
+		t.Fatal("central node departed")
+	}
+	if err := sys.Depart(netsim.NodeID(99)); err == nil {
+		t.Fatal("unknown node departed")
+	}
+	if sys.Departed(leaf) {
+		t.Fatal("fresh system reports departures")
+	}
+	if err := sys.Depart(leaf); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Departed(leaf) {
+		t.Fatal("Depart did not mark the node down")
+	}
+	if err := sys.Rejoin(leaf); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Departed(leaf) {
+		t.Fatal("Rejoin did not clear the node")
+	}
+}
+
+func TestQueryWithDepartedSubtree(t *testing.T) {
+	sys, d := trainedPDP(t, Config{TotalDim: 2000, Seed: 32, RetrainEpochs: 2})
+	topo := sys.Topology()
+
+	// Baseline central accuracy, then depart one gateway's subtree.
+	base := sys.AccuracyAt(topo.Central, d.testX, d.testY)
+	gw := gatewayOf(t, sys, 0)
+	if err := sys.Depart(gw); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queries above the departed subtree still evaluate, at the same
+	// dimensionality, and keep a usable (if degraded) accuracy.
+	q, err := sys.Query(topo.Central, d.testX[0])
+	if err != nil {
+		t.Fatalf("query with departed gateway: %v", err)
+	}
+	if q.Dim() != sys.NodeDim(topo.Central) {
+		t.Fatalf("query dim %d != central dim %d", q.Dim(), sys.NodeDim(topo.Central))
+	}
+	degraded := sys.AccuracyAt(topo.Central, d.testX, d.testY)
+	if degraded < 0.5*base {
+		t.Fatalf("accuracy collapsed under churn: %v (baseline %v)", degraded, base)
+	}
+
+	// Rejoin restores the exact baseline: churn state fully clears.
+	if err := sys.Rejoin(gw); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.AccuracyAt(topo.Central, d.testX, d.testY); got != base {
+		t.Fatalf("post-rejoin accuracy %v != baseline %v", got, base)
+	}
+}
+
+func TestInferRoutesPastDepartedGateway(t *testing.T) {
+	// Threshold 1 forces escalation to the root from any entry.
+	sys, d := trainedPDP(t, Config{TotalDim: 1000, Seed: 33, RetrainEpochs: 2, ConfidenceThreshold: 1.1})
+	topo := sys.Topology()
+	gw := gatewayOf(t, sys, 0)
+
+	clean, err := sys.Infer(d.testX[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Node != topo.Central {
+		t.Fatalf("threshold 1.1 resolved at %d, want central", clean.Node)
+	}
+
+	if err := sys.Depart(gw); err != nil {
+		t.Fatal(err)
+	}
+	// Entering at a departed leaf errors cleanly.
+	if err := sys.Depart(topo.EndNodes[1]); err != nil {
+		t.Fatal(err)
+	}
+	downPos := -1
+	for pos, id := range topo.EndNodes {
+		if id == topo.EndNodes[1] {
+			downPos = pos
+		}
+	}
+	if _, err := sys.Infer(d.testX[0], downPos); err == nil {
+		t.Fatal("inference entered a departed end node")
+	}
+	if err := sys.Rejoin(topo.EndNodes[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Entering under the departed gateway escalates straight past it.
+	res, err := sys.Infer(d.testX[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != topo.Central {
+		t.Fatalf("resolved at %d, want central", res.Node)
+	}
+	if res.Escalations != clean.Escalations-1 {
+		t.Fatalf("escalations = %d, want %d (gateway skipped)", res.Escalations, clean.Escalations-1)
+	}
+	if res.WireBytes >= clean.WireBytes {
+		t.Fatalf("wire bytes %d did not shrink from %d with a subtree down", res.WireBytes, clean.WireBytes)
+	}
+	// The analytic account matches the down-aware comm model.
+	if want := sys.InferCommBytes(topo.EndNodes[0]) + sys.InferCommBytes(topo.Central); res.WireBytes != want {
+		t.Fatalf("WireBytes = %d, want %d", res.WireBytes, want)
+	}
+}
+
+func TestInferCommSkipsDepartedSubtree(t *testing.T) {
+	// CompressionRate 1 makes per-query and per-bundle wire sizes
+	// coincide, so the netsim byte ledger must match InferCommBytes.
+	sys, _ := trainedPDP(t, Config{TotalDim: 1000, Seed: 34, CompressionRate: 1})
+	topo := sys.Topology()
+	gw := gatewayOf(t, sys, 0)
+
+	cleanBytes := sys.InferCommBytes(topo.Central)
+	cleanFinish, err := sys.InferCommTime(topo.Central, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Topology().Net.Reset()
+
+	if err := sys.Depart(gw); err != nil {
+		t.Fatal(err)
+	}
+	downBytes := sys.InferCommBytes(topo.Central)
+	if downBytes >= cleanBytes {
+		t.Fatalf("comm bytes %d did not shrink from %d", downBytes, cleanBytes)
+	}
+	finish, err := sys.InferCommTime(topo.Central, 0)
+	if err != nil {
+		t.Fatalf("InferCommTime with departed subtree: %v", err)
+	}
+	if finish > cleanFinish {
+		t.Fatalf("assembly finish %v exceeds clean %v with fewer transfers", finish, cleanFinish)
+	}
+	st := sys.Topology().Net.Stats()
+	if st.TotalBytes != downBytes {
+		// InferCommTime moves full bundles; with CompressionRate <= 1
+		// the per-query and per-bundle sizes coincide.
+		t.Fatalf("netsim moved %d bytes, comm model says %d", st.TotalBytes, downBytes)
+	}
+}
+
+func TestCorruptedAccuracyTimeWindows(t *testing.T) {
+	sys, d := trainedPDP(t, Config{TotalDim: 2000, Seed: 35, RetrainEpochs: 2})
+	topo := sys.Topology()
+	for _, id := range topo.EndNodes {
+		if err := topo.Net.ScheduleLoss(id, netsim.Window{From: 10, To: 20, Value: 0.9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := sys.CorruptedAccuracy(topo.Central, d.testX, d.testY, rng.New(1), 0)
+	during := sys.CorruptedAccuracy(topo.Central, d.testX, d.testY, rng.New(1), 15)
+	after := sys.CorruptedAccuracy(topo.Central, d.testX, d.testY, rng.New(1), 30)
+
+	clean := sys.AccuracyAt(topo.Central, d.testX, d.testY)
+	if before != clean || after != clean {
+		t.Fatalf("outside the window accuracy %v/%v != clean %v", before, after, clean)
+	}
+	if during >= clean {
+		t.Fatalf("90%% burst loss did not degrade accuracy: %v vs clean %v", during, clean)
+	}
+
+	// Same seed, same time → identical draws → identical figure.
+	again := sys.CorruptedAccuracy(topo.Central, d.testX, d.testY, rng.New(1), 15)
+	if again != during {
+		t.Fatalf("corrupted accuracy not deterministic: %v vs %v", again, during)
+	}
+}

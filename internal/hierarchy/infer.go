@@ -79,6 +79,9 @@ func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 		return InferResult{}, entryRangeError(entry)
 	}
 	cur := s.leafIndex[entry]
+	if s.topo.Net.IsDown(cur.id) {
+		return InferResult{}, entryDownError(entry)
+	}
 	root := s.tracer.NewTrace()
 	sp := s.tracer.StartSpan("infer", root)
 	sp.SetInt("entry_node", int64(cur.id))
@@ -109,7 +112,11 @@ func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 		if sp != nil {
 			sp.SetFloat(confKey(escal), conf)
 		}
-		if conf >= s.cfg.ConfidenceThreshold || s.topo.Net.Parent(cur.id) == netsim.InvalidNode {
+		// Escalation targets the nearest live ancestor: a departed
+		// gateway is routed past, not waited on. With no churn this is
+		// exactly the parent pointer.
+		next := s.liveParent(cur.id)
+		if conf >= s.cfg.ConfidenceThreshold || next == netsim.InvalidNode {
 			res := InferResult{Class: class, Node: cur.id, Level: level, Confidence: conf, Escalations: escal, WireBytes: wireBytes, TraceID: root.TraceID}
 			s.met.inferTotal.Add(1)
 			if escal == 0 {
@@ -138,7 +145,7 @@ func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 			}
 			return res, nil
 		}
-		cur = s.nodes[s.topo.Net.Parent(cur.id)]
+		cur = s.nodes[next]
 		level++
 		escal++
 	}
@@ -238,6 +245,10 @@ func (s *System) nodesAtDepth(depth int) []*node {
 // compression enabled (m > 1), m outstanding queries share one
 // compressed integer transfer, amortizing to CompressedWireBytes/m per
 // query per link.
+//
+// Departed subtrees move nothing: their placeholder is synthesized at
+// the parent, so they are excluded here exactly as in InferCommTime —
+// Infer's per-hop wire_bytes spans stay reconcilable under churn.
 func (s *System) InferCommBytes(id netsim.NodeID) int64 {
 	n := s.nodes[id]
 	if n.isLeaf() {
@@ -245,6 +256,9 @@ func (s *System) InferCommBytes(id netsim.NodeID) int64 {
 	}
 	var total int64
 	for _, c := range n.children {
+		if s.topo.Net.IsDown(c) {
+			continue
+		}
 		child := s.nodes[c]
 		total += s.queryWireBytes(child) + s.InferCommBytes(c)
 	}
@@ -283,6 +297,9 @@ func (s *System) InferCommTime(id netsim.NodeID, depart float64) (float64, error
 	}
 	finish := depart
 	for _, c := range n.children {
+		if s.topo.Net.IsDown(c) {
+			continue
+		}
 		childReady, err := s.InferCommTime(c, depart)
 		if err != nil {
 			return 0, err

@@ -346,8 +346,14 @@ func (s *System) Query(id netsim.NodeID, x []float64) (hdc.Bipolar, error) {
 	// pool: each child writes its own slot and the concatenation below
 	// consumes the slots in child order, keeping the query identical to
 	// the sequential recursion. The first error in child order wins.
+	// Departed children (churn injection) contribute neutral
+	// placeholders so the concatenation keeps its build-time shape.
 	err := s.pool.RunErr("hier_query_fanout", len(n.children), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if s.topo.Net.IsDown(n.children[i]) {
+				parts[i] = s.neutralPart(n.children[i])
+				continue
+			}
 			part, err := s.Query(n.children[i], x)
 			if err != nil {
 				return err
@@ -383,24 +389,11 @@ func burstFor(dim int) int {
 // QueryCorrupted is Query with per-uplink data-loss injection (§VI-F):
 // every hypervector crossing a link suffers burst erasure at the link's
 // loss rate (contiguous runs of components lost, as packet loss does)
-// before being combined at the parent.
+// before being combined at the parent. It evaluates the fault state at
+// simulation time 0; QueryCorruptedAt (churn.go) is the time-aware
+// generalization the scenario engine drives.
 func (s *System) QueryCorrupted(id netsim.NodeID, x []float64, r *rng.Source) (hdc.Bipolar, error) {
-	n := s.nodes[id]
-	if n.isLeaf() {
-		return s.encodeLeaf(n.leafPos, x), nil
-	}
-	parts := make([]hdc.Bipolar, len(n.children))
-	for i, c := range n.children {
-		part, err := s.QueryCorrupted(c, x, r)
-		if err != nil {
-			return hdc.Bipolar{}, err
-		}
-		if rate := s.topo.Net.LossRate(c); rate > 0 {
-			part = part.EraseBursts(rate, burstFor(part.Dim()), r)
-		}
-		parts[i] = part
-	}
-	return s.combine(n, parts)
+	return s.QueryCorruptedAt(id, x, r, 0)
 }
 
 // WorkAt reports the accumulated op counts at a node since the system

@@ -98,6 +98,9 @@ func Default(modPath string) *Config {
 			// its only sanctioned clock uses (batch window, I/O deadlines)
 			// carry per-line allow directives.
 			p("internal/serve"),
+			// The scenario engine's reports must be pure functions of the
+			// seed — wall-clock stamps belong to its cmd-layer callers.
+			p("internal/scenario"),
 		},
 		ClockSanctionedPackages: []string{
 			p("internal/telemetry"),
@@ -118,6 +121,7 @@ func Default(modPath string) *Config {
 			p("internal/hierarchy"),
 			p("internal/netsim"),
 			p("internal/serve"),
+			p("internal/scenario"),
 			p("cmd/edgehd"),
 			p("cmd/fedlearn"),
 			p("cmd/paper"),

@@ -17,6 +17,11 @@ type link struct {
 	child, parent NodeID
 	medium        Medium
 	lossRate      float64
+	// fault-injection state (see fault.go): time-windowed loss and
+	// bandwidth schedules plus the straggler delay multiplier (0 = off).
+	lossSched   []Window
+	bwSched     [2][]Window
+	delayFactor float64
 	// busyUntil tracks when the link becomes free in each direction
 	// (0: child→parent, 1: parent→child), serializing transfers.
 	busyUntil [2]float64
@@ -41,6 +46,8 @@ type Network struct {
 	parent []NodeID
 	uplink []int // index into links for each node's link to its parent
 	links  []link
+	// down marks departed nodes (churn injection, see fault.go).
+	down []bool
 
 	// tel is the attached metrics registry (nil = telemetry disabled);
 	// the aggregate instruments below are resolved once by SetTelemetry
@@ -65,6 +72,7 @@ func (n *Network) AddNode(name string) NodeID {
 	n.names = append(n.names, name)
 	n.parent = append(n.parent, InvalidNode)
 	n.uplink = append(n.uplink, -1)
+	n.down = append(n.down, false)
 	return NodeID(len(n.names) - 1)
 }
 
@@ -143,27 +151,30 @@ func (n *Network) SetLogger(log *telemetry.Logger) {
 	n.log = log.WithComponent("netsim")
 }
 
-// SetLossRate sets the per-bit corruption probability of the child's
-// uplink, used by the Fig 12 failure injection.
+// SetLossRate sets the static per-bit corruption probability of the
+// child's uplink, used by the Fig 12 failure injection. Time-windowed
+// overrides come from ScheduleLoss (fault.go).
 func (n *Network) SetLossRate(child NodeID, rate float64) error {
-	if n.uplink[child] < 0 {
-		return fmt.Errorf("netsim: node %d has no uplink", child)
+	li, err := n.uplinkIndex(child)
+	if err != nil {
+		return err
 	}
 	if rate < 0 || rate > 1 {
 		return fmt.Errorf("netsim: loss rate %v out of [0,1]", rate)
 	}
-	n.links[n.uplink[child]].lossRate = rate
+	n.links[li].lossRate = rate
 	n.log.Info("uplink loss rate set", "node", n.names[child], "loss_rate", rate)
 	return nil
 }
 
-// LossRate returns the per-bit corruption probability on the child's
-// uplink (0 when the node has no uplink).
+// LossRate returns the static per-bit corruption probability on the
+// child's uplink (0 when the node has no uplink or is out of range).
 func (n *Network) LossRate(child NodeID) float64 {
-	if n.uplink[child] < 0 {
+	li, err := n.uplinkIndex(child)
+	if err != nil {
 		return 0
 	}
-	return n.links[n.uplink[child]].lossRate
+	return n.links[li].lossRate
 }
 
 // PathUp returns the chain of node IDs from `from` up to `to`, both
@@ -240,7 +251,14 @@ func (n *Network) hop(li int, dir int, bytes int, depart float64) float64 {
 	if l.busyUntil[dir] > start {
 		start = l.busyUntil[dir]
 	}
-	tx := l.medium.TransferSeconds(bytes)
+	// Straggler and congestion injection: the delay factor stretches
+	// both serialization and latency; the bandwidth factor (sampled at
+	// transmission start) scales throughput only.
+	delay := l.delayFactor
+	if delay <= 0 {
+		delay = 1
+	}
+	tx := l.medium.TransferSeconds(bytes) * delay / bandwidthFactorAt(l.bwSched[dir], start)
 	l.busyUntil[dir] = start + tx
 	l.bytes += int64(bytes)
 	energy := float64(bytes) * l.medium.JoulesPerByte
@@ -253,7 +271,7 @@ func (n *Network) hop(li int, dir int, bytes int, depart float64) float64 {
 	n.telHops.Inc()
 	n.telEnergy.Add(energy)
 	n.telTransfer.Observe(tx)
-	return start + tx + l.medium.Latency.Seconds()
+	return start + tx + l.medium.Latency.Seconds()*delay
 }
 
 // Send moves bytes from one node to an ancestor or descendant, hop by
@@ -262,10 +280,19 @@ func (n *Network) hop(li int, dir int, bytes int, depart float64) float64 {
 // ancestor relationship return an error (the hierarchy never needs
 // sibling traffic; everything flows up or down the tree).
 func (n *Network) Send(from, to NodeID, bytes int, depart float64) (float64, error) {
+	if n.IsDown(from) {
+		return 0, fmt.Errorf("netsim: source %q is down", n.names[from])
+	}
+	if n.IsDown(to) {
+		return 0, fmt.Errorf("netsim: destination %q is down", n.names[to])
+	}
 	if from == to {
 		return depart, nil
 	}
 	if path, err := n.PathUp(from, to); err == nil {
+		if d := n.pathDown(path); d != InvalidNode {
+			return 0, fmt.Errorf("netsim: path crosses down node %q", n.names[d])
+		}
 		t := depart
 		for i := 0; i < len(path)-1; i++ {
 			t = n.hop(n.uplink[path[i]], dirUp, bytes, t)
@@ -275,6 +302,9 @@ func (n *Network) Send(from, to NodeID, bytes int, depart float64) (float64, err
 	path, err := n.PathUp(to, from)
 	if err != nil {
 		return 0, fmt.Errorf("netsim: no tree path between %q and %q", n.names[from], n.names[to])
+	}
+	if d := n.pathDown(path); d != InvalidNode {
+		return 0, fmt.Errorf("netsim: path crosses down node %q", n.names[d])
 	}
 	// Walk downward: traverse the reversed up-path from `from` to `to`.
 	t := depart
@@ -305,12 +335,24 @@ func (n *Network) Stats() Stats {
 	return s
 }
 
-// Reset clears link business and accounting, keeping the topology.
+// Reset clears link business, accounting, and all fault-injection
+// state — static loss rates, loss and bandwidth schedules, delay
+// factors, and node down flags — keeping only the topology. A reused
+// Network therefore always restarts from a fault-free baseline; an
+// earlier version kept loss rates across Reset, silently corrupting
+// any experiment that followed a failure injection.
 func (n *Network) Reset() {
 	for i := range n.links {
 		n.links[i].busyUntil = [2]float64{}
 		n.links[i].bytes = 0
 		n.links[i].energyJ = 0
 		n.links[i].busySecs = 0
+		n.links[i].lossRate = 0
+		n.links[i].lossSched = nil
+		n.links[i].bwSched = [2][]Window{}
+		n.links[i].delayFactor = 0
+	}
+	for i := range n.down {
+		n.down[i] = false
 	}
 }
