@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build lint escape-gate escape-baseline test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-serve bench-scenario bench-gate serve-gate scenario-smoke scenario-gate scenario soak-smoke soak clean
+.PHONY: check vet build lint escape-gate escape-baseline test race cover fuzz bench-smoke bench bench-parallel bench-hier bench-serve bench-scenario bench-gate serve-gate sampling-gate scenario-smoke scenario-gate scenario soak-smoke soak clean
 
 # Tier-1 gate: everything CI needs to pass, plus a short instrumented
 # bench run that leaves a machine-readable metrics snapshot behind, a
@@ -8,7 +8,7 @@ GO ?= go
 # regression gate), and the perf-, serving- and escape-regression
 # gates against the committed BENCH_hier.json / BENCH_serve.json /
 # BENCH_scenario.json / ESCAPES.json baselines.
-check: vet build lint escape-gate race cover bench-smoke soak-smoke scenario-smoke bench-gate serve-gate scenario-gate
+check: vet build lint escape-gate race cover bench-smoke soak-smoke scenario-smoke bench-gate serve-gate sampling-gate scenario-gate
 
 vet:
 	$(GO) vet ./...
@@ -131,6 +131,13 @@ scenario:
 # timing metrics carry a 4x noise allowance — see cmd/benchdiff.
 bench-gate:
 	$(GO) run ./cmd/benchdiff -check
+
+# Sampling-overhead gate: re-bench the routed-inference pipeline with
+# head/tail trace sampling attached and diff against the unsampled
+# committed baseline. The usual warn/fail bands (with the 4x wall-clock
+# noise allowance) thereby bound how much the sampler itself may cost.
+sampling-gate:
+	$(GO) run ./cmd/benchdiff -check -sampler
 
 # Serving perf gate: replay the loadgen workload and diff the latency
 # family against the committed BENCH_serve.json with the same warn/fail

@@ -16,6 +16,8 @@
 //	benchdiff -emit [-out BENCH_hier.json]      # run benches, write report
 //	benchdiff -baseline a.json -candidate b.json # diff two reports
 //	benchdiff -check [-baseline BENCH_hier.json] # fresh run vs committed baseline
+//	benchdiff -check -sampler                    # fresh run with tail sampling attached,
+//	                                             # gating the sampling overhead itself
 //	benchdiff -serve -baseline BENCH_serve.json -candidate b.json
 //	                                             # diff serving reports (loadgen)
 //	benchdiff -scenario -emit [-out BENCH_scenario.json]
@@ -76,13 +78,14 @@ func run(args []string) error {
 	train := fs.Int("train", 240, "training samples")
 	queries := fs.Int("queries", 100, "inference queries per topology")
 	reps := fs.Int("reps", 5, "measurement repetitions (best rep wins)")
+	withSampler := fs.Bool("sampler", false, "attach the tail sampler to the bench tracer, so the diff against an unsampled baseline bounds the sampling overhead")
 	warnPct := fs.Float64("warn", 5, "warn when a metric regresses more than this percent")
 	failPct := fs.Float64("fail", 15, "fail when a metric regresses more than this percent")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := benchConfig{Dim: *dim, Train: *train, Queries: *queries, Reps: *reps}
+	cfg := benchConfig{Dim: *dim, Train: *train, Queries: *queries, Reps: *reps, Sampler: *withSampler}
 	switch {
 	case *scenarioMode && *emit:
 		scenarioOut := *out
@@ -138,7 +141,7 @@ func run(args []string) error {
 		}
 		// Benchmark at the baseline's own shape so the comparison is
 		// apples to apples even if flags drift.
-		cfg = benchConfig{Dim: base.Dim, Train: base.Train, Queries: base.Queries, Reps: *reps}
+		cfg = benchConfig{Dim: base.Dim, Train: base.Train, Queries: base.Queries, Reps: *reps, Sampler: *withSampler}
 		cand, err := runBenchmarks(cfg)
 		if err != nil {
 			return err
@@ -189,6 +192,10 @@ type benchConfig struct {
 	Train   int
 	Queries int
 	Reps    int
+	// Sampler attaches head/tail trace sampling to the bench tracer, so
+	// `-check -sampler` against the unsampled committed baseline gates
+	// the sampling overhead itself inside the usual noise bands.
+	Sampler bool
 }
 
 // runBenchmarks measures every topology and assembles the report.
@@ -266,7 +273,11 @@ func benchTopology(name string, topo *netsim.Topology, d *dataset.Dataset, cfg b
 		// best-of-reps figure — scheduling noise in one rep cannot
 		// contaminate the others' quantiles.
 		reg := telemetry.New()
-		sys.SetTelemetry(reg, telemetry.NewTracer(16, reg))
+		tr := telemetry.NewTracer(16, reg)
+		if cfg.Sampler {
+			tr.SetSampler(telemetry.NewSampler(reg, telemetry.SamplerConfig{}))
+		}
+		sys.SetTelemetry(reg, tr)
 		var ms0, ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms0)
 		wireBytes = 0

@@ -58,6 +58,7 @@ func run(args []string) error {
 	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
 	logLevel := fs.String("log-level", "info", "structured-log level on stderr: debug, info, warn or error")
 	profileDir := fs.String("profile-dir", "", "capture periodic heap/goroutine pprof profiles into this bounded on-disk ring")
+	flightDir := fs.String("flight-dir", "", "write SLO-breach flight bundles (tsdb window, kept traces, logs, profiles) into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,7 +66,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	log := telemetry.NewLogger(os.Stderr, "edgehd", level)
+	// Logs tee through a bounded ring so a flight bundle can include the
+	// trailing window of structured records.
+	logRing := telemetry.NewLogRing(os.Stderr, 512)
+	log := telemetry.NewLogger(logRing, "edgehd", level)
 
 	// Teardown — stop the collector, flush the snapshot, close the debug
 	// server — runs through one lifecycle, on the normal exit path and on
@@ -77,24 +81,28 @@ func run(args []string) error {
 	// Telemetry is collected whenever there is somewhere for it to go.
 	var reg *edgehd.Telemetry
 	var tracer *edgehd.Tracer
-	if *debugAddr != "" || *metricsOut != "" {
+	if *debugAddr != "" || *metricsOut != "" || *flightDir != "" {
 		reg = edgehd.NewTelemetry()
 		tracer = edgehd.NewTracer(*traceCap, reg)
 	}
 	health := telemetry.NewHealth()
 	var trained atomic.Bool
-	if *debugAddr != "" {
-		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer, health)
-		if err != nil {
-			return err
-		}
-		life.Defer(func() { _ = srv.Close() })
-		reg.Publish("edgehd")
-		// Runtime health (heap, GC, goroutines, CPU) rides along in the
-		// same registry while the server is scrapeable; a heartbeat on the
-		// collection cadence backs the /healthz liveness probe, and
-		// readiness flips once a model is trained.
-		collector := telemetry.NewCollector(reg)
+	var collector *telemetry.Collector
+	var sampler *telemetry.Sampler
+	var series *telemetry.Series
+	var slo *telemetry.SLO
+	if reg != nil {
+		// Tail sampler (retention-only: every trace is head-admitted) and
+		// the in-process TSDB, sampled on the collection cadence. Runtime
+		// health (heap, GC, goroutines, CPU) rides along in the same
+		// registry; a heartbeat on the collection cadence backs the
+		// /healthz liveness probe, and readiness flips once a model is
+		// trained.
+		sampler = telemetry.NewSampler(reg, telemetry.SamplerConfig{})
+		tracer.SetSampler(sampler)
+		series = telemetry.NewSeries(reg, telemetry.SeriesConfig{})
+		collector = telemetry.NewCollector(reg)
+		collector.OnCollect(series.Sample)
 		beat := telemetry.NewHeartbeat(5 * time.Second)
 		collector.OnCollect(beat.Beat)
 		health.Liveness("collector", beat.Check)
@@ -106,13 +114,22 @@ func run(args []string) error {
 		})
 		// Routed-inference latency objective (95% of queries within
 		// 50ms), recomputed into slo_* gauges on the collection cadence.
-		slo, err := telemetry.NewSLO(reg, "infer_latency",
+		slo, err = telemetry.NewSLO(reg, "infer_latency",
 			reg.Histogram("span_seconds", telemetry.L("span", "infer")), 0.05, 0.95)
 		if err != nil {
 			return err
 		}
 		collector.OnCollect(slo.Collect)
 		life.Defer(collector.Start(time.Second))
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer, health,
+			telemetry.DebugOptions{Series: series, Sampler: sampler})
+		if err != nil {
+			return err
+		}
+		life.Defer(func() { _ = srv.Close() })
+		reg.Publish("edgehd")
 		log.Info("debug server listening", "addr", srv.Addr(), "url", "http://"+srv.Addr()+"/")
 	}
 	if *metricsOut != "" {
@@ -125,13 +142,27 @@ func run(args []string) error {
 			}
 		})
 	}
+	var profiles *telemetry.ProfileRing
 	if *profileDir != "" {
-		ring, err := telemetry.NewProfileRing(*profileDir, 8, reg, log)
+		profiles, err = telemetry.NewProfileRing(*profileDir, 8, reg, log)
 		if err != nil {
 			return err
 		}
-		life.Defer(ring.Start(10*time.Second, 0))
+		life.Defer(profiles.Start(10*time.Second, 0))
 		log.Info("profile ring capturing", "dir", *profileDir)
+	}
+	if *flightDir != "" {
+		fr, err := telemetry.NewFlightRecorder(telemetry.FlightConfig{Dir: *flightDir}, telemetry.FlightSources{
+			Registry: reg, Tracer: tracer, Sampler: sampler,
+			Series: series, Logs: logRing, Profiles: profiles,
+		}, log)
+		if err != nil {
+			return err
+		}
+		fr.WatchSLO("infer_latency", slo)
+		fr.WatchHealth(health)
+		fr.Bind(collector, life)
+		log.Info("flight recorder armed", "dir", *flightDir)
 	}
 	if *listMediums {
 		for _, m := range edgehd.Mediums() {

@@ -54,6 +54,7 @@ func run(args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
 	traceCap := fs.Int("trace", 256, "number of trace spans to retain")
 	logLevel := fs.String("log-level", "info", "structured-log level on stderr: debug, info, warn or error")
+	flightDir := fs.String("flight-dir", "", "write SLO-breach flight bundles into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,7 +65,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	log := telemetry.NewLogger(os.Stderr, "fedlearn", level)
+	logRing := telemetry.NewLogRing(os.Stderr, 512)
+	log := telemetry.NewLogger(logRing, "fedlearn", level)
 
 	// One lifecycle owns teardown — collector stop, snapshot flush, debug
 	// server close — on the normal exit path and on SIGINT/SIGTERM alike.
@@ -74,20 +76,22 @@ func run(args []string) error {
 
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
-	if *debugAddr != "" || *metricsOut != "" {
+	if *debugAddr != "" || *metricsOut != "" || *flightDir != "" {
 		reg = telemetry.New()
 		tracer = telemetry.NewTracer(*traceCap, reg)
 	}
 	health := telemetry.NewHealth()
 	var aggregatorUp atomic.Bool
-	if *debugAddr != "" {
-		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer, health)
-		if err != nil {
-			return err
-		}
-		life.Defer(func() { _ = srv.Close() })
-		reg.Publish("fedlearn")
-		collector := telemetry.NewCollector(reg)
+	var collector *telemetry.Collector
+	var sampler *telemetry.Sampler
+	var series *telemetry.Series
+	var slo *telemetry.SLO
+	if reg != nil {
+		sampler = telemetry.NewSampler(reg, telemetry.SamplerConfig{})
+		tracer.SetSampler(sampler)
+		series = telemetry.NewSeries(reg, telemetry.SeriesConfig{})
+		collector = telemetry.NewCollector(reg)
+		collector.OnCollect(series.Sample)
 		beat := telemetry.NewHeartbeat(5 * time.Second)
 		collector.OnCollect(beat.Beat)
 		health.Liveness("collector", beat.Check)
@@ -99,14 +103,35 @@ func run(args []string) error {
 		})
 		// Round-latency objective (95% of federated rounds within 2s),
 		// recomputed into slo_* gauges on the collection cadence.
-		slo, err := telemetry.NewSLO(reg, "round_latency",
+		slo, err = telemetry.NewSLO(reg, "round_latency",
 			reg.Histogram("span_seconds", telemetry.L("span", "federated_round")), 2, 0.95)
 		if err != nil {
 			return err
 		}
 		collector.OnCollect(slo.Collect)
 		life.Defer(collector.Start(time.Second))
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer, health,
+			telemetry.DebugOptions{Series: series, Sampler: sampler})
+		if err != nil {
+			return err
+		}
+		life.Defer(func() { _ = srv.Close() })
+		reg.Publish("fedlearn")
 		log.Info("debug server listening", "addr", srv.Addr(), "url", "http://"+srv.Addr()+"/")
+	}
+	if *flightDir != "" {
+		fr, err := telemetry.NewFlightRecorder(telemetry.FlightConfig{Dir: *flightDir}, telemetry.FlightSources{
+			Registry: reg, Tracer: tracer, Sampler: sampler, Series: series, Logs: logRing,
+		}, log)
+		if err != nil {
+			return err
+		}
+		fr.WatchSLO("round_latency", slo)
+		fr.WatchHealth(health)
+		fr.Bind(collector, life)
+		log.Info("flight recorder armed", "dir", *flightDir)
 	}
 	if *metricsOut != "" {
 		out := *metricsOut
@@ -248,14 +273,21 @@ func run(args []string) error {
 	}
 	workerWG.Wait()
 	serveWG.Wait()
+	var roundErr error
 	select {
-	case err := <-workerErrs:
-		return err
-	case err := <-serveErrs:
-		return err
+	case roundErr = <-workerErrs:
+	case roundErr = <-serveErrs:
 	default:
 	}
-	roundSpan.SetInt("workers", int64(*workers)).End()
+	roundSpan.SetInt("workers", int64(*workers))
+	if roundErr != nil {
+		// A failed round roots an error-attributed span, so the tail
+		// sampler keeps its trace for the flight bundle.
+		roundSpan.SetStr("error", roundErr.Error())
+		roundSpan.End()
+		return roundErr
+	}
+	roundSpan.End()
 	fmt.Printf("aggregator merged %d models\n", agg.Received())
 	if round.Valid() {
 		log.WithTrace(round).Info("round trace recorded",

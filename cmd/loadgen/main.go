@@ -127,6 +127,7 @@ type config struct {
 	out          string
 	addr         string
 	tenant       string
+	flightDir    string
 }
 
 func run(args []string) error {
@@ -149,6 +150,7 @@ func run(args []string) error {
 	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file (empty: stdout summary only)")
 	fs.StringVar(&cfg.addr, "addr", "", "target an external server instead of the in-process one")
 	fs.StringVar(&cfg.tenant, "tenant", "default", "tenant name sent in the MsgHello handshake")
+	fs.StringVar(&cfg.flightDir, "flight-dir", "", "trace the in-process server and write SLO-breach flight bundles into this directory")
 	logLevel := fs.String("log-level", "warn", "structured-log level on stderr: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -160,9 +162,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	log := telemetry.NewLogger(os.Stderr, "loadgen", level)
+	logRing := telemetry.NewLogRing(os.Stderr, 256)
+	log := telemetry.NewLogger(logRing, "loadgen", level)
 
-	rep, err := runLoad(cfg, log)
+	rep, err := runLoad(cfg, log, logRing)
 	if err != nil {
 		return err
 	}
@@ -199,7 +202,7 @@ type expected struct {
 
 // runLoad trains (in self mode), boots the server, fires the workload,
 // and assembles the report.
-func runLoad(cfg config, log *telemetry.Logger) (*ServeReport, error) {
+func runLoad(cfg config, log *telemetry.Logger, logs *telemetry.LogRing) (*ServeReport, error) {
 	spec, err := dataset.ByName(strings.ToUpper(cfg.dataset))
 	if err != nil {
 		return nil, err
@@ -253,6 +256,32 @@ func runLoad(cfg config, log *telemetry.Logger) (*ServeReport, error) {
 		return nil, err
 	}
 
+	// -flight-dir turns on the attribution plane: the in-process server
+	// roots serve_query spans (tail-sampled on slowness and shedding),
+	// the tsdb windows every counter per round, and a breached client
+	// SLO or leak verdict dumps a flight bundle. Off by default so the
+	// committed BENCH_serve baseline measures the untraced path.
+	var tracer *telemetry.Tracer
+	var sampler *telemetry.Sampler
+	var series *telemetry.Series
+	var flight *telemetry.FlightRecorder
+	if cfg.flightDir != "" {
+		tracer = telemetry.NewTracer(4096, reg)
+		sampler = telemetry.NewSampler(reg, telemetry.SamplerConfig{})
+		tracer.SetSampler(sampler)
+		series = telemetry.NewSeries(reg, telemetry.SeriesConfig{})
+		flight, err = telemetry.NewFlightRecorder(telemetry.FlightConfig{Dir: cfg.flightDir}, telemetry.FlightSources{
+			Registry: reg, Tracer: tracer, Sampler: sampler, Series: series, Logs: logs,
+		}, log)
+		if err != nil {
+			return nil, err
+		}
+		flight.WatchSLO("serve_client", slo)
+		flight.WatchLeaks(leak)
+		life.Defer(flight.Check)
+		log.Info("flight recorder armed", "dir", cfg.flightDir)
+	}
+
 	addr := cfg.addr
 	if cfg.addr == "" {
 		registry := serve.NewRegistry()
@@ -267,6 +296,7 @@ func runLoad(cfg config, log *telemetry.Logger) (*ServeReport, error) {
 			QueueDepth:   cfg.queueDepth,
 			SLOObjective: cfg.sloObjective,
 			Telemetry:    reg,
+			Tracer:       tracer,
 			Logger:       log,
 		})
 		if err != nil {
@@ -348,6 +378,9 @@ func runLoad(cfg config, log *telemetry.Logger) (*ServeReport, error) {
 		default:
 		}
 		leak.SampleStable()
+		slo.Collect()
+		series.Sample()
+		flight.Check()
 	}
 	rep.WallSecs = time.Since(start).Seconds()
 

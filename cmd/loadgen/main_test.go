@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"edgehd/internal/telemetry"
@@ -43,6 +44,57 @@ func TestRunLoadEndToEnd(t *testing.T) {
 	}
 	if rep.SLOAttainment < 0 || rep.SLOAttainment > 1 {
 		t.Fatalf("slo attainment %v outside [0,1]", rep.SLOAttainment)
+	}
+}
+
+func TestRunLoadFlightBundleOnBreach(t *testing.T) {
+	// An impossible latency objective breaches the client SLO after the
+	// first round, so the armed flight recorder must dump exactly one
+	// bundle carrying traced serve_query spans.
+	dir := t.TempDir()
+	err := run([]string{
+		"-queries", "400", "-conns", "2", "-rounds", "2",
+		"-dim", "512", "-train", "120",
+		"-flight-dir", dir, "-slo-objective", "0.000000001",
+		"-log-level", "error",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundles []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "flight-") {
+			bundles = append(bundles, e.Name())
+		}
+	}
+	if len(bundles) != 1 || !strings.HasSuffix(bundles[0], "-slo_serve_client") {
+		t.Fatalf("bundles = %v, want one -slo_serve_client", bundles)
+	}
+	var traces struct {
+		RecentSpans []telemetry.Span `json:"recent_spans"`
+	}
+	data, err := os.ReadFile(filepath.Join(dir, bundles[0], "traces.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &traces); err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for _, s := range traces.RecentSpans {
+		if s.Name == "serve_query" {
+			served++
+			if s.Attr("tenant") != "default" {
+				t.Fatalf("serve_query span without tenant attr: %+v", s)
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("bundle holds no serve_query spans")
 	}
 }
 

@@ -78,6 +78,8 @@ func run(args []string) error {
 	matrix := fs.Bool("matrix", false, "soak-cycle the full adversarial scenario matrix")
 	benchOut := fs.String("bench-out", "", "with -scenario/-matrix: write the final BENCH_scenario.json report here")
 	logLevel := fs.String("log-level", "info", "structured-log level on stderr: debug, info, warn or error")
+	flightDir := fs.String("flight-dir", "", "write SLO-breach flight bundles (tsdb window, kept traces, logs, profiles) into this directory")
+	sloObjective := fs.Float64("slo-objective", 0.05, "inference-latency SLO objective in seconds (95% of inferences must finish within it); lower it to force a breach deterministically")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,7 +93,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	log := telemetry.NewLogger(os.Stderr, "soak", level)
+	logRing := telemetry.NewLogRing(os.Stderr, 512)
+	log := telemetry.NewLogger(logRing, "soak", level)
 
 	if *scenarioName != "" || *matrix {
 		if *scenarioName != "" && *matrix {
@@ -120,6 +123,14 @@ func run(args []string) error {
 	// The ring must retain at least one full cycle of spans.
 	reg := telemetry.New()
 	tracer := telemetry.NewTracer(4096, reg)
+	// Retention-only tail sampler: head admission stays at 100% because
+	// reconcileInfer demands a trace id on every single inference, while
+	// slow/errored roots are additionally kept for the flight bundle.
+	sampler := telemetry.NewSampler(reg, telemetry.SamplerConfig{})
+	tracer.SetSampler(sampler)
+	// The in-process TSDB is sampled once per cycle, so a flight bundle
+	// carries the per-cycle trajectory of every counter and quantile.
+	series := telemetry.NewSeries(reg, telemetry.SeriesConfig{})
 	det := telemetry.NewLeakDetector(reg, *warmup)
 	cycleGauge := reg.Gauge("soak_cycles_total")
 	reconciled := reg.Counter("soak_wire_reconciliations_total")
@@ -127,7 +138,7 @@ func run(args []string) error {
 	// Routed-inference latency objective, refreshed every cycle so the
 	// slo_* gauges are live on /metrics and land in the final snapshot.
 	slo, err := telemetry.NewSLO(reg, "infer_latency",
-		reg.Histogram("span_seconds", telemetry.L("span", "infer")), 0.05, 0.95)
+		reg.Histogram("span_seconds", telemetry.L("span", "infer")), *sloObjective, 0.95)
 	if err != nil {
 		return err
 	}
@@ -143,7 +154,8 @@ func run(args []string) error {
 		return nil
 	})
 	if *debugAddr != "" {
-		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer, health)
+		srv, err := telemetry.ServeDebug(*debugAddr, reg, tracer, health,
+			telemetry.DebugOptions{Series: series, Sampler: sampler})
 		if err != nil {
 			return err
 		}
@@ -166,13 +178,32 @@ func run(args []string) error {
 			}
 		})
 	}
+	var profiles *telemetry.ProfileRing
 	if *profileDir != "" {
-		ring, err := telemetry.NewProfileRing(*profileDir, 8, reg, log)
+		profiles, err = telemetry.NewProfileRing(*profileDir, 8, reg, log)
 		if err != nil {
 			return err
 		}
-		life.Defer(ring.Start(10*time.Second, 0))
+		life.Defer(profiles.Start(10*time.Second, 0))
 		log.Info("profile ring capturing", "dir", *profileDir)
+	}
+	var flight *telemetry.FlightRecorder
+	if *flightDir != "" {
+		flight, err = telemetry.NewFlightRecorder(telemetry.FlightConfig{Dir: *flightDir}, telemetry.FlightSources{
+			Registry: reg, Tracer: tracer, Sampler: sampler,
+			Series: series, Logs: logRing, Profiles: profiles,
+		}, log)
+		if err != nil {
+			return err
+		}
+		flight.WatchSLO("infer_latency", slo)
+		flight.WatchHealth(health)
+		flight.WatchLeaks(det)
+		// The soak's cadence is its cycle loop, not a wall-clock
+		// collector: watchers are evaluated once per cycle (below) and a
+		// final time at teardown.
+		life.Defer(flight.Check)
+		log.Info("flight recorder armed", "dir", *flightDir)
 	}
 
 	// Federated workload: one dataset sharded across the workers.
@@ -269,6 +300,8 @@ func run(args []string) error {
 		firstCycleDone = true
 		slo.Collect()
 		det.SampleStable()
+		series.Sample()
+		flight.Check()
 		log.Debug("cycle complete", "cycle", cycle)
 	}
 

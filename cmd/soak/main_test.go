@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,6 +30,143 @@ func TestSoakRunSmoke(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("snapshot missing %s", want)
 		}
+	}
+}
+
+func TestSoakFlightBundleOnInjectedBreach(t *testing.T) {
+	// An impossible latency objective breaches the SLO on the first
+	// cycle's flight check, which must deterministically produce exactly
+	// one bundle whose tsdb window, trace trees, and wire-byte
+	// accounting all reconcile.
+	dir := t.TempDir()
+	err := run([]string{
+		"-cycles", "5", "-warmup", "1",
+		"-train", "80", "-dim", "500", "-infer", "4", "-workers", "2",
+		"-flight-dir", dir, "-slo-objective", "0.000000001",
+		"-log-level", "error",
+	})
+	if err != nil {
+		t.Fatalf("soak run failed: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "flight-") {
+			if bundle != "" {
+				t.Fatalf("more than one bundle for one breach: %s and %s", bundle, e.Name())
+			}
+			bundle = e.Name()
+		}
+	}
+	if bundle == "" || !strings.HasSuffix(bundle, "-slo_infer_latency") {
+		t.Fatalf("no slo_infer_latency bundle in %v", entries)
+	}
+	bdir := filepath.Join(dir, bundle)
+
+	var manifest telemetry.FlightManifest
+	mustJSON(t, filepath.Join(bdir, "manifest.json"), &manifest)
+	if manifest.Schema != telemetry.FlightSchema || manifest.Reason != "slo_infer_latency" {
+		t.Fatalf("manifest = %+v", manifest)
+	}
+	if manifest.Series == 0 || manifest.RecentSpans == 0 {
+		t.Fatalf("empty bundle counts: %+v", manifest)
+	}
+
+	// The tsdb window must hold the cycle-sampled soak series.
+	var tsdb struct {
+		WindowSeconds float64               `json:"window_seconds"`
+		Series        []telemetry.SeriesData `json:"series"`
+	}
+	mustJSON(t, filepath.Join(bdir, "tsdb.json"), &tsdb)
+	if len(tsdb.Series) != manifest.Series || tsdb.WindowSeconds <= 0 {
+		t.Fatalf("tsdb.json: %d series, window %v", len(tsdb.Series), tsdb.WindowSeconds)
+	}
+	found := false
+	for _, s := range tsdb.Series {
+		if s.Name == "soak_wire_reconciliations_total" {
+			found = true
+			if len(s.Points) == 0 || s.Last == 0 {
+				t.Fatalf("reconciliation series empty: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tsdb window missing soak_wire_reconciliations_total")
+	}
+
+	// Byte accounting must reconcile inside the bundle itself: for every
+	// traced inference among the recent spans, the infer_hop wire bytes
+	// sum to the root infer span's wire_bytes attribute.
+	var traces struct {
+		Kept []struct {
+			Reason string           `json:"reason"`
+			Spans  []telemetry.Span `json:"spans"`
+		} `json:"kept"`
+		RecentSpans []telemetry.Span `json:"recent_spans"`
+		TotalSpans  int64            `json:"total_spans"`
+	}
+	mustJSON(t, filepath.Join(bdir, "traces.json"), &traces)
+	if traces.TotalSpans == 0 || len(traces.RecentSpans) != manifest.RecentSpans {
+		t.Fatalf("trace accounting: total=%d recent=%d manifest=%d",
+			traces.TotalSpans, len(traces.RecentSpans), manifest.RecentSpans)
+	}
+	attrInt := func(s telemetry.Span, key string) (int64, bool) {
+		// JSON round-trips numeric attrs as float64.
+		v, ok := s.Attr(key).(float64)
+		return int64(v), ok
+	}
+	rootBytes := map[uint64]int64{}
+	hopBytes := map[uint64]int64{}
+	for _, s := range traces.RecentSpans {
+		switch s.Name {
+		case "infer":
+			if v, ok := attrInt(s, "wire_bytes"); ok {
+				rootBytes[s.TraceID] = v
+			}
+		case "infer_hop":
+			if v, ok := attrInt(s, "wire_bytes"); !ok {
+				t.Fatalf("infer_hop span without wire_bytes: %+v", s)
+			} else {
+				hopBytes[s.TraceID] += v
+			}
+		}
+	}
+	if len(rootBytes) == 0 {
+		t.Fatal("bundle retains no completed infer traces")
+	}
+	for id, want := range rootBytes {
+		if hopBytes[id] != want {
+			t.Fatalf("trace %016x: hop bytes %d != root wire bytes %d", id, hopBytes[id], want)
+		}
+	}
+
+	// The OpenMetrics snapshot parses and carries the soak counters.
+	om, err := os.Open(filepath.Join(bdir, "metrics.om"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer om.Close()
+	exp, err := telemetry.ParseOpenMetrics(om)
+	if err != nil || !exp.Terminated {
+		t.Fatalf("metrics.om: %v terminated=%v", err, exp.Terminated)
+	}
+	if v, ok := exp.Value("soak_cycles_total"); !ok || v < 1 {
+		t.Fatalf("metrics.om soak_cycles_total = %v ok=%v", v, ok)
+	}
+}
+
+// mustJSON decodes one bundle file or fails the test.
+func mustJSON(t *testing.T, path string, out interface{}) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("%s: %v", path, err)
 	}
 }
 

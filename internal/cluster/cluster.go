@@ -584,16 +584,24 @@ func Federated(cfg Config, shards []Shard) ([]*Worker, *core.Model, error) {
 	}
 	close(release)
 	wg.Wait()
-	rootSpan.SetInt("workers", int64(len(shards))).End()
+	roundErr := mergeErr
+	if roundErr == nil {
+		select {
+		case roundErr = <-errs:
+		default:
+		}
+	}
+	rootSpan.SetInt("workers", int64(len(shards)))
+	if roundErr != nil {
+		// A failed round ends its root span with the error attached, so a
+		// tail sampler keeps the whole round's trace for the post-mortem.
+		rootSpan.SetStr("error", roundErr.Error())
+	}
+	rootSpan.End()
 	cfg.Logger.WithComponent("cluster").WithTrace(root).
 		Debug("federated round complete", "workers", len(shards), "merged", agg.Received())
-	if mergeErr != nil {
-		return nil, nil, mergeErr
-	}
-	select {
-	case err := <-errs:
-		return nil, nil, err
-	default:
+	if roundErr != nil {
+		return nil, nil, roundErr
 	}
 	return workers, agg.Global(), nil
 }

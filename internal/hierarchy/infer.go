@@ -96,6 +96,14 @@ func (s *System) Infer(x []float64, entry int) (InferResult, error) {
 		hop := s.tracer.StartSpan("infer_hop", hopCtx)
 		q, err := s.Query(cur.id, x)
 		if err != nil {
+			// End both spans with the error attached: the trace stays
+			// visible in the ring, and a tail sampler retains it under its
+			// "error" reason instead of it vanishing unfinished.
+			hop.SetInt("node", int64(cur.id)).SetStr("error", err.Error()).End()
+			if sp != nil {
+				sp.SetStr("error", err.Error())
+			}
+			sp.End()
 			return InferResult{}, err
 		}
 		hopBytes := s.InferCommBytes(cur.id)

@@ -114,6 +114,7 @@ func Default(modPath string) *Config {
 			"Registry", "Counter", "Gauge", "Histogram", "Tracer", "SpanHandle",
 			"Collector", "Logger", "Health", "Heartbeat", "SLO", "ProfileRing",
 			"LeakDetector", "Lifecycle",
+			"Series", "Sampler", "FlightRecorder", "LogRing",
 		},
 		LogStylePackages: []string{
 			p("internal/telemetry"),

@@ -248,6 +248,11 @@ func Run(sc Scenario, p Params) Result {
 
 	reg := telemetry.New()
 	tracer := telemetry.NewTracer(4096, reg)
+	// Retention-only tail sampler: every trace is head-admitted (the
+	// reconciliation pass needs a trace id on each inference), while
+	// slow and errored roots are additionally retained — the adversarial
+	// phases then leave their worst traces inspectable after the run.
+	tracer.SetSampler(telemetry.NewSampler(reg, telemetry.SamplerConfig{}))
 	det := telemetry.NewLeakDetector(reg, 1)
 	det.SampleStable()
 

@@ -82,6 +82,13 @@ type Config struct {
 	// Telemetry publishes serve_* metrics and the serving SLO. Nil
 	// disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Tracer opens one serve_query root span per admitted query
+	// (tenant, class, batch size; admission-to-reply duration) and a
+	// serve_shed span per rejection. Nil disables tracing. When the
+	// tracer carries a telemetry.Sampler, head-dropped queries skip span
+	// materialization entirely and slow/errored/shed queries are
+	// retained for /debug/traces and flight bundles.
+	Tracer *telemetry.Tracer
 	// Logger receives structured connection/drain records. Nil silences.
 	Logger *telemetry.Logger
 }
@@ -142,7 +149,8 @@ type request struct {
 	seq   int32
 	q     hdc.Bipolar
 	model Model
-	stop  func() // latency timer, armed at admission
+	stop  func()                // latency timer, armed at admission
+	sp    *telemetry.SpanHandle // serve_query root span (nil untraced)
 }
 
 // Server accepts wire-protocol connections and answers queries in
@@ -175,12 +183,13 @@ type Server struct {
 	replied  atomic.Uint64
 	batches  atomic.Uint64
 
-	queries   *telemetry.Counter
-	rejects   *telemetry.Counter
-	connGauge *telemetry.Gauge
-	batchHist *telemetry.Histogram
-	latHist   *telemetry.Histogram
-	slo       *telemetry.SLO
+	queries    *telemetry.Counter
+	rejects    *telemetry.Counter
+	connGauge  *telemetry.Gauge
+	queueGauge *telemetry.Gauge
+	batchHist  *telemetry.Histogram
+	latHist    *telemetry.Histogram
+	slo        *telemetry.SLO
 }
 
 // NewServer validates cfg, registers the serve_* metric family, and
@@ -204,9 +213,12 @@ func NewServer(cfg Config) (*Server, error) {
 		reg.SetHelp("serve_connections", "currently open serving connections")
 		reg.SetHelp("serve_batch_size", "queries coalesced per dispatched batch")
 		reg.SetHelp("serve_latency_seconds", "admission-to-reply latency of served queries")
+		reg.SetHelp("serve_queue_depth", "queries sitting in the admission queue")
+		reg.SetHelp("serve_tenant_queries_total", "query frames received per tenant")
 		s.queries = reg.Counter("serve_queries_total")
 		s.rejects = reg.Counter("serve_rejects_total")
 		s.connGauge = reg.Gauge("serve_connections")
+		s.queueGauge = reg.Gauge("serve_queue_depth")
 		s.batchHist = reg.Histogram("serve_batch_size")
 		s.latHist = reg.Histogram("serve_latency_seconds")
 		s.slo, err = telemetry.NewSLO(reg, "serve_latency", s.latHist, cfg.SLOObjective, cfg.SLOTarget)
@@ -283,7 +295,11 @@ type srvConn struct {
 	nc        net.Conn
 	tenant    string
 	ioTimeout time.Duration
-	wmu       sync.Mutex
+	// queries is the connection's serve_tenant_queries_total{tenant}
+	// counter, resolved once at handshake so the query loop never takes
+	// the registry's label-lookup path.
+	queries *telemetry.Counter
+	wmu     sync.Mutex
 }
 
 func (c *srvConn) write(m wire.Message) error {
@@ -339,6 +355,9 @@ func (s *Server) ServeConn(nc net.Conn) error {
 		return c.fail(fmt.Errorf("serve: unknown tenant %q", hello.Text))
 	}
 	c.tenant = hello.Text
+	if reg := s.cfg.Telemetry; reg != nil {
+		c.queries = reg.Counter("serve_tenant_queries_total", telemetry.L("tenant", c.tenant))
+	}
 	s.log.Debug("connection opened", "tenant", c.tenant)
 
 	for {
@@ -355,6 +374,7 @@ func (s *Server) ServeConn(nc net.Conn) error {
 		case wire.MsgDone:
 			return nil
 		case wire.MsgQuery:
+			c.queries.Inc()
 			// Per-query registry snapshot: a copy-on-write Set between
 			// two queries on this connection takes effect immediately.
 			model, ok := s.cfg.Registry.Get(c.tenant)
@@ -368,6 +388,11 @@ func (s *Server) ServeConn(nc net.Conn) error {
 			if !s.admit(request{c: c, seq: msg.Header.Batch, q: msg.Bipolar, model: model}) {
 				s.rejected.Add(1)
 				s.rejects.Inc()
+				// A shed-attributed root span: a tail sampler retains the
+				// trace under its "shed" reason, so /debug/traces and flight
+				// bundles show who was turned away and when.
+				s.cfg.Tracer.StartSpan("serve_shed", s.cfg.Tracer.NewTrace()).
+					SetStr("tenant", c.tenant).SetInt("shed", 1).End()
 				if err := c.write(wire.Message{Header: wire.Header{Type: wire.MsgBusy, Batch: msg.Header.Batch}}); err != nil {
 					return fmt.Errorf("serve: busy reply: %w", err)
 				}
@@ -389,13 +414,21 @@ func (s *Server) admit(r request) bool {
 		return false
 	}
 	s.inflight.Add(1)
-	r.stop = s.latHist.StartTimer()
+	// One trace per admitted query; a head-sampling tracer hands out a
+	// zero context here and both the exemplar (traceID 0) and the span
+	// (nil handle) quietly degrade to the untraced path.
+	tc := s.cfg.Tracer.NewTrace()
+	r.stop = s.latHist.StartTimerExemplar(tc.TraceID)
+	r.sp = s.cfg.Tracer.StartSpan("serve_query", tc)
+	r.sp.SetStr("tenant", r.c.tenant)
 	select {
 	case s.queue <- r:
 		s.admitted.Add(1)
 		s.queries.Inc()
+		s.queueGauge.Add(1)
 		return true
 	default:
+		// Never Ended, the abandoned span is simply never recorded.
 		s.inflight.Done()
 		return false
 	}
@@ -408,6 +441,7 @@ func (s *Server) dispatch() {
 		var first request
 		select {
 		case first = <-s.queue:
+			s.queueGauge.Add(-1)
 		case <-s.stop:
 			return
 		}
@@ -427,6 +461,7 @@ func (s *Server) collect(first request) []request {
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case r := <-s.queue:
+			s.queueGauge.Add(-1)
 			batch = append(batch, r)
 		case <-timer.C:
 			return batch
@@ -461,10 +496,14 @@ func (s *Server) runBatch(batch []request) {
 		})
 		if err == nil {
 			s.replied.Add(1)
+			r.sp.SetInt("class", int64(res[i].class)).SetInt("batch_size", int64(len(batch)))
 		} else {
+			// The error attribute makes the root span a tail-sampler keep.
+			r.sp.SetStr("error", err.Error())
 			s.log.Warn("reply write failed", "tenant", r.c.tenant, "seq", r.seq, "error", err.Error())
 		}
 		r.stop()
+		r.sp.End()
 		s.inflight.Done()
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"edgehd/internal/hdc"
 	"edgehd/internal/parallel"
 	"edgehd/internal/rng"
+	"edgehd/internal/telemetry"
 	"edgehd/internal/wire"
 )
 
@@ -404,6 +405,119 @@ func TestReadyAndIdempotentClose(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
+}
+
+func TestServeTelemetryPlane(t *testing.T) {
+	// The full observability surface of the serving path: per-tenant
+	// query counters, the admission queue-depth gauge, serve_query root
+	// spans, and latency observations carrying trace-linked exemplars.
+	model := testModel(t, 7, 3)
+	reg := NewRegistry()
+	for _, tenant := range []string{"alpha", "beta"} {
+		if err := reg.Set(tenant, model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	treg := telemetry.New()
+	tracer := telemetry.NewTracer(256, treg)
+	smp := telemetry.NewSampler(treg, telemetry.SamplerConfig{})
+	tracer.SetSampler(smp)
+	srv, addr := startServer(t, Config{
+		Registry: reg, Pool: parallel.New(2), MaxBatch: 8, QueueDepth: 256,
+		Telemetry: treg, Tracer: tracer,
+	})
+	qa, qb := testQueries(20), testQueries(5)
+	ra := pipeline(t, dialServe(t, addr, "alpha"), qa)
+	rb := pipeline(t, dialServe(t, addr, "beta"), qb)
+	if len(ra) != len(qa) || len(rb) != len(qb) {
+		t.Fatalf("replies %d/%d, want %d/%d", len(ra), len(rb), len(qa), len(qb))
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if v := treg.Counter("serve_tenant_queries_total", telemetry.L("tenant", "alpha")).Value(); v != int64(len(qa)) {
+		t.Fatalf("alpha tenant counter = %d, want %d", v, len(qa))
+	}
+	if v := treg.Counter("serve_tenant_queries_total", telemetry.L("tenant", "beta")).Value(); v != int64(len(qb)) {
+		t.Fatalf("beta tenant counter = %d, want %d", v, len(qb))
+	}
+	if d := treg.Gauge("serve_queue_depth").Value(); d != 0 {
+		t.Fatalf("queue depth after drain = %v, want 0", d)
+	}
+	// Every admitted query ended a serve_query root span.
+	spanHist := treg.Histogram("span_seconds", telemetry.L("span", "serve_query"))
+	if got := spanHist.Count(); got != int64(len(qa)+len(qb)) {
+		t.Fatalf("serve_query spans = %d, want %d", got, len(qa)+len(qb))
+	}
+	last := tracer.Last("serve_query")
+	if last == nil || last.TraceID == 0 || last.ParentID != 0 {
+		t.Fatalf("serve_query span not a traced root: %+v", last)
+	}
+	if tn, ok := last.Attr("tenant").(string); !ok || (tn != "alpha" && tn != "beta") {
+		t.Fatalf("serve_query tenant attr = %v", last.Attr("tenant"))
+	}
+	if _, ok := last.Int64Attr("batch_size"); !ok {
+		t.Fatalf("serve_query missing batch_size attr: %+v", last.Attrs)
+	}
+	// The latency histogram carries exemplars linking buckets to traces.
+	lat := treg.Histogram("serve_latency_seconds")
+	if lat.Count() != int64(len(qa)+len(qb)) {
+		t.Fatalf("latency observations = %d", lat.Count())
+	}
+	found := false
+	for _, ex := range lat.Exemplars(telemetry.ExportBounds()) {
+		if ex.Valid && ex.TraceID != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("serve latency carries no trace exemplar")
+	}
+}
+
+func TestServeShedKeepsTraceAndCounts(t *testing.T) {
+	// A query shed with MsgBusy must surface everywhere at once: the
+	// reject counter, a serve_shed root span, and a sampler keep with
+	// reason "shed".
+	bm := &blockingModel{started: make(chan struct{}, 8), release: make(chan struct{})}
+	reg := NewRegistry()
+	if err := reg.Set("default", bm); err != nil {
+		t.Fatal(err)
+	}
+	treg := telemetry.New()
+	tracer := telemetry.NewTracer(64, treg)
+	smp := telemetry.NewSampler(treg, telemetry.SamplerConfig{})
+	tracer.SetSampler(smp)
+	_, addr := startServer(t, Config{
+		Registry: reg, MaxBatch: 1, QueueDepth: 1, Telemetry: treg, Tracer: tracer,
+	})
+	nc := dialServe(t, addr, "default")
+	q := testQueries(1)[0]
+	send := func(seq int32) {
+		if err := wire.Write(nc, wire.Message{Header: wire.Header{Type: wire.MsgQuery, Batch: seq}, Bipolar: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(1)
+	<-bm.started
+	send(2)
+	send(3) // queue full: shed
+	msg, err := wire.Read(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Header.Type != wire.MsgBusy {
+		t.Fatalf("expected MsgBusy, got type %d", msg.Header.Type)
+	}
+	if v := treg.Counter("serve_rejects_total").Value(); v != 1 {
+		t.Fatalf("rejects counter = %d, want 1", v)
+	}
+	kept := smp.Kept()
+	if len(kept) != 1 || kept[0].Reason != telemetry.KeepShed || kept[0].Root != "serve_shed" {
+		t.Fatalf("sampler keeps = %+v, want one serve_shed with reason shed", kept)
+	}
+	close(bm.release)
 }
 
 func TestRegistryCopyOnWrite(t *testing.T) {

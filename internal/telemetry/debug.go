@@ -135,14 +135,41 @@ func healthHandler(eval func() HealthStatus) http.HandlerFunc {
 	}
 }
 
+// DebugOptions attaches the diagnosis plane to a debug mux: the
+// time-series store behind /debug/tsdb (and the index's sparkline
+// table), and the tail sampler behind /debug/traces (kept traces) and
+// the /debug/trace/{id} fallback once the tracer's ring has wrapped.
+type DebugOptions struct {
+	Series  *Series
+	Sampler *Sampler
+}
+
+// mergeDebugOptions folds the variadic options (a backward-compatible
+// extension point — existing call sites pass none) into one.
+func mergeDebugOptions(opts []DebugOptions) DebugOptions {
+	var out DebugOptions
+	for _, o := range opts {
+		if o.Series != nil {
+			out.Series = o.Series
+		}
+		if o.Sampler != nil {
+			out.Sampler = o.Sampler
+		}
+	}
+	return out
+}
+
 // NewDebugMux builds the debug-server handler: the OpenMetrics
 // exposition at /metrics, liveness and readiness probes at /healthz
 // and /readyz (h may be nil: both then report ok with no components),
 // expvar at /debug/vars, pprof under /debug/pprof/, the registry
 // snapshot at /debug/metrics, the retained trace spans at
-// /debug/spans, and assembled per-trace span trees at
-// /debug/trace/{trace-id} (hex or decimal id).
-func NewDebugMux(reg *Registry, tr *Tracer, h *Health) *http.ServeMux {
+// /debug/spans, assembled per-trace span trees at
+// /debug/trace/{trace-id} (hex or decimal id), and — when DebugOptions
+// attach them — the time-series store at /debug/tsdb and the tail
+// sampler's kept traces at /debug/traces.
+func NewDebugMux(reg *Registry, tr *Tracer, h *Health, opts ...DebugOptions) *http.ServeMux {
+	opt := mergeDebugOptions(opts)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", ContentTypeOpenMetrics)
@@ -160,6 +187,11 @@ func NewDebugMux(reg *Registry, tr *Tracer, h *Health) *http.ServeMux {
 			}
 		}
 		tree := tr.TraceTree(id)
+		if tree == nil {
+			// The ring may have wrapped past the trace; the tail
+			// sampler keeps the interesting ones longer.
+			tree = AssembleTraceTree(opt.Sampler.Trace(id))
+		}
 		if tree == nil {
 			writeJSONError(w, http.StatusNotFound, fmt.Sprintf("telemetry: no retained spans for trace %016x", id))
 			return
@@ -191,20 +223,91 @@ func NewDebugMux(reg *Registry, tr *Tracer, h *Health) *http.ServeMux {
 			Spans []Span `json:"spans"`
 		}{Total: tr.Total(), Spans: tr.Spans()})
 	})
+	mux.HandleFunc("/debug/tsdb", func(w http.ResponseWriter, req *http.Request) {
+		if opt.Series == nil {
+			writeJSONError(w, http.StatusNotFound, "telemetry: no time-series store attached")
+			return
+		}
+		q := req.URL.Query()
+		window := time.Duration(0)
+		if ws := q.Get("window"); ws != "" {
+			var err error
+			if window, err = time.ParseDuration(ws); err != nil {
+				writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("telemetry: bad window %q: %v", ws, err))
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		name := q.Get("series")
+		if name == "" {
+			_ = enc.Encode(struct {
+				Series []SeriesInfo `json:"series"`
+			}{Series: opt.Series.List()})
+			return
+		}
+		data, ok := opt.Series.Query(name, window)
+		if !ok {
+			writeJSONError(w, http.StatusNotFound, fmt.Sprintf("telemetry: unknown series %q", name))
+			return
+		}
+		_ = enc.Encode(data)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		if opt.Sampler == nil {
+			writeJSONError(w, http.StatusNotFound, "telemetry: no tail sampler attached")
+			return
+		}
+		kept := opt.Sampler.Kept()
+		type keptSummary struct {
+			TraceHex   string  `json:"trace_id"`
+			Root       string  `json:"root"`
+			Reason     string  `json:"reason"`
+			DurationNS int64   `json:"duration_ns"`
+			Threshold  float64 `json:"threshold_seconds,omitempty"`
+			Spans      int     `json:"spans"`
+		}
+		out := make([]keptSummary, 0, len(kept))
+		for _, kt := range kept {
+			out = append(out, keptSummary{
+				TraceHex:   kt.TraceHex,
+				Root:       kt.Root,
+				Reason:     kt.Reason,
+				DurationNS: kt.DurationNS,
+				Threshold:  kt.ThresholdSeconds,
+				Spans:      len(kt.Spans),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Kept []keptSummary `json:"kept"`
+		}{Kept: out})
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		fmt.Fprint(w, "edgehd debug server\n\n"+
-			"/metrics           OpenMetrics exposition\n"+
+			"/metrics           OpenMetrics exposition (with exemplars)\n"+
 			"/healthz           liveness probes (JSON, 503 when failing)\n"+
 			"/readyz            readiness probes (JSON, 503 when failing)\n"+
 			"/debug/metrics     JSON metrics snapshot\n"+
 			"/debug/spans       recent trace spans\n"+
 			"/debug/trace/{id}  assembled trace tree (hex id)\n"+
+			"/debug/traces      tail-sampled kept traces\n"+
+			"/debug/tsdb        time-series store (?series=NAME&window=60s)\n"+
 			"/debug/vars        expvar\n"+
 			"/debug/pprof/      pprof profiles\n")
+		if rows := opt.Series.Sparklines(0, 32); len(rows) > 0 {
+			fmt.Fprint(w, "\nrecent series (oldest→newest):\n")
+			for _, row := range rows {
+				fmt.Fprintf(w, "%-52s %-32s last=%s\n", row.Name, row.Spark, formatValue(row.Last))
+			}
+		}
 	})
 	return mux
 }
@@ -225,12 +328,12 @@ func (d *DebugServer) Close() error { return d.srv.Close() }
 // "127.0.0.1:0") serving NewDebugMux(reg, tr, h) in a background
 // goroutine (h may be nil — the health endpoints then report ok). The
 // caller owns the returned server and should Close it.
-func ServeDebug(addr string, reg *Registry, tr *Tracer, h *Health) (*DebugServer, error) {
+func ServeDebug(addr string, reg *Registry, tr *Tracer, h *Health, opts ...DebugOptions) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: debug listen on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewDebugMux(reg, tr, h)}
+	srv := &http.Server{Handler: NewDebugMux(reg, tr, h, opts...)}
 	// Serve blocks until Close shuts the listener down, which is the
 	// goroutine's bounded lifetime — there is no separate signal to tie
 	// it to.

@@ -1,0 +1,726 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeriesSampleQueryAndRates(t *testing.T) {
+	reg := New()
+	c := reg.Counter("ops_total")
+	g := reg.Gauge("depth")
+	h := reg.Histogram("lat_seconds")
+	s := NewSeries(reg, SeriesConfig{Points: 8})
+	for i := 0; i < 3; i++ {
+		c.Add(10)
+		g.Set(float64(i))
+		h.Observe(0.01)
+		s.Sample()
+	}
+	d, ok := s.Query("ops_total", 0)
+	if !ok || d.Kind != seriesCounter {
+		t.Fatalf("ops_total query = %+v ok=%v", d, ok)
+	}
+	if len(d.Points) != 3 || d.Last != 30 || d.Delta != 20 {
+		t.Fatalf("counter series = %+v (want 3 points, last 30, delta 20)", d)
+	}
+	if d.RatePerSec <= 0 {
+		t.Fatalf("counter rate = %v, want positive", d.RatePerSec)
+	}
+	if d, ok = s.Query("depth", 0); !ok || d.Kind != seriesGauge || d.Last != 2 || d.Delta != 0 {
+		t.Fatalf("gauge series = %+v ok=%v", d, ok)
+	}
+	for _, sub := range []string{":p50", ":p95", ":p99", ":count"} {
+		if _, ok := s.Query("lat_seconds"+sub, 0); !ok {
+			t.Fatalf("histogram sub-series %q missing", sub)
+		}
+	}
+	if d, _ := s.Query("lat_seconds:count", 0); d.Kind != seriesCounter || d.Last != 3 {
+		t.Fatalf("hist count sub-series = %+v", d)
+	}
+	if _, ok := s.Query("nope", 0); ok {
+		t.Fatal("unknown series must miss")
+	}
+	// A window narrower than the sampling gaps keeps only the newest
+	// point (the cutoff anchors on the last timestamp).
+	if d, _ = s.Query("ops_total", time.Nanosecond); len(d.Points) == 3 {
+		t.Fatalf("windowed query returned all %d points", len(d.Points))
+	}
+}
+
+func TestSeriesRingWraparound(t *testing.T) {
+	reg := New()
+	g := reg.Gauge("v")
+	s := NewSeries(reg, SeriesConfig{Points: 4})
+	for i := 0; i < 7; i++ {
+		g.Set(float64(i))
+		s.Sample()
+	}
+	d, ok := s.Query("v", 0)
+	if !ok || len(d.Points) != 4 {
+		t.Fatalf("wrapped series = %+v ok=%v, want 4 points", d, ok)
+	}
+	if d.Points[0].Value != 3 || d.Last != 6 {
+		t.Fatalf("wrapped window = %+v, want values 3..6", d.Points)
+	}
+	for i := 1; i < len(d.Points); i++ {
+		if d.Points[i].UnixNano < d.Points[i-1].UnixNano {
+			t.Fatalf("points out of order: %+v", d.Points)
+		}
+	}
+}
+
+func TestSeriesMaxSeriesCap(t *testing.T) {
+	reg := New()
+	reg.Counter("a_total").Inc()
+	reg.Counter("b_total").Inc()
+	reg.Counter("c_total").Inc()
+	s := NewSeries(reg, SeriesConfig{Points: 4, MaxSeries: 2})
+	s.Sample()
+	if got := s.Len(); got != 2 {
+		t.Fatalf("series len = %d, want cap 2", got)
+	}
+	// 3 user counters + the store's own 2 self-counters, minus 2 kept.
+	if got := reg.Counter("tsdb_dropped_series_total").Value(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	if len(s.List()) != 2 {
+		t.Fatalf("list = %+v", s.List())
+	}
+}
+
+func TestSeriesSparklinesAndDump(t *testing.T) {
+	reg := New()
+	c := reg.Counter("ops_total")
+	s := NewSeries(reg, SeriesConfig{Points: 16})
+	for i := 0; i < 5; i++ {
+		c.Add(int64(i * i))
+		s.Sample()
+	}
+	rows := s.Sparklines(0, 8)
+	if len(rows) == 0 {
+		t.Fatal("no sparkline rows")
+	}
+	found := false
+	for _, r := range rows {
+		if r.Name == "ops_total" {
+			found = true
+			if r.Spark == "" || !strings.ContainsAny(r.Spark, "▁▂▃▄▅▆▇█") {
+				t.Fatalf("sparkline %q not drawn from blocks", r.Spark)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("ops_total missing from rows %+v", rows)
+	}
+	dump := s.Dump(0)
+	if len(dump) != s.Len() {
+		t.Fatalf("dump %d series, store has %d", len(dump), s.Len())
+	}
+	for i := 1; i < len(dump); i++ {
+		if dump[i].Name < dump[i-1].Name {
+			t.Fatalf("dump not sorted: %q after %q", dump[i].Name, dump[i-1].Name)
+		}
+	}
+}
+
+func TestSeriesNilSafety(t *testing.T) {
+	var s *Series
+	s.Sample()
+	if _, ok := s.Query("x", 0); ok {
+		t.Fatal("nil series query must miss")
+	}
+	if s.List() != nil || s.Len() != 0 || s.Dump(0) != nil || s.Sparklines(0, 8) != nil {
+		t.Fatal("nil series must read empty")
+	}
+	if NewSeries(nil, SeriesConfig{}) != nil {
+		t.Fatal("nil registry must yield nil series")
+	}
+}
+
+func TestSamplerHeadDecision(t *testing.T) {
+	reg := New()
+	tr := NewTracer(8, reg)
+	tr.SetSampler(NewSampler(reg, SamplerConfig{HeadRate: 4}))
+	valid := 0
+	for i := 0; i < 8; i++ {
+		tc := tr.NewTrace()
+		if tc.Valid() {
+			valid++
+			if tr.StartSpan("op", tc) == nil {
+				t.Fatal("admitted trace must get a real span handle")
+			}
+		} else if h := tr.StartSpan("op", tc); h != nil {
+			t.Fatal("head-dropped trace must not materialize spans")
+		}
+	}
+	if valid != 2 {
+		t.Fatalf("admitted %d of 8 at rate 4, want 2", valid)
+	}
+	if got := reg.Counter("sampler_head_dropped_total").Value(); got != 6 {
+		t.Fatalf("head dropped = %d, want 6", got)
+	}
+	// The tracer ring must only hold the admitted operations' spans.
+	if tr.Total() != 0 {
+		t.Fatalf("dropped StartSpan still recorded %d spans", tr.Total())
+	}
+}
+
+// primeSampler records count fast root spans through the tracer so the
+// slow rule arms with a tight threshold.
+func primeSampler(tr *Tracer, count int) {
+	for i := 0; i < count; i++ {
+		tr.record(Span{Name: "op", TraceID: uint64(0x1000 + i), SpanID: uint64(i + 1), DurationNS: 1_000_000})
+	}
+}
+
+func TestSamplerTailKeepsSlowErroredShed(t *testing.T) {
+	reg := New()
+	tr := NewTracer(64, reg)
+	smp := NewSampler(reg, SamplerConfig{MinCount: 8, Capacity: 8})
+	tr.SetSampler(smp)
+	primeSampler(tr, 16)
+	if kept := smp.Kept(); len(kept) != 0 {
+		t.Fatalf("uniform fast traces kept: %+v", kept)
+	}
+	if reg.Counter("sampler_tail_dropped_total").Value() == 0 {
+		t.Fatal("fast traces should count as tail-dropped")
+	}
+
+	tr.record(Span{Name: "op", TraceID: 0x5101, SpanID: 0x51, DurationNS: 250_000_000})
+	tr.record(Span{Name: "op", TraceID: 0xe1, SpanID: 0xe2, DurationNS: 1_000,
+		Attrs: []Attr{{Key: "error", Value: "boom"}}})
+	tr.record(Span{Name: "op", TraceID: 0x51ed, SpanID: 0x5e, DurationNS: 1_000,
+		Attrs: []Attr{{Key: "shed", Value: int64(1)}}})
+
+	kept := smp.Kept()
+	if len(kept) != 3 {
+		t.Fatalf("kept %d traces, want slow+error+shed: %+v", len(kept), kept)
+	}
+	byReason := map[string]KeptTrace{}
+	for _, kt := range kept {
+		byReason[kt.Reason] = kt
+	}
+	slow, ok := byReason[KeepSlow]
+	if !ok || slow.TraceID != 0x5101 {
+		t.Fatalf("slow keep = %+v", byReason)
+	}
+	if slow.ThresholdSeconds <= 0 || float64(slow.DurationNS)/1e9 <= slow.ThresholdSeconds {
+		t.Fatalf("slow keep threshold %v vs duration %dns inconsistent", slow.ThresholdSeconds, slow.DurationNS)
+	}
+	if byReason[KeepError].TraceID != 0xe1 || byReason[KeepShed].TraceID != 0x51ed {
+		t.Fatalf("error/shed keeps = %+v", byReason)
+	}
+	if smp.Trace(0x5101) == nil || smp.Trace(0xdead) != nil {
+		t.Fatal("kept-trace lookup wrong")
+	}
+	if reg.Counter("sampler_kept_total", L("reason", KeepSlow)).Value() != 1 {
+		t.Fatal("slow keep not counted")
+	}
+}
+
+func TestSamplerKeptRingEvictionAndRekeep(t *testing.T) {
+	reg := New()
+	tr := NewTracer(64, reg)
+	smp := NewSampler(reg, SamplerConfig{Capacity: 2})
+	tr.SetSampler(smp)
+	rec := func(id uint64) {
+		tr.record(Span{Name: "op", TraceID: id, SpanID: id, DurationNS: 1,
+			Attrs: []Attr{{Key: "error", Value: "x"}}})
+	}
+	rec(1)
+	rec(2)
+	rec(3) // evicts trace 1
+	if smp.Trace(1) != nil {
+		t.Fatal("oldest kept trace should have been evicted")
+	}
+	kept := smp.Kept()
+	if len(kept) != 2 || kept[0].TraceID != 2 || kept[1].TraceID != 3 {
+		t.Fatalf("kept after eviction = %+v", kept)
+	}
+	rec(2) // re-keep refreshes in place, no duplicate
+	if kept = smp.Kept(); len(kept) != 2 {
+		t.Fatalf("re-keep duplicated: %+v", kept)
+	}
+}
+
+func TestSamplerForceKeepAndNilSafety(t *testing.T) {
+	reg := New()
+	tr := NewTracer(16, reg)
+	smp := NewSampler(reg, SamplerConfig{})
+	tr.SetSampler(smp)
+	tc := tr.NewTrace()
+	tr.StartSpan("hop", tc.Child()).End()
+	smp.Keep(tr, tc, KeepShed)
+	kept := smp.Kept()
+	if len(kept) != 1 || kept[0].Reason != KeepShed {
+		t.Fatalf("force keep = %+v", kept)
+	}
+	smp.Keep(tr, TraceContext{TraceID: 0xbeef, SpanID: 1}, KeepError) // no spans: no-op
+	if len(smp.Kept()) != 1 {
+		t.Fatal("keeping a spanless trace must no-op")
+	}
+
+	var nilS *Sampler
+	if !nilS.admitHead() {
+		t.Fatal("nil sampler must admit")
+	}
+	nilS.Keep(tr, tc, KeepError)
+	if nilS.Kept() != nil || nilS.Trace(1) != nil {
+		t.Fatal("nil sampler must read empty")
+	}
+}
+
+func TestLogRingRetainsAndForwards(t *testing.T) {
+	var sink bytes.Buffer
+	r := NewLogRing(&sink, 3)
+	if _, err := r.Write([]byte("one\ntwo\npar")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Write([]byte("tial\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Lines(); len(got) != 3 || got[2] != "partial" {
+		t.Fatalf("lines = %q", got)
+	}
+	if sink.String() != "one\ntwo\npartial\n" {
+		t.Fatalf("forwarded = %q", sink.String())
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r.Write([]byte("x\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Lines(); len(got) != 3 || got[0] != "x" {
+		t.Fatalf("wrapped lines = %q", got)
+	}
+
+	var nilR *LogRing
+	if n, err := nilR.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("nil ring write = %d %v", n, err)
+	}
+	if nilR.Lines() != nil {
+		t.Fatal("nil ring must read empty")
+	}
+}
+
+// buildFlightFixture assembles a full diagnosis plane around one
+// registry: tracer+sampler with one errored kept trace, a sampled
+// series store, and a log ring with a couple of records.
+func buildFlightFixture(t *testing.T) (reg *Registry, src FlightSources, log *Logger) {
+	t.Helper()
+	reg = New()
+	tr := NewTracer(32, reg)
+	smp := NewSampler(reg, SamplerConfig{})
+	tr.SetSampler(smp)
+	tc := tr.NewTrace()
+	tr.StartSpan("hop", tc.Child()).SetInt("wire_bytes", 128).End()
+	tr.record(Span{Name: "infer", TraceID: tc.TraceID, SpanID: tc.SpanID, DurationNS: 5_000_000,
+		Attrs: []Attr{{Key: "error", Value: "boom"}}})
+	series := NewSeries(reg, SeriesConfig{Points: 16})
+	reg.Counter("ops_total").Add(7)
+	series.Sample()
+	series.Sample()
+	ring := NewLogRing(nil, 32)
+	log = NewLogger(ring, "test", nil)
+	log.Info("hello", "n", 1)
+	log.Warn("uh oh")
+	src = FlightSources{Registry: reg, Tracer: tr, Sampler: smp, Series: series, Logs: ring}
+	return reg, src, log
+}
+
+func TestFlightRecorderDumpsOnSLOBreach(t *testing.T) {
+	reg, src, log := buildFlightFixture(t)
+	hist := reg.Histogram("infer_latency_seconds")
+	for i := 0; i < 20; i++ {
+		hist.Observe(0.5) // hopelessly above the objective below
+	}
+	slo, err := NewSLO(reg, "infer_latency", hist, 0.000001, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(FlightConfig{Dir: dir, Window: time.Minute, Cooldown: time.Hour}, src, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.WatchSLO("infer_latency", slo)
+	fr.Check()
+
+	bundles, err := fr.Bundles()
+	if err != nil || len(bundles) != 1 {
+		t.Fatalf("bundles = %v err=%v, want exactly one", bundles, err)
+	}
+	if !strings.HasSuffix(bundles[0], "-slo_infer_latency") {
+		t.Fatalf("bundle name %q should carry the reason", bundles[0])
+	}
+	bdir := filepath.Join(dir, bundles[0])
+
+	var manifest FlightManifest
+	readJSON(t, filepath.Join(bdir, "manifest.json"), &manifest)
+	if manifest.Schema != FlightSchema || manifest.Reason != "slo_infer_latency" {
+		t.Fatalf("manifest = %+v", manifest)
+	}
+	if manifest.Series == 0 || manifest.KeptTraces != 1 || manifest.LogLines != 2 {
+		t.Fatalf("manifest counts = %+v", manifest)
+	}
+
+	var tsdb flightTSDB
+	readJSON(t, filepath.Join(bdir, "tsdb.json"), &tsdb)
+	if len(tsdb.Series) != manifest.Series || tsdb.WindowSeconds != 60 {
+		t.Fatalf("tsdb.json = %d series window %v", len(tsdb.Series), tsdb.WindowSeconds)
+	}
+
+	var traces flightTraces
+	readJSON(t, filepath.Join(bdir, "traces.json"), &traces)
+	if len(traces.Kept) != 1 || traces.Kept[0].Reason != KeepError {
+		t.Fatalf("traces.json kept = %+v", traces.Kept)
+	}
+	if len(traces.Kept[0].Tree) == 0 || traces.Kept[0].Tree[0].Name != "infer" {
+		t.Fatalf("kept trace tree = %+v", traces.Kept[0].Tree)
+	}
+	if traces.TotalSpans == 0 || len(traces.RecentSpans) == 0 {
+		t.Fatalf("recent span accounting = %+v", traces)
+	}
+
+	omf, err := os.Open(filepath.Join(bdir, "metrics.om"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseOpenMetrics(omf)
+	omf.Close()
+	if err != nil || !exp.Terminated {
+		t.Fatalf("metrics.om parse: %v terminated=%v", err, exp.Terminated)
+	}
+	if v, ok := exp.Value("ops_total"); !ok || v != 7 {
+		t.Fatalf("metrics.om ops_total = %v ok=%v", v, ok)
+	}
+
+	logData, err := os.ReadFile(filepath.Join(bdir, "logs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(logData)), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], `"hello"`) {
+		t.Fatalf("logs.jsonl = %q", lines)
+	}
+	for _, kind := range []string{"heap", "goroutine"} {
+		st, err := os.Stat(filepath.Join(bdir, kind+".pprof"))
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("%s.pprof: %v size=%v", kind, err, st)
+		}
+	}
+
+	// Still breached on the next pass: no transition, no second bundle.
+	fr.Check()
+	if bundles, _ = fr.Bundles(); len(bundles) != 1 {
+		t.Fatalf("steady breach dumped again: %v", bundles)
+	}
+	if reg.Counter("flight_dumps_total", L("reason", "slo_infer_latency")).Value() != 1 {
+		t.Fatal("dump counter wrong")
+	}
+}
+
+func TestFlightRecorderHealthTransitionAndCooldown(t *testing.T) {
+	reg, src, log := buildFlightFixture(t)
+	h := NewHealth()
+	var mu sync.Mutex
+	failing := false
+	warm := false
+	h.Liveness("loop", func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing {
+			return errNotLive
+		}
+		return nil
+	})
+	h.Readiness("warm", func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if !warm {
+			return errNotLive
+		}
+		return nil
+	})
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(FlightConfig{Dir: dir, Cooldown: time.Hour}, src, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.WatchHealth(h)
+	// Startup-unready is not a breach: readiness has never been OK, so
+	// no bundle fires even though Ready() currently fails.
+	fr.Check()
+	if bundles, _ := fr.Bundles(); len(bundles) != 0 {
+		t.Fatalf("starting-up check dumped: %v", bundles)
+	}
+	mu.Lock()
+	warm = true
+	mu.Unlock()
+	fr.Check() // fully healthy: still nothing
+	if bundles, _ := fr.Bundles(); len(bundles) != 0 {
+		t.Fatalf("healthy check dumped: %v", bundles)
+	}
+	mu.Lock()
+	failing = true
+	mu.Unlock()
+	fr.Check()
+	bundles, _ := fr.Bundles()
+	if len(bundles) != 1 || !strings.HasSuffix(bundles[0], "-health_live") {
+		t.Fatalf("bundles = %v, want one health_live", bundles)
+	}
+	// A different watcher breaching inside the cooldown is suppressed.
+	fr.Watch("manual", func() bool { return true })
+	fr.Check()
+	if bundles, _ = fr.Bundles(); len(bundles) != 1 {
+		t.Fatalf("cooldown not enforced: %v", bundles)
+	}
+	if reg.Counter("flight_suppressed_total").Value() != 1 {
+		t.Fatal("suppression not counted")
+	}
+}
+
+var errNotLive = errTest("telemetry: loop wedged")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestFlightRecorderRetentionAndNilSafety(t *testing.T) {
+	_, src, log := buildFlightFixture(t)
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(FlightConfig{Dir: dir, Retain: 2, Cooldown: time.Nanosecond}, src, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := fr.Trigger("manual"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond) // distinct lexicographic stamps
+	}
+	bundles, err := fr.Bundles()
+	if err != nil || len(bundles) != 2 {
+		t.Fatalf("retained %v, want 2", bundles)
+	}
+
+	var nilFR *FlightRecorder
+	nilFR.Check()
+	nilFR.Watch("x", func() bool { return true })
+	nilFR.Bind(nil, nil)
+	if p, err := nilFR.Trigger("x"); p != "" || err != nil {
+		t.Fatal("nil recorder must no-op")
+	}
+	if _, err := NewFlightRecorder(FlightConfig{}, src, log); err == nil {
+		t.Fatal("missing dir must error")
+	}
+}
+
+func TestFlightRecorderBindRunsOnCollect(t *testing.T) {
+	reg, src, log := buildFlightFixture(t)
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(FlightConfig{Dir: dir, Cooldown: time.Hour}, src, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Watch("always", func() bool { return true })
+	col := NewCollector(reg)
+	life := NewLifecycle()
+	fr.Bind(col, life)
+	col.Collect()
+	if bundles, _ := fr.Bundles(); len(bundles) != 1 {
+		t.Fatalf("collect pass did not dump: %v", bundles)
+	}
+	life.Close() // final check must not panic or double-dump
+	if bundles, _ := fr.Bundles(); len(bundles) != 1 {
+		t.Fatal("lifecycle close dumped again inside cooldown")
+	}
+}
+
+func TestDebugTSDBAndKeptTraceEndpoints(t *testing.T) {
+	reg := New()
+	tr := NewTracer(1, reg) // tiny ring: traces wrap out immediately
+	smp := NewSampler(reg, SamplerConfig{})
+	tr.SetSampler(smp)
+	series := NewSeries(reg, SeriesConfig{Points: 8})
+	reg.Counter("ops_total").Add(3)
+	series.Sample()
+
+	tc := tr.NewTrace()
+	tr.record(Span{Name: "infer", TraceID: tc.TraceID, SpanID: tc.SpanID, DurationNS: 10,
+		Attrs: []Attr{{Key: "error", Value: "x"}}})
+	tr.Start("filler").End() // wraps the 1-slot ring past the trace
+	if tr.Trace(tc.TraceID) != nil {
+		t.Fatal("fixture: trace should have left the ring")
+	}
+
+	srv, err := ServeDebug("127.0.0.1:0", reg, tr, nil, DebugOptions{Series: series, Sampler: smp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string, wantCode int, out interface{}) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, wantCode)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("GET %s decode: %v", path, err)
+			}
+		}
+	}
+
+	var list struct {
+		Series []SeriesInfo `json:"series"`
+	}
+	get("/debug/tsdb", http.StatusOK, &list)
+	if len(list.Series) == 0 {
+		t.Fatal("tsdb list empty")
+	}
+	var data SeriesData
+	get("/debug/tsdb?series=ops_total&window=1h", http.StatusOK, &data)
+	if data.Name != "ops_total" || len(data.Points) != 1 || data.Last != 3 {
+		t.Fatalf("tsdb query = %+v", data)
+	}
+	get("/debug/tsdb?series=missing", http.StatusNotFound, nil)
+	get("/debug/tsdb?series=ops_total&window=banana", http.StatusBadRequest, nil)
+
+	var keptResp struct {
+		Kept []struct {
+			TraceHex string `json:"trace_id"`
+			Reason   string `json:"reason"`
+		} `json:"kept"`
+	}
+	get("/debug/traces", http.StatusOK, &keptResp)
+	if len(keptResp.Kept) != 1 || keptResp.Kept[0].Reason != KeepError {
+		t.Fatalf("kept listing = %+v", keptResp)
+	}
+
+	// The ring lost the trace, but /debug/trace/{id} falls back to the
+	// sampler's kept copy.
+	var tree struct {
+		Spans []*TraceNode `json:"spans"`
+	}
+	get("/debug/trace/"+keptResp.Kept[0].TraceHex, http.StatusOK, &tree)
+	if len(tree.Spans) != 1 || tree.Spans[0].Name != "infer" {
+		t.Fatalf("kept-trace fallback tree = %+v", tree.Spans)
+	}
+
+	// Index renders the sparkline table when a store is attached.
+	resp, err := http.Get("http://" + srv.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx bytes.Buffer
+	_, _ = idx.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(idx.String(), "recent series") || !strings.Contains(idx.String(), "ops_total") {
+		t.Fatalf("index missing sparkline table:\n%s", idx.String())
+	}
+}
+
+func TestDebugTSDBDetachedEndpoints(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", New(), NewTracer(4, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/debug/tsdb", "/debug/traces"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s without attachment = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHistogramConcurrentCumulativeObserve drives Observe,
+// ObserveExemplar, Cumulative, Exemplars and Quantile concurrently —
+// meaningful under -race (the make race gate runs it there).
+func TestHistogramConcurrentCumulativeObserve(t *testing.T) {
+	h := newHistogram()
+	bounds := ExportBounds()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if i%2 == 0 {
+					h.Observe(float64(i%17) * 0.001)
+				} else {
+					h.ObserveExemplar(float64(i%17)*0.001, uint64(w*1000+i))
+				}
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					cums := h.Cumulative(bounds)
+					for i := 1; i < len(cums); i++ {
+						if cums[i] < cums[i-1] {
+							t.Error("cumulative counts not monotone")
+							return
+						}
+					}
+					_ = h.Exemplars(bounds)
+					_ = h.Quantile(0.95)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if h.Count() != 2000 {
+		t.Fatalf("count = %d, want 2000", h.Count())
+	}
+	exs := h.Exemplars(bounds)
+	found := false
+	for _, e := range exs {
+		if e.Valid && e.TraceID != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no exemplar survived concurrent observation")
+	}
+}
+
+// readJSON decodes one JSON file into out.
+func readJSON(t *testing.T, path string, out interface{}) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}

@@ -1,0 +1,456 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FlightSchema identifies the bundle format in manifest.json.
+const FlightSchema = "edgehd.flight/v1"
+
+// FlightRecorder is the SLO-breach black box: it watches boolean
+// breach conditions (SLO error budget exhausted, health probe
+// transitions, leak verdicts) on the collection cadence and, when one
+// fires, atomically writes a bundled diagnostic directory — the
+// trailing tsdb window, the sampler's kept trace trees plus the
+// tracer's recent spans, the structured-log ring, an OpenMetrics
+// snapshot, and current heap/goroutine profiles. Bundles are named
+// flight-<utc stamp>-<reason> (the stamp sorts lexicographically, as
+// in ProfileRing) and pruned beyond the retention limit, so a
+// long-running process keeps a fixed-size trail of its worst moments.
+//
+// A nil *FlightRecorder is a valid "recorder disabled" instance:
+// every method no-ops.
+type FlightRecorder struct {
+	dir      string
+	retain   int
+	window   time.Duration
+	cooldown time.Duration
+	src      FlightSources
+	log      *Logger
+
+	// mu serializes watcher evaluation and bundle writes; as with
+	// ProfileRing, the whole contract is that dumps never interleave.
+	mu       sync.Mutex
+	watchers []*flightWatcher
+	lastDump time.Time
+
+	dumpErrs   *Counter
+	suppressed *Counter
+}
+
+// FlightSources are the telemetry planes a bundle is assembled from.
+// Any of them may be nil; the corresponding bundle file is then empty
+// or omitted from the counts.
+type FlightSources struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Sampler  *Sampler
+	Series   *Series
+	Logs     *LogRing
+	// Profiles, when set, is additionally asked to Capture on every
+	// dump so the on-disk profile ring also stamps the breach moment;
+	// the bundle's own heap/goroutine profiles are always captured
+	// directly.
+	Profiles *ProfileRing
+}
+
+// FlightConfig tunes the recorder.
+type FlightConfig struct {
+	// Dir is the bundle directory (required; created if missing).
+	Dir string
+	// Retain caps the number of bundles kept (default 4).
+	Retain int
+	// Window is the tsdb history included in a bundle (default 60s).
+	Window time.Duration
+	// Cooldown is the minimum gap between bundles; breaches inside it
+	// are counted as suppressed (default 30s).
+	Cooldown time.Duration
+}
+
+// flightWatcher is one breach condition plus its previous state, so
+// dumps fire on the healthy→breached transition, not on every pass
+// spent in the breached state.
+type flightWatcher struct {
+	name     string
+	breached func() bool
+	prev     bool
+}
+
+// NewFlightRecorder returns a recorder writing into cfg.Dir. The
+// logger receives one warning per bundle written or failed.
+func NewFlightRecorder(cfg FlightConfig, src FlightSources, log *Logger) (*FlightRecorder, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("telemetry: flight recorder needs a directory")
+	}
+	if cfg.Retain < 1 {
+		cfg.Retain = 4
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 60 * time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: flight recorder dir: %w", err)
+	}
+	reg := src.Registry
+	reg.SetHelp("flight_dumps_total", "flight bundles written, by triggering reason")
+	reg.SetHelp("flight_dump_errors_total", "flight bundle writes that failed")
+	reg.SetHelp("flight_suppressed_total", "breaches not dumped because a bundle was written within the cooldown")
+	return &FlightRecorder{
+		dir:        cfg.Dir,
+		retain:     cfg.Retain,
+		window:     cfg.Window,
+		cooldown:   cfg.Cooldown,
+		src:        src,
+		log:        log,
+		dumpErrs:   reg.Counter("flight_dump_errors_total"),
+		suppressed: reg.Counter("flight_suppressed_total"),
+	}, nil
+}
+
+// Watch registers a named breach condition. The condition runs on
+// every Check pass; a dump fires when it transitions from false to
+// true. No-op on a nil recorder or nil condition.
+func (f *FlightRecorder) Watch(name string, breached func() bool) {
+	if f == nil || breached == nil {
+		return
+	}
+	f.mu.Lock()
+	f.watchers = append(f.watchers, &flightWatcher{name: name, breached: breached})
+	f.mu.Unlock()
+}
+
+// WatchSLO watches an SLO's error budget: the condition collects the
+// SLO and breaches once the remaining budget goes negative.
+func (f *FlightRecorder) WatchSLO(name string, s *SLO) {
+	if f == nil || s == nil {
+		return
+	}
+	f.Watch("slo_"+name, func() bool {
+		s.Collect()
+		return s.budget.Value() < 0
+	})
+}
+
+// WatchHealth watches the health plane's liveness and readiness
+// aggregates for ok→failing transitions. Readiness only counts as
+// breached once the process has been ready at least once — a process
+// still starting up (model not yet trained, server still binding) is
+// not a regression worth a bundle. The everReady flag is guarded by
+// the recorder's mutex, which Check holds while running watchers.
+func (f *FlightRecorder) WatchHealth(h *Health) {
+	if f == nil || h == nil {
+		return
+	}
+	f.Watch("health_live", func() bool { return !h.Live().OK })
+	everReady := false
+	f.Watch("health_ready", func() bool {
+		ok := h.Ready().OK
+		if ok {
+			everReady = true
+		}
+		return everReady && !ok
+	})
+}
+
+// WatchLeaks watches a leak detector's verdict.
+func (f *FlightRecorder) WatchLeaks(d *LeakDetector) {
+	if f == nil || d == nil {
+		return
+	}
+	f.Watch("leak", func() bool { return d.Report().Leaky() })
+}
+
+// Bind wires the recorder into the process: Check rides the runtime
+// collector's cadence, and the lifecycle runs one final Check at
+// shutdown so a breach inside the last partial interval still dumps on
+// the way out.
+func (f *FlightRecorder) Bind(c *Collector, life *Lifecycle) {
+	if f == nil {
+		return
+	}
+	c.OnCollect(f.Check)
+	if life != nil {
+		life.Defer(f.Check)
+	}
+}
+
+// Check evaluates every watcher and dumps a bundle for the first
+// condition that newly breached this pass. Dump failures are counted
+// and logged, never propagated — the recorder must not take down the
+// loop it observes.
+func (f *FlightRecorder) Check() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	fired := ""
+	for _, w := range f.watchers {
+		cur := w.breached()
+		if cur && !w.prev && fired == "" {
+			fired = w.name
+		}
+		w.prev = cur
+	}
+	f.mu.Unlock()
+	if fired == "" {
+		return
+	}
+	if _, err := f.Trigger(fired); err != nil {
+		f.log.Warn("flight bundle failed", "reason", fired, "error", err.Error())
+	}
+}
+
+// Trigger writes a bundle for the given reason now, subject to the
+// cooldown (a suppressed trigger returns an empty path and no error).
+// Returns the bundle directory path.
+func (f *FlightRecorder) Trigger(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock() //hdlint:allow lock-across-io bundle writes serialize by design, like ProfileRing captures
+	defer f.mu.Unlock()
+	if !f.lastDump.IsZero() && time.Since(f.lastDump) < f.cooldown {
+		f.suppressed.Inc()
+		return "", nil
+	}
+	path, err := f.dumpLocked(reason)
+	if err != nil {
+		f.dumpErrs.Inc()
+		return "", err
+	}
+	f.lastDump = time.Now()
+	f.src.Registry.Counter("flight_dumps_total", L("reason", sanitizeReason(reason))).Inc()
+	f.log.Warn("flight bundle written", "reason", reason, "path", path)
+	return path, nil
+}
+
+// FlightManifest is the bundle's manifest.json: what triggered the
+// dump and how much of each plane landed in it.
+type FlightManifest struct {
+	Schema        string    `json:"schema"`
+	Reason        string    `json:"reason"`
+	WrittenAt     time.Time `json:"written_at"`
+	WindowSeconds float64   `json:"window_seconds"`
+	Series        int       `json:"series"`
+	KeptTraces    int       `json:"kept_traces"`
+	RecentSpans   int       `json:"recent_spans"`
+	LogLines      int       `json:"log_lines"`
+	Files         []string  `json:"files"`
+}
+
+// FlightTrace is one kept trace in traces.json: the sampler's record
+// plus its assembled tree.
+type FlightTrace struct {
+	KeptTrace
+	Tree []*TraceNode `json:"tree,omitempty"`
+}
+
+// flightTraces is the traces.json payload.
+type flightTraces struct {
+	Kept []FlightTrace `json:"kept"`
+	// RecentSpans is the tracer's full retained ring at dump time, so
+	// byte accounting over traces the sampler dropped still reconciles.
+	RecentSpans []Span `json:"recent_spans,omitempty"`
+	TotalSpans  int64  `json:"total_spans"`
+}
+
+// flightTSDB is the tsdb.json payload.
+type flightTSDB struct {
+	WindowSeconds float64      `json:"window_seconds"`
+	Series        []SeriesData `json:"series"`
+}
+
+// dumpLocked assembles and atomically publishes one bundle: files land
+// in a hidden temp directory that is renamed into place only once
+// every write succeeded. Caller holds f.mu.
+func (f *FlightRecorder) dumpLocked(reason string) (string, error) {
+	name := "flight-" + stamp() + "-" + sanitizeReason(reason)
+	tmp := filepath.Join(f.dir, ".tmp-"+name)
+	final := filepath.Join(f.dir, name)
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", fmt.Errorf("telemetry: flight temp dir: %w", err)
+	}
+	cleanup := func(err error) (string, error) {
+		_ = os.RemoveAll(tmp)
+		return "", err
+	}
+
+	series := f.src.Series.Dump(f.window)
+	kept := f.src.Sampler.Kept()
+	traces := flightTraces{
+		Kept:        make([]FlightTrace, 0, len(kept)),
+		RecentSpans: f.src.Tracer.Spans(),
+		TotalSpans:  f.src.Tracer.Total(),
+	}
+	for _, kt := range kept {
+		traces.Kept = append(traces.Kept, FlightTrace{KeptTrace: kt, Tree: AssembleTraceTree(kt.Spans)})
+	}
+	logLines := f.src.Logs.Lines()
+
+	manifest := FlightManifest{
+		Schema:        FlightSchema,
+		Reason:        reason,
+		WrittenAt:     time.Now().UTC(),
+		WindowSeconds: f.window.Seconds(),
+		Series:        len(series),
+		KeptTraces:    len(kept),
+		RecentSpans:   len(traces.RecentSpans),
+		LogLines:      len(logLines),
+		Files: []string{
+			"manifest.json", "tsdb.json", "traces.json", "logs.jsonl",
+			"metrics.om", "heap.pprof", "goroutine.pprof",
+		},
+	}
+
+	if err := writeFlightJSON(tmp, "manifest.json", manifest); err != nil {
+		return cleanup(err)
+	}
+	if err := writeFlightJSON(tmp, "tsdb.json", flightTSDB{WindowSeconds: f.window.Seconds(), Series: series}); err != nil {
+		return cleanup(err)
+	}
+	if err := writeFlightJSON(tmp, "traces.json", traces); err != nil {
+		return cleanup(err)
+	}
+	logBody := ""
+	if len(logLines) > 0 {
+		logBody = strings.Join(logLines, "\n") + "\n"
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "logs.jsonl"), []byte(logBody), 0o644); err != nil {
+		return cleanup(fmt.Errorf("telemetry: flight logs: %w", err))
+	}
+	om, err := os.Create(filepath.Join(tmp, "metrics.om"))
+	if err != nil {
+		return cleanup(fmt.Errorf("telemetry: flight metrics: %w", err))
+	}
+	err = f.src.Registry.WriteOpenMetrics(om)
+	if cerr := om.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return cleanup(fmt.Errorf("telemetry: flight metrics: %w", err))
+	}
+	for _, kind := range profileKinds {
+		if err := writeFlightProfile(tmp, kind); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return cleanup(fmt.Errorf("telemetry: flight publish: %w", err))
+	}
+	// Best effort: stamp the breach moment into the attached profile
+	// ring too, so its timeline brackets the bundle's snapshot.
+	if f.src.Profiles != nil {
+		if err := f.src.Profiles.Capture(); err != nil {
+			f.log.Warn("flight ring capture failed", "error", err.Error())
+		}
+	}
+	if err := f.pruneLocked(); err != nil {
+		f.log.Warn("flight prune failed", "error", err.Error())
+	}
+	return final, nil
+}
+
+// writeFlightJSON writes one indented JSON file into the bundle.
+func writeFlightJSON(dir, name string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: flight %s: %w", name, err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: flight %s: %w", name, err)
+	}
+	return nil
+}
+
+// writeFlightProfile captures one pprof snapshot into the bundle.
+func writeFlightProfile(dir, kind string) error {
+	prof := pprof.Lookup(kind)
+	if prof == nil {
+		return fmt.Errorf("telemetry: unknown profile kind %q", kind)
+	}
+	fh, err := os.Create(filepath.Join(dir, kind+".pprof"))
+	if err != nil {
+		return fmt.Errorf("telemetry: flight %s profile: %w", kind, err)
+	}
+	err = prof.WriteTo(fh, 0)
+	if cerr := fh.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("telemetry: flight %s profile: %w", kind, err)
+	}
+	return nil
+}
+
+// pruneLocked removes the oldest bundles beyond the retention limit.
+// Caller holds f.mu.
+func (f *FlightRecorder) pruneLocked() error {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return fmt.Errorf("telemetry: flight prune: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "flight-") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) <= f.retain {
+		return nil
+	}
+	sort.Strings(names) // timestamp format sorts oldest first
+	for _, name := range names[:len(names)-f.retain] {
+		if err := os.RemoveAll(filepath.Join(f.dir, name)); err != nil {
+			return fmt.Errorf("telemetry: flight prune: %w", err)
+		}
+	}
+	return nil
+}
+
+// Bundles returns the bundle directory names, oldest first.
+func (f *FlightRecorder) Bundles() ([]string, error) {
+	if f == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: flight list: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "flight-") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// sanitizeReason maps a reason onto the filename-safe alphabet.
+func sanitizeReason(reason string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(reason) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "manual"
+	}
+	return b.String()
+}

@@ -30,6 +30,19 @@ type Histogram struct {
 	min     float64
 	max     float64
 	buckets [histBuckets]int64
+	// exemplars holds the most recent (trace_id, value) observation per
+	// internal bucket. The slice is allocated on the first exemplared
+	// observation, so histograms that never see a trace id pay nothing.
+	exemplars []exemplar
+	exSeq     int64
+}
+
+// exemplar is one retained (trace_id, value) observation; seq orders
+// exemplars across buckets so folding picks the most recent.
+type exemplar struct {
+	traceID uint64
+	value   float64
+	seq     int64
 }
 
 func newHistogram() *Histogram {
@@ -75,6 +88,80 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.buckets[bucketIndex(v)]++
 	h.mu.Unlock()
+}
+
+// ObserveExemplar records one value and retains (traceID, v) as the
+// most recent exemplar of the value's bucket, linking the bucket to a
+// concrete trace in the OpenMetrics exposition. A zero trace id
+// degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	if traceID == 0 {
+		h.Observe(v)
+		return
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	i := bucketIndex(v)
+	h.buckets[i]++
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, histBuckets)
+	}
+	h.exSeq++
+	h.exemplars[i] = exemplar{traceID: traceID, value: v, seq: h.exSeq}
+	h.mu.Unlock()
+}
+
+// BucketExemplar is one export bucket's exemplar: the most recent
+// (trace_id, value) observation among the internal buckets folded into
+// that bound. Valid is false when the bucket has no exemplar.
+type BucketExemplar struct {
+	TraceID uint64
+	Value   float64
+	Valid   bool
+}
+
+// Exemplars returns one exemplar per export bucket for the given
+// bounds (sorted ascending, as in Cumulative) plus a final entry for
+// the implicit +Inf bucket — len(bounds)+1 results. Nil on a nil
+// receiver or when no exemplars were ever observed.
+func (h *Histogram) Exemplars(bounds []float64) []BucketExemplar {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	out := make([]BucketExemplar, len(bounds)+1)
+	bi := 0
+	fold := func(slot int, limit float64) {
+		best := exemplar{}
+		for bi < histBuckets && bucketUpper(bi) <= limit {
+			if e := h.exemplars[bi]; e.seq > best.seq {
+				best = e
+			}
+			bi++
+		}
+		if best.seq > 0 {
+			out[slot] = BucketExemplar{TraceID: best.traceID, Value: best.value, Valid: true}
+		}
+	}
+	for i, bound := range bounds {
+		fold(i, bound)
+	}
+	fold(len(bounds), math.Inf(1))
+	return out
 }
 
 // Count returns the number of observations (0 on a nil receiver).
@@ -205,6 +292,18 @@ func (h *Histogram) StartTimer() func() {
 	}
 	t0 := time.Now()
 	return func() { h.Observe(time.Since(t0).Seconds()) }
+}
+
+// StartTimerExemplar is StartTimer with the eventual observation
+// linked to a trace: the recorded duration carries traceID as its
+// bucket exemplar (plain Observe when traceID is 0, so head-dropped
+// traces cost nothing extra).
+func (h *Histogram) StartTimerExemplar(traceID uint64) func() {
+	if h == nil {
+		return noopStop
+	}
+	t0 := time.Now()
+	return func() { h.ObserveExemplar(time.Since(t0).Seconds(), traceID) }
 }
 
 // HistogramStat is a point-in-time summary of a Histogram.

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// LogRing is an io.Writer tee that retains the most recent complete
+// lines written through it while forwarding every byte to an inner
+// writer. Interposed between a Logger and its sink (stderr), it gives
+// the flight recorder the trailing structured-log window without a
+// second logging pipeline. Capacity is fixed at construction; memory
+// is bounded by the retained line contents.
+//
+// A nil *LogRing is a valid "no retention" writer: Write claims
+// success without retaining or forwarding, and Lines returns nil.
+type LogRing struct {
+	inner io.Writer
+
+	mu      sync.Mutex
+	lines   []string
+	next    int
+	n       int
+	partial []byte
+}
+
+// NewLogRing returns a ring forwarding to inner (which may be nil —
+// retention only) and retaining the last capacity lines (default 256).
+func NewLogRing(inner io.Writer, capacity int) *LogRing {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &LogRing{inner: inner, lines: make([]string, capacity)}
+}
+
+// Write implements io.Writer: complete lines land in the ring, a
+// trailing partial line is buffered until its newline arrives, and the
+// raw bytes forward to the inner writer afterwards, so ring order and
+// sink order stay identical.
+func (r *LogRing) Write(p []byte) (int, error) {
+	if r == nil {
+		return len(p), nil
+	}
+	r.mu.Lock()
+	r.partial = append(r.partial, p...)
+	for {
+		nl := bytes.IndexByte(r.partial, '\n')
+		if nl < 0 {
+			break
+		}
+		r.appendLocked(string(r.partial[:nl]))
+		r.partial = r.partial[nl+1:]
+	}
+	// Reclaim the backing array once the buffer drains, so a long run
+	// of complete writes does not pin the largest line ever seen.
+	if len(r.partial) == 0 {
+		r.partial = nil
+	}
+	inner := r.inner
+	r.mu.Unlock()
+	if inner != nil {
+		return inner.Write(p)
+	}
+	return len(p), nil
+}
+
+// appendLocked commits one complete line. Caller holds r.mu.
+func (r *LogRing) appendLocked(line string) {
+	r.lines[r.next] = line
+	r.next = (r.next + 1) % len(r.lines)
+	if r.n < len(r.lines) {
+		r.n++
+	}
+}
+
+// Lines returns the retained lines, oldest first.
+func (r *LogRing) Lines() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, r.n)
+	if r.n == len(r.lines) {
+		out = append(out, r.lines[r.next:]...)
+		out = append(out, r.lines[:r.next]...)
+	} else {
+		out = append(out, r.lines[:r.n]...)
+	}
+	return out
+}

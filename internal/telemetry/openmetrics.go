@@ -139,22 +139,35 @@ func (r *Registry) gatherFamilies() map[string]*omFamily {
 
 // histogramLines renders one histogram instrument: cumulative buckets
 // over ExportBounds, the implicit +Inf bucket, then _sum and _count.
+// Buckets that retain an exemplar carry it in OpenMetrics exemplar
+// syntax (`# {trace_id="..."} value`); histograms without exemplars
+// render byte-identically to before exemplars existed.
 func histogramLines(name, labels string, h *Histogram) []string {
 	bounds := ExportBounds()
 	cums := h.Cumulative(bounds)
+	exs := h.Exemplars(bounds)
 	count := h.Count()
 	sum := h.Sum()
 	lines := make([]string, 0, len(bounds)+3)
 	bucketName := name + "_bucket"
 	for i, bound := range bounds {
-		lines = append(lines, bucketName+wrapLabels(joinLabels(labels, `le="`+formatValue(bound)+`"`))+" "+formatValue(float64(cums[i])))
+		line := bucketName + wrapLabels(joinLabels(labels, `le="`+formatValue(bound)+`"`)) + " " + formatValue(float64(cums[i]))
+		lines = append(lines, line+exemplarSuffix(exs, i))
 	}
 	lines = append(lines,
-		bucketName+wrapLabels(joinLabels(labels, `le="+Inf"`))+" "+formatValue(float64(count)),
+		bucketName+wrapLabels(joinLabels(labels, `le="+Inf"`))+" "+formatValue(float64(count))+exemplarSuffix(exs, len(bounds)),
 		name+"_sum"+wrapLabels(labels)+" "+formatValue(sum),
 		name+"_count"+wrapLabels(labels)+" "+formatValue(float64(count)),
 	)
 	return lines
+}
+
+// exemplarSuffix renders one bucket's exemplar (empty when absent).
+func exemplarSuffix(exs []BucketExemplar, i int) string {
+	if i >= len(exs) || !exs[i].Valid {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%016x"} %s`, exs[i].TraceID, formatValue(exs[i].Value))
 }
 
 // renderLabels renders sorted labels as `k1="v1",k2="v2"` (no braces),
@@ -252,6 +265,33 @@ type ExpositionSample struct {
 	Name   string
 	Labels []Label
 	Value  float64
+	// Exemplar is the sample's parsed exemplar, when present.
+	Exemplar *ExpositionExemplar
+}
+
+// ExpositionExemplar is a parsed OpenMetrics exemplar
+// (`# {labels} value` after a sample value).
+type ExpositionExemplar struct {
+	Labels []Label
+	Value  float64
+}
+
+// TraceID returns the exemplar's trace_id label parsed as hex (0 when
+// absent or malformed).
+func (e *ExpositionExemplar) TraceID() uint64 {
+	if e == nil {
+		return 0
+	}
+	for _, l := range e.Labels {
+		if l.Key == "trace_id" {
+			id, err := strconv.ParseUint(l.Value, 16, 64)
+			if err != nil {
+				return 0
+			}
+			return id
+		}
+	}
+	return 0
 }
 
 // Value looks up a sample by name and labels (canonicalized), returning
@@ -348,6 +388,14 @@ func (e *Exposition) parseSample(line string) error {
 			return err
 		}
 	}
+	// Split off an exemplar (`# {labels} value`) before tokenizing the
+	// sample value: label blocks were already consumed above, so a '#'
+	// here can only start an exemplar.
+	var exPart string
+	if hash := strings.IndexByte(rest, '#'); hash >= 0 {
+		exPart = strings.TrimSpace(rest[hash+1:])
+		rest = rest[:hash]
+	}
 	valStr := strings.TrimSpace(rest)
 	// A trailing timestamp (exposition-format optional field) would be a
 	// second token; take the first.
@@ -359,6 +407,13 @@ func (e *Exposition) parseSample(line string) error {
 		return fmt.Errorf("telemetry: sample %q: %w", name, err)
 	}
 	sample := ExpositionSample{Name: name, Labels: labels, Value: val}
+	if exPart != "" {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return fmt.Errorf("telemetry: sample %q: %w", name, err)
+		}
+		sample.Exemplar = ex
+	}
 	e.familyFor(name).Samples = append(e.familyFor(name).Samples, sample)
 	e.Samples[canonicalName(name, labels)] = val
 	return nil
@@ -380,6 +435,28 @@ func (e *Exposition) familyFor(sample string) *ExpositionFamily {
 		}
 	}
 	return e.family(sample)
+}
+
+// parseExemplar parses the body of an exemplar (`{labels} value`,
+// after the '#' marker has been stripped).
+func parseExemplar(s string) (*ExpositionExemplar, error) {
+	if s == "" || s[0] != '{' {
+		return nil, fmt.Errorf("telemetry: malformed exemplar %q", s)
+	}
+	labels, rest, err := parseLabels(s)
+	if err != nil {
+		return nil, err
+	}
+	valStr := strings.TrimSpace(rest)
+	// An exemplar may carry its own trailing timestamp; take the value.
+	if sp := strings.IndexByte(valStr, ' '); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	val, err := parseValue(valStr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: exemplar value: %w", err)
+	}
+	return &ExpositionExemplar{Labels: labels, Value: val}, nil
 }
 
 // parseLabels parses a `{k="v",...}` block, returning the labels and

@@ -169,6 +169,87 @@ func TestOpenMetricsNilRegistry(t *testing.T) {
 	}
 }
 
+func TestOpenMetricsExemplarRoundTrip(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("lat_seconds", L("op", "infer"))
+	h.Observe(0.001)
+	h.ObserveExemplar(0.002, 0xabcdef01)
+	h.ObserveExemplar(0.8, 0xfeed)
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `# {trace_id="00000000abcdef01"} 0.002`) {
+		t.Fatalf("exposition missing exemplar suffix:\n%s", buf.String())
+	}
+	exp, err := ParseOpenMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := exp.Families["lat_seconds"]
+	if fam == nil {
+		t.Fatal("histogram family missing")
+	}
+	found := map[uint64]float64{}
+	for _, s := range fam.Samples {
+		if s.Exemplar != nil {
+			found[s.Exemplar.TraceID()] = s.Exemplar.Value
+		}
+	}
+	if v, ok := found[0xabcdef01]; !ok || v != 0.002 {
+		t.Fatalf("exemplar 0xabcdef01 parsed as %v (present %v)", v, ok)
+	}
+	if v, ok := found[0xfeed]; !ok || v != 0.8 {
+		t.Fatalf("exemplar 0xfeed parsed as %v (present %v)", v, ok)
+	}
+	// Non-exemplared buckets stay bare; the exemplar does not perturb
+	// the sample values themselves.
+	if c, ok := exp.Value("lat_seconds_count", L("op", "infer")); !ok || c != 3 {
+		t.Fatalf("count with exemplars = %v ok=%v", c, ok)
+	}
+	var nilEx *ExpositionExemplar
+	if nilEx.TraceID() != 0 {
+		t.Fatal("nil exemplar TraceID must be 0")
+	}
+	if (&ExpositionExemplar{Labels: []Label{{Key: "trace_id", Value: "xyz"}}}).TraceID() != 0 {
+		t.Fatal("malformed trace_id must parse to 0")
+	}
+}
+
+func TestParseOpenMetricsLabeledFamiliesEscapedValues(t *testing.T) {
+	// Labeled samples whose label values need every escape form must
+	// survive write→parse with the family structure intact.
+	reg := New()
+	reg.SetHelp("route_msgs_total", "messages per route")
+	hazards := []string{"plain", `back\slash`, "quo\"te", "new\nline", `all\"three` + "\n."}
+	for i, hz := range hazards {
+		reg.Counter("route_msgs_total", L("route", hz), L("hop", "gw")).Add(int64(i + 1))
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseOpenMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := exp.Families["route_msgs"]
+	if fam == nil || fam.Type != "counter" || len(fam.Samples) != len(hazards) {
+		t.Fatalf("route_msgs family = %+v", fam)
+	}
+	for i, hz := range hazards {
+		v, ok := exp.Value("route_msgs_total", L("route", hz), L("hop", "gw"))
+		if !ok || v != float64(i+1) {
+			t.Fatalf("route %q parsed %v (present %v), want %d", hz, v, ok, i+1)
+		}
+	}
+	for _, s := range fam.Samples {
+		if len(s.Labels) != 2 {
+			t.Fatalf("sample labels collapsed: %+v", s)
+		}
+	}
+}
+
 func TestParseOpenMetricsRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{
 		"metric{unterminated 1\n",

@@ -1,0 +1,297 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sampler implements tail-based trace sampling over a Tracer: the keep
+// decision is made when a trace's root span completes, so the traces
+// worth keeping — slow (duration above the p95 of the root span's own
+// span_seconds series), errored, or shed — survive in a dedicated
+// bounded store even after the tracer's span ring wraps past them.
+// Fast, healthy traces cost nothing beyond the ring write they already
+// paid.
+//
+// The sampler also owns the head decision: with HeadRate > 1 the
+// tracer's NewTrace returns the zero context for all but 1-in-HeadRate
+// operations, and StartSpan on a zero context returns a nil handle, so
+// head-dropped operations materialize no spans at all and their wire
+// frames carry no trace block — byte-identical to tracing disabled.
+//
+// A nil *Sampler is a valid "retention disabled" sampler: every method
+// no-ops, and a Tracer without a sampler behaves exactly as before.
+type Sampler struct {
+	headRate uint64
+	minCount int64
+	slowQ    float64
+
+	headSeq atomic.Uint64
+
+	// mu guards the kept-trace ring.
+	mu      sync.Mutex
+	kept    []KeptTrace
+	byTrace map[uint64]int
+	next    int
+	n       int
+
+	// thmu guards the per-root-name slow thresholds.
+	thmu       sync.Mutex
+	thresholds map[string]*slowThreshold
+
+	headAdmitted *Counter
+	headDropped  *Counter
+	keptByReason map[string]*Counter
+	tailDropped  *Counter
+}
+
+// Keep reasons.
+const (
+	KeepSlow  = "slow"
+	KeepError = "error"
+	KeepShed  = "shed"
+)
+
+// SamplerConfig tunes the sampler.
+type SamplerConfig struct {
+	// HeadRate keeps 1 in HeadRate traces at the head; values <= 1
+	// trace every operation (the default — tail sampling then only
+	// governs retention, never visibility).
+	HeadRate int
+	// Capacity is the kept-trace store size (default 64).
+	Capacity int
+	// MinCount is the number of observations a root span's series
+	// needs before the slow rule arms (default 32) — below it there is
+	// no trustworthy p95 to compare against.
+	MinCount int64
+	// SlowQuantile is the quantile a root span must exceed to be kept
+	// as slow (default 0.95).
+	SlowQuantile float64
+}
+
+// KeptTrace is one trace retained by the tail sampler.
+type KeptTrace struct {
+	// TraceID identifies the trace; TraceHex is its /debug/trace form.
+	TraceID  uint64 `json:"trace_id"`
+	TraceHex string `json:"trace_hex"`
+	// Root names the root span whose completion triggered the keep.
+	Root string `json:"root"`
+	// Reason is why the trace was kept: "slow", "error" or "shed".
+	Reason string `json:"reason"`
+	// DurationNS is the root span's duration.
+	DurationNS int64 `json:"duration_ns"`
+	// ThresholdSeconds is the slow threshold in force at decision time
+	// (0 for error/shed keeps).
+	ThresholdSeconds float64 `json:"threshold_seconds,omitempty"`
+	// Spans are the trace's spans retained at decision time.
+	Spans []Span `json:"spans"`
+}
+
+// slowThreshold caches one root-span series' slow cut: recomputing the
+// quantile on every completion would scan the histogram's buckets per
+// trace, so the value refreshes every slowRefresh observations instead.
+type slowThreshold struct {
+	hist  *Histogram
+	value float64
+	asOf  int64
+}
+
+// slowRefresh is how many new observations a cached slow threshold may
+// serve before it is recomputed.
+const slowRefresh = 16
+
+// NewSampler returns a sampler publishing its decision counters into
+// reg (which may be nil — the sampler still works, uncounted).
+func NewSampler(reg *Registry, cfg SamplerConfig) *Sampler {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 64
+	}
+	if cfg.MinCount < 1 {
+		cfg.MinCount = 32
+	}
+	if cfg.SlowQuantile <= 0 || cfg.SlowQuantile >= 1 {
+		cfg.SlowQuantile = 0.95
+	}
+	var headRate uint64
+	if cfg.HeadRate > 1 {
+		headRate = uint64(cfg.HeadRate)
+	}
+	reg.SetHelp("sampler_head_admitted_total", "traces admitted by the head sampling decision")
+	reg.SetHelp("sampler_head_dropped_total", "traces dropped at the head before span materialization")
+	reg.SetHelp("sampler_kept_total", "traces kept by the tail decision, by reason")
+	reg.SetHelp("sampler_tail_dropped_total", "completed traces not retained by the tail decision")
+	return &Sampler{
+		headRate:     headRate,
+		minCount:     cfg.MinCount,
+		slowQ:        cfg.SlowQuantile,
+		kept:         make([]KeptTrace, cfg.Capacity),
+		byTrace:      make(map[uint64]int, cfg.Capacity),
+		thresholds:   make(map[string]*slowThreshold),
+		headAdmitted: reg.Counter("sampler_head_admitted_total"),
+		headDropped:  reg.Counter("sampler_head_dropped_total"),
+		keptByReason: map[string]*Counter{
+			KeepSlow:  reg.Counter("sampler_kept_total", L("reason", KeepSlow)),
+			KeepError: reg.Counter("sampler_kept_total", L("reason", KeepError)),
+			KeepShed:  reg.Counter("sampler_kept_total", L("reason", KeepShed)),
+		},
+		tailDropped: reg.Counter("sampler_tail_dropped_total"),
+	}
+}
+
+// admitHead makes the head decision for one new trace.
+func (s *Sampler) admitHead() bool {
+	if s == nil {
+		return true
+	}
+	if s.headRate <= 1 || s.headSeq.Add(1)%s.headRate == 0 {
+		s.headAdmitted.Inc()
+		return true
+	}
+	s.headDropped.Inc()
+	return false
+}
+
+// observeRoot makes the tail decision when a trace's root span
+// completes. The span is already committed to the tracer's ring, so a
+// keep copies the whole trace out of it.
+func (s *Sampler) observeRoot(t *Tracer, root Span) {
+	switch {
+	case root.Attr("error") != nil:
+		s.keepTrace(t, root, KeepError, 0)
+	case root.Attr("shed") != nil:
+		s.keepTrace(t, root, KeepShed, 0)
+	default:
+		threshold, armed := s.slowThresholdFor(t, root.Name)
+		if armed && float64(root.DurationNS)/1e9 > threshold {
+			s.keepTrace(t, root, KeepSlow, threshold)
+		} else {
+			s.tailDropped.Inc()
+		}
+	}
+}
+
+// slowThresholdFor returns the cached slow cut for a root span name,
+// arming only once the series has MinCount observations.
+func (s *Sampler) slowThresholdFor(t *Tracer, name string) (float64, bool) {
+	s.thmu.Lock()
+	defer s.thmu.Unlock()
+	e, ok := s.thresholds[name]
+	if !ok {
+		e = &slowThreshold{hist: t.spanHistogram(name)}
+		s.thresholds[name] = e
+	}
+	count := e.hist.Count()
+	if count < s.minCount {
+		return 0, false
+	}
+	if e.asOf == 0 || count-e.asOf >= slowRefresh {
+		e.value = e.hist.Quantile(s.slowQ)
+		e.asOf = count
+	}
+	return e.value, true
+}
+
+// keepTrace copies the trace's retained spans into the kept store. A
+// re-keep of a trace already in the store refreshes it in place.
+func (s *Sampler) keepTrace(t *Tracer, root Span, reason string, threshold float64) {
+	spans := t.Trace(root.TraceID)
+	if len(spans) == 0 {
+		spans = []Span{root}
+	}
+	kt := KeptTrace{
+		TraceID:          root.TraceID,
+		TraceHex:         fmt.Sprintf("%016x", root.TraceID),
+		Root:             root.Name,
+		Reason:           reason,
+		DurationNS:       root.DurationNS,
+		ThresholdSeconds: threshold,
+		Spans:            spans,
+	}
+	s.mu.Lock()
+	if i, ok := s.byTrace[kt.TraceID]; ok {
+		s.kept[i] = kt
+	} else {
+		if s.n == len(s.kept) {
+			delete(s.byTrace, s.kept[s.next].TraceID)
+		} else {
+			s.n++
+		}
+		s.kept[s.next] = kt
+		s.byTrace[kt.TraceID] = s.next
+		s.next = (s.next + 1) % len(s.kept)
+	}
+	s.mu.Unlock()
+	s.keptByReason[reason].Inc()
+}
+
+// Keep force-retains a trace under the given reason — the hook for
+// code that knows a trace matters (an explicit shed, an error path
+// with no root span yet). Unknown reasons count as errors. No-op when
+// the trace has no retained spans.
+func (s *Sampler) Keep(t *Tracer, tc TraceContext, reason string) {
+	if s == nil || tc.TraceID == 0 {
+		return
+	}
+	spans := t.Trace(tc.TraceID)
+	if len(spans) == 0 {
+		return
+	}
+	if _, ok := s.keptByReason[reason]; !ok {
+		reason = KeepError
+	}
+	// The latest root-less fallback: attribute the keep to the most
+	// recent span (the one closest to the decision point).
+	root := spans[len(spans)-1]
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].ParentID == 0 {
+			root = spans[i]
+			break
+		}
+	}
+	s.keepTrace(t, root, reason, 0)
+}
+
+// Kept returns the kept traces, oldest first.
+func (s *Sampler) Kept() []KeptTrace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]KeptTrace, 0, s.n)
+	if s.n == len(s.kept) {
+		out = append(out, s.kept[s.next:]...)
+		out = append(out, s.kept[:s.next]...)
+	} else {
+		out = append(out, s.kept[:s.n]...)
+	}
+	return out
+}
+
+// Trace returns the kept spans of one trace (nil when the trace was
+// not retained) — the fallback behind /debug/trace/{id} after the
+// tracer's ring has wrapped past the trace.
+func (s *Sampler) Trace(traceID uint64) []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.byTrace[traceID]; ok {
+		return append([]Span(nil), s.kept[i].Spans...)
+	}
+	return nil
+}
+
+// spanHistogram resolves the span_seconds series backing a span name
+// (nil when the tracer has no registry, disarming the slow rule).
+func (t *Tracer) spanHistogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	reg := t.reg
+	t.mu.Unlock()
+	return reg.Histogram("span_seconds", L("span", name))
+}

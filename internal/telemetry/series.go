@@ -1,0 +1,401 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Series is the in-process time-series store behind /debug/tsdb: on
+// every Sample pass (normally the Collector tick) it walks the
+// registry and appends one timestamped point per counter, per gauge,
+// and per histogram-derived sub-series (p50/p95/p99/count) into a
+// fixed-capacity ring buffer per series. Memory is bounded by
+// construction — MaxSeries rings of Points points each, preallocated
+// at first sight of a series — and the steady-state Sample pass reuses
+// one scratch slice, so a long soak neither grows the heap nor churns
+// the GC. Counters store their cumulative value; delta and rate are
+// computed at query time so a scrape never mutates the store.
+//
+// A nil *Series is a valid "history disabled" store: every method
+// no-ops or returns zero values.
+type Series struct {
+	reg      *Registry
+	capacity int
+	max      int
+
+	mu      sync.Mutex
+	rings   map[string]*seriesRing
+	scratch []instrumentRef
+
+	samples *Counter
+	dropped *Counter
+}
+
+// Series kinds. Histogram sub-series are quantiles except the :count
+// stream, which is cumulative and therefore a counter.
+const (
+	seriesCounter  = "counter"
+	seriesGauge    = "gauge"
+	seriesQuantile = "quantile"
+)
+
+// SeriesConfig sizes the store.
+type SeriesConfig struct {
+	// Points is the ring capacity per series (default 360 — one hour
+	// at a 10s collection tick).
+	Points int
+	// MaxSeries caps the number of distinct rings; series appearing
+	// after the cap are dropped and counted (default 512).
+	MaxSeries int
+}
+
+// SeriesPoint is one retained sample.
+type SeriesPoint struct {
+	// UnixNano is the sample's wall-clock timestamp.
+	UnixNano int64 `json:"t"`
+	// Value is the sampled value (cumulative for counters).
+	Value float64 `json:"v"`
+}
+
+// seriesRing is one series' fixed-capacity buffer. pts is preallocated
+// to the store capacity; n counts valid points and next is the slot the
+// next point lands in once the ring has wrapped.
+type seriesRing struct {
+	kind string
+	pts  []SeriesPoint
+	n    int
+	next int
+}
+
+// instrumentRef is one registry instrument captured for a Sample pass.
+type instrumentRef struct {
+	name string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// NewSeries returns a store sampling reg. A nil registry returns a nil
+// (disabled) store.
+func NewSeries(reg *Registry, cfg SeriesConfig) *Series {
+	if reg == nil {
+		return nil
+	}
+	if cfg.Points < 2 {
+		cfg.Points = 360
+	}
+	if cfg.MaxSeries < 1 {
+		cfg.MaxSeries = 512
+	}
+	reg.SetHelp("tsdb_samples_total", "sampling passes completed by the in-process time-series store")
+	reg.SetHelp("tsdb_dropped_series_total", "series rejected by the time-series store's MaxSeries cap")
+	return &Series{
+		reg:      reg,
+		capacity: cfg.Points,
+		max:      cfg.MaxSeries,
+		rings:    make(map[string]*seriesRing),
+		samples:  reg.Counter("tsdb_samples_total"),
+		dropped:  reg.Counter("tsdb_dropped_series_total"),
+	}
+}
+
+// appendInstruments snapshots the registry's instruments into dst
+// (pointer copies only; values are read after the registry lock drops).
+func (r *Registry) appendInstruments(dst []instrumentRef) []instrumentRef {
+	if r == nil {
+		return dst
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.meta))
+	for key := range r.meta {
+		names = append(names, key)
+	}
+	sort.Strings(names)
+	for _, key := range names {
+		dst = append(dst, instrumentRef{
+			name: key,
+			c:    r.counters[key],
+			g:    r.gauges[key],
+			h:    r.hists[key],
+		})
+	}
+	return dst
+}
+
+// Sample performs one pass: every registered instrument appends one
+// point (histograms append their p50/p95/p99/count sub-series, named
+// "<hist>:p95" etc). Designed to ride Collector.OnCollect; safe to
+// call manually on any cadence.
+func (s *Series) Sample() {
+	if s == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	s.scratch = s.reg.appendInstruments(s.scratch[:0])
+	for _, ref := range s.scratch {
+		switch {
+		case ref.c != nil:
+			s.observeLocked(ref.name, seriesCounter, now, float64(ref.c.Value()))
+		case ref.g != nil:
+			s.observeLocked(ref.name, seriesGauge, now, ref.g.Value())
+		case ref.h != nil:
+			st := ref.h.Stat()
+			s.observeLocked(ref.name+":p50", seriesQuantile, now, st.P50)
+			s.observeLocked(ref.name+":p95", seriesQuantile, now, st.P95)
+			s.observeLocked(ref.name+":p99", seriesQuantile, now, st.P99)
+			s.observeLocked(ref.name+":count", seriesCounter, now, float64(st.Count))
+		}
+	}
+	s.mu.Unlock()
+	s.samples.Inc()
+}
+
+// observeLocked appends one point to the named ring, creating the ring
+// (bounded by MaxSeries) on first sight. Caller holds s.mu.
+func (s *Series) observeLocked(name, kind string, now int64, v float64) {
+	ring, ok := s.rings[name]
+	if !ok {
+		if len(s.rings) >= s.max {
+			s.dropped.Inc()
+			return
+		}
+		ring = &seriesRing{kind: kind, pts: make([]SeriesPoint, s.capacity)}
+		s.rings[name] = ring
+	}
+	ring.pts[ring.next] = SeriesPoint{UnixNano: now, Value: v}
+	ring.next = (ring.next + 1) % s.capacity
+	if ring.n < s.capacity {
+		ring.n++
+	}
+}
+
+// pointsLocked returns the ring's valid points oldest-first. Caller
+// holds s.mu; the result is a fresh slice safe to hand out.
+func (r *seriesRing) pointsLocked() []SeriesPoint {
+	out := make([]SeriesPoint, 0, r.n)
+	if r.n == len(r.pts) {
+		out = append(out, r.pts[r.next:]...)
+		out = append(out, r.pts[:r.next]...)
+	} else {
+		out = append(out, r.pts[:r.n]...)
+	}
+	return out
+}
+
+// SeriesData is one queried series: the retained points in the window
+// plus derived summary statistics. For counters (cumulative streams)
+// Delta is last−first over the window and RatePerSec divides it by the
+// window's actual time extent.
+type SeriesData struct {
+	Name       string        `json:"name"`
+	Kind       string        `json:"kind"`
+	Points     []SeriesPoint `json:"points"`
+	Last       float64       `json:"last"`
+	Min        float64       `json:"min"`
+	Max        float64       `json:"max"`
+	Delta      float64       `json:"delta,omitempty"`
+	RatePerSec float64       `json:"rate_per_sec,omitempty"`
+}
+
+// Query returns the named series restricted to the trailing window
+// (window <= 0 returns every retained point). The second result is
+// false when the series is unknown or the store is nil.
+func (s *Series) Query(name string, window time.Duration) (SeriesData, bool) {
+	if s == nil {
+		return SeriesData{}, false
+	}
+	s.mu.Lock()
+	ring, ok := s.rings[name]
+	var pts []SeriesPoint
+	var kind string
+	if ok {
+		pts = ring.pointsLocked()
+		kind = ring.kind
+	}
+	s.mu.Unlock()
+	if !ok {
+		return SeriesData{}, false
+	}
+	if window > 0 && len(pts) > 0 {
+		cutoff := pts[len(pts)-1].UnixNano - window.Nanoseconds()
+		lo := sort.Search(len(pts), func(i int) bool { return pts[i].UnixNano >= cutoff })
+		pts = pts[lo:]
+	}
+	return summarize(name, kind, pts), true
+}
+
+// summarize derives SeriesData statistics from windowed points.
+func summarize(name, kind string, pts []SeriesPoint) SeriesData {
+	d := SeriesData{Name: name, Kind: kind, Points: pts}
+	if len(pts) == 0 {
+		return d
+	}
+	d.Min = pts[0].Value
+	d.Max = pts[0].Value
+	for _, p := range pts {
+		if p.Value < d.Min {
+			d.Min = p.Value
+		}
+		if p.Value > d.Max {
+			d.Max = p.Value
+		}
+	}
+	d.Last = pts[len(pts)-1].Value
+	if kind == seriesCounter && len(pts) >= 2 {
+		first, last := pts[0], pts[len(pts)-1]
+		d.Delta = last.Value - first.Value
+		if secs := float64(last.UnixNano-first.UnixNano) / 1e9; secs > 0 {
+			d.RatePerSec = d.Delta / secs
+		}
+	}
+	return d
+}
+
+// SeriesInfo is one row of the store's listing.
+type SeriesInfo struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"`
+	N    int     `json:"points"`
+	Last float64 `json:"last"`
+}
+
+// List returns every retained series, sorted by name.
+func (s *Series) List() []SeriesInfo {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.rings))
+	for name := range s.rings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SeriesInfo, 0, len(names))
+	for _, name := range names {
+		ring := s.rings[name]
+		info := SeriesInfo{Name: name, Kind: ring.kind, N: ring.n}
+		if ring.n > 0 {
+			last := ring.next - 1
+			if last < 0 {
+				last = len(ring.pts) - 1
+			}
+			info.Last = ring.pts[last].Value
+		}
+		out = append(out, info)
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Len returns the number of retained series.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rings)
+}
+
+// Dump materializes every series over the trailing window, sorted by
+// name — the flight recorder's tsdb.json payload.
+func (s *Series) Dump(window time.Duration) []SeriesData {
+	if s == nil {
+		return nil
+	}
+	var out []SeriesData
+	for _, info := range s.List() {
+		if d, ok := s.Query(info.Name, window); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// sparkBlocks are the eight vertical-bar glyphs a sparkline is drawn
+// with, lowest to highest.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as a fixed-height unicode strip, scaled to
+// the slice's own min/max (a flat series renders as all-low bars).
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkBlocks)-1))
+		}
+		b.WriteRune(sparkBlocks[idx])
+	}
+	return b.String()
+}
+
+// SparkRow is one line of the debug-index sparkline table.
+type SparkRow struct {
+	Name  string
+	Kind  string
+	Spark string
+	Last  float64
+}
+
+// Sparklines summarizes up to max series (0 = all) as sparkline rows
+// over the trailing width points. Counter series plot successive
+// deltas (the rate shape) rather than the cumulative ramp.
+func (s *Series) Sparklines(max, width int) []SparkRow {
+	if s == nil {
+		return nil
+	}
+	if width < 2 {
+		width = 32
+	}
+	infos := s.List()
+	if max > 0 && len(infos) > max {
+		infos = infos[:max]
+	}
+	out := make([]SparkRow, 0, len(infos))
+	for _, info := range infos {
+		d, ok := s.Query(info.Name, 0)
+		if !ok || len(d.Points) == 0 {
+			continue
+		}
+		pts := d.Points
+		if len(pts) > width+1 {
+			pts = pts[len(pts)-width-1:]
+		}
+		vals := make([]float64, 0, len(pts))
+		if d.Kind == seriesCounter {
+			for i := 1; i < len(pts); i++ {
+				delta := pts[i].Value - pts[i-1].Value
+				if delta < 0 {
+					delta = 0
+				}
+				vals = append(vals, delta)
+			}
+			if len(vals) == 0 {
+				vals = append(vals, 0)
+			}
+		} else {
+			for _, p := range pts {
+				vals = append(vals, p.Value)
+			}
+		}
+		out = append(out, SparkRow{Name: info.Name, Kind: info.Kind, Spark: sparkline(vals), Last: d.Last})
+	}
+	return out
+}

@@ -61,11 +61,12 @@ func (s *Span) Int64Attr(key string) (int64, bool) {
 // as span_seconds{span="<name>"}. A nil *Tracer is a valid "tracing
 // disabled" tracer: Start returns a nil handle whose methods no-op.
 type Tracer struct {
-	mu    sync.Mutex
-	ring  []Span
-	next  int
-	total int64
-	reg   *Registry
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	total   int64
+	reg     *Registry
+	sampler *Sampler
 }
 
 // NewTracer returns a tracer retaining the last capacity spans
@@ -126,6 +127,28 @@ func (t *Tracer) Last(name string) *Span {
 	return nil
 }
 
+// SetSampler attaches a tail-based sampler: NewTrace starts making the
+// head decision through it, and every completed root span flows into
+// its tail decision. Passing nil detaches. No-op on a nil tracer.
+func (t *Tracer) SetSampler(s *Sampler) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sampler = s
+	t.mu.Unlock()
+}
+
+// getSampler reads the attached sampler (nil on a nil tracer).
+func (t *Tracer) getSampler() *Sampler {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sampler
+}
+
 func (t *Tracer) record(s Span) {
 	t.mu.Lock()
 	t.total++
@@ -137,9 +160,15 @@ func (t *Tracer) record(s Span) {
 		t.next = (t.next + 1) % cap(t.ring)
 	}
 	reg := t.reg
+	smp := t.sampler
 	t.mu.Unlock()
+	// Traced spans carry their trace id into the duration histogram as
+	// an exemplar, so a slow bucket links straight to a /debug/trace id.
 	reg.Histogram("span_seconds", L("span", s.Name)).
-		Observe(float64(s.DurationNS) / 1e9)
+		ObserveExemplar(float64(s.DurationNS)/1e9, s.TraceID)
+	if smp != nil && s.TraceID != 0 && s.ParentID == 0 {
+		smp.observeRoot(t, s)
+	}
 }
 
 // SpanHandle is an open span being annotated. All methods are safe on a

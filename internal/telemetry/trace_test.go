@@ -211,13 +211,51 @@ func TestTraceTreeAssembly(t *testing.T) {
 	if v, _ := tree[0].Children[0].Children[0].Int64Attr("n"); v != 2 {
 		t.Fatalf("deepest hop n=%v, want 2", v)
 	}
-	// Orphan: parent rotated out of the ring → becomes a root.
+	// Orphan: parent rotated out of the ring → collected under the
+	// synthetic "orphaned" root instead of masquerading as a real one.
 	orphan := hop2.Child()
 	small := NewTracer(1, nil)
 	small.StartSpan("late", orphan).End()
 	roots := small.TraceTree(orphan.TraceID)
-	if len(roots) != 1 || roots[0].Name != "late" {
-		t.Fatalf("orphan span should root the tree, got %+v", roots)
+	if len(roots) != 1 || roots[0].Name != "orphaned" {
+		t.Fatalf("orphan span should hang off the synthetic root, got %+v", roots)
+	}
+	if v, ok := roots[0].Attr("orphaned").(bool); !ok || !v {
+		t.Fatalf("synthetic root must carry orphaned=true, got %+v", roots[0].Attrs)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "late" {
+		t.Fatalf("orphan not under synthetic root: %+v", roots[0].Children)
+	}
+}
+
+func TestTraceTreeRingWraparoundOrphans(t *testing.T) {
+	// Regression: a ring just large enough for the hop spans but not
+	// the root must not promote the hops to roots — they hang off the
+	// synthetic orphan root, and the true root's absence is visible.
+	tr := NewTracer(2, nil)
+	root := NewTraceContext()
+	hop1 := root.Child()
+	hop2 := hop1.Child()
+	tr.StartSpan("infer", root).End() // oldest: evicted by the two hops
+	tr.StartSpan("hop", hop1).SetInt("n", 1).End()
+	tr.StartSpan("hop", hop2).SetInt("n", 2).End()
+	roots := tr.TraceTree(root.TraceID)
+	if len(roots) != 1 || roots[0].Name != "orphaned" {
+		t.Fatalf("wrapped trace should yield one synthetic root, got %+v", roots)
+	}
+	if len(roots[0].Children) != 1 {
+		t.Fatalf("synthetic root children = %+v, want the hop1 orphan", roots[0].Children)
+	}
+	hop := roots[0].Children[0]
+	if n, _ := hop.Int64Attr("n"); n != 1 {
+		t.Fatalf("orphaned hop n=%d, want 1", n)
+	}
+	// hop2's parent (hop1) survived, so it stays a normal child.
+	if len(hop.Children) != 1 {
+		t.Fatalf("hop2 should remain attached under hop1: %+v", hop.Children)
+	}
+	if n, _ := hop.Children[0].Int64Attr("n"); n != 2 {
+		t.Fatalf("attached hop n=%d, want 2", n)
 	}
 }
 

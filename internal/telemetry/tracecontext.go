@@ -70,9 +70,15 @@ func (tc TraceContext) Child() TraceContext {
 // StartSpan opens a span bound to a trace context: the span records the
 // context's trace/span/parent ids and is retrievable via Trace and the
 // /debug/trace/{id} endpoint. Returns nil (a no-op handle) on a nil
-// tracer; a zero context degrades to a plain un-traced span.
+// tracer. Without a sampler a zero context degrades to a plain
+// un-traced span; with one attached a zero context means the trace was
+// head-dropped, so no span materializes at all and the unsampled path
+// pays nothing past this nil check.
 func (t *Tracer) StartSpan(name string, tc TraceContext) *SpanHandle {
 	if t == nil {
+		return nil
+	}
+	if !tc.Valid() && t.getSampler() != nil {
 		return nil
 	}
 	h := t.Start(name)
@@ -85,8 +91,15 @@ func (t *Tracer) StartSpan(name string, tc TraceContext) *SpanHandle {
 // NewTrace opens a root context. On a nil tracer it returns the zero
 // context, so callers can thread the result through Child/StartSpan
 // unconditionally without consuming ids while tracing is disabled.
+// With a sampler attached, NewTrace is also the head decision point:
+// a head-dropped operation gets the zero context, which propagates as
+// "no trace" — Child stays zero, StartSpan returns nil, and the wire
+// layer emits no trace block.
 func (t *Tracer) NewTrace() TraceContext {
 	if t == nil {
+		return TraceContext{}
+	}
+	if s := t.getSampler(); s != nil && !s.admitHead() {
 		return TraceContext{}
 	}
 	return NewTraceContext()
@@ -114,11 +127,20 @@ type TraceNode struct {
 }
 
 // TraceTree assembles the retained spans of a trace into parent/child
-// trees. Spans whose parent rotated out of the ring (or started the
-// trace) become roots. Roots and children are ordered by completion
-// sequence. Nil on a nil tracer or an unknown trace id.
+// trees. Spans that started the trace (parent id 0) become roots;
+// spans whose parent rotated out of the ring are collected under a
+// synthetic "orphaned" root (attr orphaned=true) instead of being
+// silently promoted — a wrapped ring no longer masquerades as extra
+// roots. Roots and children are ordered by completion sequence. Nil on
+// a nil tracer or an unknown trace id.
 func (t *Tracer) TraceTree(traceID uint64) []*TraceNode {
-	spans := t.Trace(traceID)
+	return AssembleTraceTree(t.Trace(traceID))
+}
+
+// AssembleTraceTree builds parent/child trees from one trace's spans —
+// the shared assembly behind Tracer.TraceTree, the kept-trace fallback
+// of /debug/trace/{id}, and the flight recorder's trace dump.
+func AssembleTraceTree(spans []Span) []*TraceNode {
 	if len(spans) == 0 {
 		return nil
 	}
@@ -130,17 +152,32 @@ func (t *Tracer) TraceTree(traceID uint64) []*TraceNode {
 			byID[id] = nodes[i]
 		}
 	}
-	var roots []*TraceNode
+	var roots, orphans []*TraceNode
 	for _, n := range nodes {
-		if parent, ok := byID[n.ParentID]; ok && n.ParentID != 0 && parent != n {
+		if n.ParentID == 0 {
+			roots = append(roots, n)
+			continue
+		}
+		if parent, ok := byID[n.ParentID]; ok && parent != n {
 			parent.Children = append(parent.Children, n)
 			continue
 		}
-		roots = append(roots, n)
+		orphans = append(orphans, n)
 	}
 	for _, n := range nodes {
 		sort.SliceStable(n.Children, func(i, j int) bool { return n.Children[i].Seq < n.Children[j].Seq })
 	}
 	sort.SliceStable(roots, func(i, j int) bool { return roots[i].Seq < roots[j].Seq })
+	if len(orphans) > 0 {
+		sort.SliceStable(orphans, func(i, j int) bool { return orphans[i].Seq < orphans[j].Seq })
+		roots = append(roots, &TraceNode{
+			Span: Span{
+				Name:    "orphaned",
+				TraceID: spans[0].TraceID,
+				Attrs:   []Attr{{Key: "orphaned", Value: true}},
+			},
+			Children: orphans,
+		})
+	}
 	return roots
 }

@@ -168,6 +168,35 @@ func TestUntracedFrameBytesUnchanged(t *testing.T) {
 	}
 }
 
+func TestHeadDroppedTraceFramesByteIdentical(t *testing.T) {
+	// With a tail sampler head-dropping every trace, NewTrace hands out
+	// zero contexts; a sender that maps invalid contexts to a nil Trace
+	// (as internal/cluster's frameTrace does) must produce frames
+	// byte-identical to a tracer-free sender.
+	reg := telemetry.New()
+	tr := telemetry.NewTracer(8, reg)
+	tr.SetSampler(telemetry.NewSampler(reg, telemetry.SamplerConfig{HeadRate: 1 << 62}))
+	tc := tr.NewTrace()
+	if tc.Valid() {
+		t.Fatal("fixture: sampler should head-drop this trace")
+	}
+	r := rng.New(5)
+	m := Message{Header: Header{Type: MsgQuery}, Bipolar: hdc.RandomBipolar(64, r)}
+	var plain, sampled bytes.Buffer
+	if err := Write(&plain, m); err != nil {
+		t.Fatal(err)
+	}
+	if tc.Valid() {
+		m.Trace = &tc
+	}
+	if err := Write(&sampled, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), sampled.Bytes()) {
+		t.Fatalf("sampling changed untraced frame bytes: %d vs %d", plain.Len(), sampled.Len())
+	}
+}
+
 func TestTruncatedTraceBlockRejected(t *testing.T) {
 	frame := make([]byte, headerBytes+5) // flag promises 24 trace bytes, only 5 follow
 	frame[0] = byte(MsgDone) | TraceFlag
